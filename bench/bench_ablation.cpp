@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Ablation study of the design choices DESIGN.md calls out:
+ *   (a) back-off lambda / k (dynamic-timing aggressiveness),
+ *   (b) random-pairing period,
+ *   (c) coin counter precision (power levels),
+ *   (d) wrap-around neighborhoods,
+ *   (e) 4-way arithmetic cost sensitivity.
+ *
+ * Not a paper figure — these quantify the sensitivity of the paper's
+ * chosen configuration (1-way, wrap, dynamic timing, pairing every
+ * 16th, 6-bit coins).
+ */
+
+#include "bench_common.hpp"
+#include "soc/scenarios.hpp"
+#include "soc/soc.hpp"
+
+using namespace blitz;
+
+namespace {
+
+void
+report(const char *label, const coin::EngineConfig &cfg,
+       const bench::TrialSetup &setup, int trials = 60)
+{
+    auto s = bench::sweep(setup, cfg, trials);
+    std::printf("  %-28s %10.0f cycles %10.0f pkts %4d fail\n", label,
+                s.timeCycles.mean(), s.packets.mean(), s.failures);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation", "sensitivity of the chosen configuration");
+
+    bench::TrialSetup setup;
+    setup.d = 12;
+    setup.errThreshold = 1.0;
+
+    coin::EngineConfig base;
+    base.wrap = true;
+    base.backoff.enabled = true;
+    base.pairing.randomPairing = true;
+
+    std::printf("\n(a) back-off lambda (d = 12):\n");
+    for (double lambda : {1.25, 1.5, 2.0, 4.0}) {
+        coin::EngineConfig cfg = base;
+        cfg.backoff.lambda = lambda;
+        char label[64];
+        std::snprintf(label, sizeof label, "lambda = %.2f", lambda);
+        report(label, cfg, setup);
+    }
+
+    std::printf("\n(a') back-off shrink k:\n");
+    for (sim::Tick k : {2u, 8u, 16u}) {
+        coin::EngineConfig cfg = base;
+        cfg.backoff.k = k;
+        char label[64];
+        std::snprintf(label, sizeof label, "k = %llu",
+                      static_cast<unsigned long long>(k));
+        report(label, cfg, setup);
+    }
+
+    std::printf("\n(b) random-pairing period:\n");
+    for (unsigned period : {4u, 8u, 16u, 64u}) {
+        coin::EngineConfig cfg = base;
+        cfg.pairing.period = period;
+        char label[64];
+        std::snprintf(label, sizeof label, "period = %u", period);
+        report(label, cfg, setup);
+    }
+    {
+        coin::EngineConfig cfg = base;
+        cfg.pairing.randomPairing = false;
+        report("random pairing OFF", cfg, setup);
+    }
+
+    std::printf("\n(c) coin precision (pool scales with levels):\n");
+    for (double pool_frac : {0.25, 0.5, 0.75}) {
+        bench::TrialSetup s2 = setup;
+        s2.poolFraction = pool_frac;
+        char label[64];
+        std::snprintf(label, sizeof label, "pool = %.0f%% of demand",
+                      pool_frac * 100.0);
+        report(label, base, s2);
+    }
+
+    std::printf("\n(d) wrap-around neighborhoods:\n");
+    {
+        coin::EngineConfig cfg = base;
+        cfg.wrap = true;
+        report("torus (paper)", cfg, setup);
+        cfg.wrap = false;
+        report("plain mesh edges", cfg, setup);
+    }
+
+    std::printf("\n(f) trace-driven DSE: replay the 3x3 AV WL-Dep "
+                "activity trace recorded\n    from the full-SoC model "
+                "onto the behavioral engine, sweeping the\n    "
+                "random-pairing period:\n");
+    {
+        soc::PmConfig pm;
+        pm.kind = soc::PmKind::BlitzCoin;
+        pm.budgetMw = 60.0;
+        soc::Soc s(soc::make3x3AvSoc(), pm, 11);
+        auto st = s.run(soc::avDependent(s.config(), 3));
+        std::printf("    trace: %zu edges over %.0f us\n",
+                    st.activity.size(),
+                    sim::ticksToUs(st.activity.horizon()));
+        for (unsigned period : {4u, 16u, 64u}) {
+            coin::EngineConfig cfg;
+            cfg.pairing.period = period;
+            coin::MeshSim mesh(
+                noc::Topology(s.config().width, s.config().height,
+                              true),
+                cfg, 11);
+            // Seed the same coin pool the 60 mW SoC domain carries.
+            mesh.randomizeHas(s.pm().scale().poolCoins);
+            auto rs = st.activity.replayOn(mesh);
+            std::printf("    period %2u: busy %5.1f%%  %8llu pkts  "
+                        "final maxErr %.2f\n",
+                        period, rs.busyFraction * 100.0,
+                        static_cast<unsigned long long>(rs.packets),
+                        rs.finalMaxError);
+        }
+    }
+
+    std::printf("\n(e) 4-way arithmetic pipeline cost:\n");
+    for (sim::Tick extra : {0u, 4u, 16u}) {
+        coin::EngineConfig cfg = base;
+        cfg.mode = coin::ExchangeMode::FourWay;
+        cfg.fourWayExtraCycles = extra;
+        char label[64];
+        std::snprintf(label, sizeof label, "4-way +%llu cycles",
+                      static_cast<unsigned long long>(extra));
+        report(label, cfg, setup);
+    }
+    return 0;
+}

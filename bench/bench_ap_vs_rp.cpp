@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Section VI-A: Absolute-Proportional vs Relative-Proportional
+ * allocation on the 3x3 AV SoC, across power budgets.
+ *
+ * Paper result: RP yields a 3.0-4.1% throughput increase over AP for
+ * budgets from 60 to 120 mW, because AP forces low-power tiles to
+ * inefficient high-voltage operating points.
+ */
+
+#include "bench_soc_common.hpp"
+
+using namespace blitz;
+
+int
+main()
+{
+    bench::banner("Sec. VI-A", "AP vs RP allocation, 3x3 AV SoC");
+
+    std::printf("\n%10s | %12s | %12s | %8s\n", "budget", "AP exec",
+                "RP exec", "RP gain");
+    for (double budget : {60.0, 80.0, 100.0, 120.0}) {
+        double exec_us[2] = {0.0, 0.0};
+        int k = 0;
+        for (auto alloc : {coin::AllocPolicy::AbsoluteProportional,
+                           coin::AllocPolicy::RelativeProportional}) {
+            soc::Soc s(soc::make3x3AvSoc(),
+                       bench::pm(soc::PmKind::BlitzCoin, budget,
+                                 alloc),
+                       11);
+            auto st = s.run(soc::avParallel(s.config()));
+            exec_us[k++] = st.execTimeUs();
+        }
+        std::printf("%8.0fmW | %10.1fus | %10.1fus | %+6.1f%%\n",
+                    budget, exec_us[0], exec_us[1],
+                    (exec_us[0] / exec_us[1] - 1.0) * 100.0);
+    }
+    std::printf("\nShape check: RP wins at every budget "
+                "(paper: +3.0-4.1%%).\n");
+    return 0;
+}

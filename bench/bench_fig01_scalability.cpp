@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 1: the motivating scalability picture — response time of
+ * software-centralized, hardware-centralized, and decentralized
+ * power management vs the average interval between SoC-level activity
+ * changes (T_w / N), for several workload phase durations.
+ *
+ * The software-centralized curve uses the paper's ~1 ms-per-small-SoC
+ * characterization of software daemons scaling linearly in N; the
+ * hardware curves use the constants this repo measures (see
+ * bench_fig21 for the fitting). The intersection of a response curve
+ * with a demand curve is N_max for that scheme.
+ */
+
+#include <cstdio>
+
+#include "analytic/scaling.hpp"
+#include "bench_common.hpp"
+
+using namespace blitz;
+
+int
+main()
+{
+    bench::banner("Fig. 1",
+                  "response-time scaling vs workload demand curves");
+
+    using analytic::ScalingLaw;
+    using analytic::Scheme;
+    // Representative constants: software daemon ~1 ms at N=10 (O(N));
+    // hardware-centralized and decentralized from the paper's fits.
+    const ScalingLaw sw{Scheme::CRR, 100.0, 1.0};  // software
+    const ScalingLaw hw{Scheme::BCC, 0.66, 1.0};   // HW centralized
+    const ScalingLaw bc{Scheme::BC, 0.20, 0.5};    // decentralized
+
+    std::printf("\nresponse time (us) and demand T_w/N (us):\n");
+    std::printf("%6s | %12s %12s %12s |", "N", "SW-central",
+                "HW-central", "Decentral");
+    for (double tw_ms : {1.0, 5.0, 20.0})
+        std::printf(" Tw=%4.0fms", tw_ms);
+    std::printf("\n");
+    for (double n : {2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+                     1000.0}) {
+        std::printf("%6.0f | %12.1f %12.2f %12.2f |", n,
+                    sw.responseUs(n), hw.responseUs(n),
+                    bc.responseUs(n));
+        for (double tw_ms : {1.0, 5.0, 20.0})
+            std::printf(" %8.1f", tw_ms * 1000.0 / n);
+        std::printf("\n");
+    }
+
+    std::printf("\nmaximum supported accelerators N_max "
+                "(response = demand):\n%10s | %10s %10s %10s\n",
+                "T_w (ms)", "SW-central", "HW-central", "Decentral");
+    for (double tw_ms : {1.0, 5.0, 20.0}) {
+        double tw = tw_ms * 1000.0;
+        std::printf("%10.0f | %10.1f %10.1f %10.1f\n", tw_ms,
+                    sw.nMax(tw), hw.nMax(tw), bc.nMax(tw));
+    }
+    std::printf("\nShape check: SW-central cannot reach N=10 at "
+                "T_w <= 20 ms; decentralized handles N >= 100 at "
+                "millisecond phase durations.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig. 3: packets and time (NoC cycles) to convergence (Err < 1.5)
+ * for the 1-way and 4-way exchange methods vs. mesh dimension d.
+ *
+ * Paper result: both methods scale with d = sqrt(N); 4-way needs fewer
+ * exchanges (each carries more information) but more packets per
+ * exchange (12 vs 8 per rotation).
+ */
+
+#include "bench_common.hpp"
+
+using namespace blitz;
+
+int
+main()
+{
+    bench::banner("Fig. 3",
+                  "1-way vs 4-way convergence (Err < 1.5), 100 trials");
+
+    // The paper's comparison uses the same fixed refresh interval for
+    // both methods, without the later Section III-D optimizations.
+    coin::EngineConfig one;
+    one.mode = coin::ExchangeMode::OneWay;
+    one.wrap = true;
+    one.backoff.enabled = false;
+    one.pairing.randomPairing = true;
+    coin::EngineConfig four = one;
+    four.mode = coin::ExchangeMode::FourWay;
+
+    std::printf("%4s %6s | %12s %12s | %12s %12s\n", "d", "N",
+                "1way cycles", "1way pkts", "4way cycles", "4way pkts");
+    for (int d = 2; d <= 20; d += 2) {
+        bench::TrialSetup setup;
+        setup.d = d;
+        setup.errThreshold = 1.5;
+        auto s1 = bench::sweep(setup, one, 100);
+        auto s4 = bench::sweep(setup, four, 100);
+        std::printf("%4d %6d | %12.0f %12.0f | %12.0f %12.0f\n", d,
+                    d * d, s1.timeCycles.mean(), s1.packets.mean(),
+                    s4.timeCycles.mean(), s4.packets.mean());
+        if (s1.failures || s4.failures) {
+            std::printf("  (non-converged trials: 1-way %d, 4-way %d)\n",
+                        s1.failures, s4.failures);
+        }
+    }
+    std::printf("\nShape check: time grows ~linearly in d (i.e. "
+                "sqrt(N)), packets grow ~N.\n");
+    return 0;
+}

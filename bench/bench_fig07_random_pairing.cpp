@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 7: histogram of the worst-case absolute error across all tiles
+ * after convergence, with and without random pairing, for N = 100 and
+ * N = 400 (1000 runs each).
+ *
+ * Paper result: without random pairing some tiles never reach their
+ * target and the residual grows with SoC size; with it, every tile
+ * converges to within the 1-coin quantization.
+ */
+
+#include "bench_common.hpp"
+#include "sim/stats.hpp"
+
+using namespace blitz;
+
+namespace {
+
+sim::Histogram
+residualHistogram(int d, bool randomPairing, int runs)
+{
+    sim::Histogram hist(0.0, 8.0, 16);
+    coin::EngineConfig cfg;
+    cfg.wrap = true;
+    cfg.backoff.enabled = true;
+    cfg.pairing.randomPairing = randomPairing;
+
+    for (int t = 0; t < runs; ++t) {
+        coin::MeshSim sim(noc::Topology::square(d), cfg,
+                          7'000 + static_cast<std::uint64_t>(t));
+        coin::Coins demand = 0;
+        // A quarter of the tiles idle: the idle islands are what
+        // random pairing exists to cross.
+        for (std::size_t i = 0; i < sim.ledger().size(); ++i) {
+            coin::Coins m =
+                (i % 4 == 3) ? 0
+                             : bench::typeLevel(static_cast<int>(i) % 4);
+            sim.setMax(i, m);
+            demand += m;
+        }
+        sim.randomizeHas(demand / 2);
+        // Run for a fixed long horizon, then record the worst tile.
+        sim.runUntilConverged(0.0, sim::usToTicks(200.0));
+        hist.add(sim.maxError());
+    }
+    return hist;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 7",
+                  "worst-case residual error histogram, 1000 runs");
+    const int runs = 1000;
+    for (int d : {10, 20}) {
+        for (bool rp : {false, true}) {
+            auto hist = residualHistogram(d, rp, runs);
+            std::printf("\nN = %d, random pairing %s:\n", d * d,
+                        rp ? "ON" : "OFF");
+            std::printf("%s", hist.format(44).c_str());
+        }
+    }
+    std::printf("\nShape check: OFF histograms have heavy tails that "
+                "grow with N; ON histograms collapse below ~2 coins "
+                "(1-coin quantization + alpha rounding).\n");
+    return 0;
+}

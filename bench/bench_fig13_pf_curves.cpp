@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 13: power/frequency characterization of the six accelerators.
+ *
+ * Prints each curve's operating points (V, F, P) plus the idle point,
+ * the data every SoC-level experiment draws on. The paper measured
+ * FFT/Viterbi/NVDLA on the 12 nm ASIC and characterized GEMM/Conv2D/
+ * Vision with Cadence Joules; this table is the transcription used by
+ * the simulator (see DESIGN.md for the calibration).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "power/pf_curve.hpp"
+
+using namespace blitz;
+
+int
+main()
+{
+    bench::banner("Fig. 13", "accelerator power/frequency curves");
+
+    for (const power::PfCurve *c : power::catalog::all()) {
+        std::printf("\n%-8s  Fmax %6.0f MHz  Pmax %7.2f mW  "
+                    "Pidle %5.2f mW (%.1fx below Pmin)\n",
+                    c->name().c_str(), c->fMax(), c->pMax(),
+                    c->pIdle(), c->pMin() / c->pIdle());
+        std::printf("  %8s %10s %10s\n", "V (V)", "F (MHz)", "P (mW)");
+        for (const auto &pt : c->points()) {
+            std::printf("  %8.2f %10.1f %10.2f\n", pt.voltage,
+                        pt.freqMhz, pt.powerMw);
+        }
+        // The sub-Fmin extension (triangle markers on the NVDLA
+        // curve): frequency scaling at minimum voltage.
+        double fmin = c->fMinCharacterized();
+        std::printf("  %8s %10.1f %10.2f   (min-V frequency scaling)\n",
+                    "-", fmin / 2.0, c->powerAt(fmin / 2.0));
+        std::printf("  %8s %10.1f %10.2f   (idle)\n", "-", 0.0,
+                    c->powerAt(0.0));
+    }
+
+    std::printf("\nSoC-level totals: 3x3 AV accelerators %.0f mW "
+                "(budgets 120/60 = 30%%/15%%), 4x4 vision %.0f mW "
+                "(450/900 = 33%%/66%%).\n",
+                3 * power::catalog::fft().pMax() +
+                    2 * power::catalog::viterbi().pMax() +
+                    power::catalog::nvdla().pMax(),
+                4 * power::catalog::gemm().pMax() +
+                    5 * power::catalog::conv2d().pMax() +
+                    4 * power::catalog::vision().pMax());
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 17: execution time and PM response time on the 3x3 AV SoC,
+ * for WL-Par and WL-Dep at 30% (120 mW) and 15% (60 mW) budgets.
+ *
+ * Paper result: BC-C beats C-RR by ~24% (better allocation); BC
+ * additionally improves response 10.1x/12.1x over BC-C/C-RR and adds
+ * throughput (9% vs BC-C, 34% vs C-RR on average).
+ */
+
+#include "bench_soc_common.hpp"
+
+using namespace blitz;
+
+int
+main()
+{
+    bench::banner("Fig. 17", "3x3 AV SoC execution & response times");
+
+    sim::Summary bc_vs_bcc, bc_vs_crr, bcc_vs_crr;
+    sim::Summary resp_gain_bcc, resp_gain_crr;
+
+    for (bool dependent : {false, true}) {
+        for (double budget :
+             {soc::budgets::av30Percent, soc::budgets::av15Percent}) {
+            std::printf("\n%s @ %.0f mW:\n",
+                        dependent ? "WL-Dep" : "WL-Par", budget);
+            std::printf("  %-7s %13s %16s %12s %8s\n", "PM", "exec",
+                        "mean response", "avg power", "util");
+            double exec[3] = {0, 0, 0};
+            double resp[3] = {0, 0, 0};
+            int k = 0;
+            for (soc::PmKind kind : bench::adaptiveKinds) {
+                soc::Soc s(soc::make3x3AvSoc(),
+                           bench::pm(kind, budget), 11);
+                workload::Dag dag =
+                    dependent ? soc::avDependent(s.config(), 3)
+                              : soc::avParallel(s.config());
+                auto st = s.run(dag);
+                bench::row(soc::pmKindName(kind), st, 0.0);
+                exec[k] = st.execTimeUs();
+                resp[k] = st.meanResponseUs();
+                ++k;
+            }
+            bc_vs_bcc.add(exec[1] / exec[0]);
+            bc_vs_crr.add(exec[2] / exec[0]);
+            bcc_vs_crr.add(exec[2] / exec[1]);
+            resp_gain_bcc.add(resp[1] / resp[0]);
+            resp_gain_crr.add(resp[2] / resp[0]);
+        }
+    }
+
+    std::printf("\nAverages over the four configurations:\n");
+    std::printf("  exec speedup BC vs BC-C : %+5.1f%%  (paper ~9%%)\n",
+                (bc_vs_bcc.mean() - 1.0) * 100.0);
+    std::printf("  exec speedup BC vs C-RR : %+5.1f%%  (paper ~34%%)\n",
+                (bc_vs_crr.mean() - 1.0) * 100.0);
+    std::printf("  exec speedup BC-C vs C-RR: %+5.1f%% (paper ~24%%)\n",
+                (bcc_vs_crr.mean() - 1.0) * 100.0);
+    std::printf("  response gain vs BC-C   : %5.1fx (paper 10.1x)\n",
+                resp_gain_bcc.mean());
+    std::printf("  response gain vs C-RR   : %5.1fx (paper 12.1x)\n",
+                resp_gain_crr.mean());
+    return 0;
+}

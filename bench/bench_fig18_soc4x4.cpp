@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 18: execution time and PM response time on the 4x4 vision SoC
+ * (N = 13), parallel workload at 450/900 mW (33%/66%) and dependent
+ * workload at 450 mW.
+ *
+ * Paper result: trends confirm the 3x3 findings — BC-C gives ~20%
+ * throughput over C-RR, BC improves response 8.3x and throughput 25%
+ * over C-RR.
+ */
+
+#include "bench_soc_common.hpp"
+
+using namespace blitz;
+
+int
+main()
+{
+    bench::banner("Fig. 18", "4x4 vision SoC execution & response");
+
+    struct Case
+    {
+        const char *name;
+        bool dependent;
+        double budget;
+    };
+    const Case cases[] = {
+        {"WL-Par", false, soc::budgets::vision33Percent},
+        {"WL-Par", false, soc::budgets::vision66Percent},
+        {"WL-Dep", true, soc::budgets::vision33Percent},
+    };
+
+    sim::Summary bc_vs_crr_exec, bc_vs_crr_resp, bcc_vs_crr_exec;
+    for (const Case &c : cases) {
+        std::printf("\n%s @ %.0f mW:\n", c.name, c.budget);
+        std::printf("  %-7s %13s %16s %12s %8s\n", "PM", "exec",
+                    "mean response", "avg power", "util");
+        double exec[3] = {0, 0, 0};
+        double resp[3] = {0, 0, 0};
+        int k = 0;
+        for (soc::PmKind kind : bench::adaptiveKinds) {
+            soc::Soc s(soc::make4x4VisionSoc(),
+                       bench::pm(kind, c.budget), 13);
+            workload::Dag dag = c.dependent
+                                    ? soc::visionDependent(s.config(), 2)
+                                    : soc::visionParallel(s.config());
+            auto st = s.run(dag);
+            bench::row(soc::pmKindName(kind), st, 0.0);
+            exec[k] = st.execTimeUs();
+            resp[k] = st.meanResponseUs();
+            ++k;
+        }
+        bc_vs_crr_exec.add(exec[2] / exec[0]);
+        bcc_vs_crr_exec.add(exec[2] / exec[1]);
+        bc_vs_crr_resp.add(resp[2] / resp[0]);
+    }
+
+    std::printf("\nAverages over the three configurations:\n");
+    std::printf("  exec speedup BC vs C-RR  : %+5.1f%% (paper ~25%%)\n",
+                (bc_vs_crr_exec.mean() - 1.0) * 100.0);
+    std::printf("  exec speedup BC-C vs C-RR: %+5.1f%% (paper ~20%%)\n",
+                (bcc_vs_crr_exec.mean() - 1.0) * 100.0);
+    std::printf("  response gain BC vs C-RR : %5.1fx (paper 8.3x)\n",
+                bc_vs_crr_resp.mean());
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig. 19: the silicon-prototype experiment on the 6x6 SoC's 10-tile
+ * PM cluster: budget utilization during a 7-accelerator workload,
+ * coin allocation before/after convergence, and throughput against a
+ * statically-allocated baseline for 7/5/4/3-accelerator workloads.
+ *
+ * Paper (measured) result: 97% budget utilization; residual coin
+ * error under one coin; 27/26/26/19% throughput improvement over
+ * static allocation.
+ */
+
+#include "bench_soc_common.hpp"
+#include "soc/pm_impl.hpp"
+
+using namespace blitz;
+
+int
+main()
+{
+    bench::banner("Fig. 19",
+                  "6x6 silicon-prototype SoC, PM-cluster workloads");
+
+    // --- coin redistribution at workload startup (bottom left) ----
+    {
+        soc::Soc s(soc::make6x6SiliconSoc(),
+                   bench::pm(soc::PmKind::BlitzCoin,
+                             soc::budgets::silicon),
+                   29);
+        auto &bc = dynamic_cast<soc::BlitzCoinPm &>(s.pm());
+        workload::Dag dag = soc::siliconWorkload(s.config(), 7);
+
+        // Start the units, launch the workload activity by hand and
+        // snapshot coins before/after the convergence transient.
+        bc.start();
+        std::printf("\nCoin allocation at workload startup "
+                    "(7 accelerators):\n  %-8s %6s %8s %8s\n", "tile",
+                    "max", "before", "after");
+        std::vector<std::pair<noc::NodeId, coin::Coins>> before;
+        for (const auto &t : dag.tasks()) {
+            bc.onTaskStart(t.tile);
+        }
+        for (const auto &t : dag.tasks())
+            before.emplace_back(t.tile, bc.unit(t.tile).has());
+        s.eventQueue().runUntil(s.eventQueue().now() +
+                                sim::usToTicks(20.0));
+        for (auto [tile, has0] : before) {
+            std::printf("  %-8s %6lld %8lld %8lld\n",
+                        s.config().tile(tile).name.c_str(),
+                        static_cast<long long>(bc.maxCoins()[tile]),
+                        static_cast<long long>(has0),
+                        static_cast<long long>(bc.unit(tile).has()));
+        }
+        std::printf("  residual cluster error: %.2f coins "
+                    "(paper: < 1 coin)\n", bc.clusterError());
+    }
+
+    // --- utilization and throughput vs static (top) ----------------
+    std::printf("\nThroughput vs static allocation:\n");
+    std::printf("  %7s | %12s %8s | %12s | %8s\n", "accels",
+                "BC exec", "util", "Static exec", "gain");
+    for (int accels : {7, 5, 4, 3}) {
+        auto cfg = soc::make6x6SiliconSoc();
+        auto dag = soc::siliconWorkload(cfg, accels);
+        auto bc = bench::runSoc(cfg,
+                                bench::pm(soc::PmKind::BlitzCoin,
+                                          soc::budgets::silicon),
+                                dag, 29);
+        // The static baseline is provisioned for this workload's
+        // tiles, as a fixed configuration would be.
+        soc::PmConfig static_pm =
+            bench::pm(soc::PmKind::StaticAlloc, soc::budgets::silicon);
+        for (const auto &t : dag.tasks())
+            static_pm.staticParticipants.push_back(t.tile);
+        auto st = bench::runSoc(cfg, static_pm, dag, 29);
+        std::printf("  %7d | %10.1f us %7.1f%% | %10.1f us | %+6.1f%%\n",
+                    accels, bc.execTimeUs(),
+                    bc.trace->budgetUtilization() * 100.0,
+                    st.execTimeUs(),
+                    (st.execTimeUs() / bc.execTimeUs() - 1.0) * 100.0);
+    }
+    std::printf("\nShape check: high utilization under the cap "
+                "(paper 97%%) and double-digit gains over static "
+                "(paper 27/26/26/19%%).\n");
+    return 0;
+}

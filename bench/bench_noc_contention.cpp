@@ -1,0 +1,178 @@
+/**
+ * @file
+ * NoC-contention study (extension; motivated by Section IV-A).
+ *
+ * Coin-exchange messages share NoC plane 5 with memory-mapped-register
+ * and interrupt traffic, so "a coin request can be delayed and arrive
+ * at a time where the tile has already given its coins to another
+ * neighbor, temporarily causing a negative coin count". This bench
+ * injects configurable background register traffic on the service
+ * plane of the 3x3 SoC, measures how BlitzCoin's settle time degrades,
+ * and counts the negative-coin transients the paper's sign bit exists
+ * to absorb. It also verifies coin conservation under the heaviest
+ * congestion.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "bench_soc_common.hpp"
+#include "blitzcoin/unit.hpp"
+#include "coin/neighborhood.hpp"
+#include "sim/rng.hpp"
+
+using namespace blitz;
+
+namespace {
+
+struct Result
+{
+    double settleUs = 0.0;
+    std::uint64_t negatives = 0;
+    bool conserved = false;
+};
+
+/**
+ * A 3x3 all-managed cluster with Poisson-ish background RegRead
+ * traffic at the given injection rate (packets per node per cycle).
+ */
+Result
+runWithBackground(double injectionRate, std::uint64_t seed)
+{
+    sim::EventQueue eq;
+    noc::Topology topo(3, 3, false);
+    noc::Network net(eq, topo);
+    std::vector<std::unique_ptr<blitzcoin::BlitzCoinUnit>> units;
+    std::vector<bool> managed(topo.size(), true);
+    auto hoods = coin::managedNeighborhoods(topo, managed);
+
+    std::uint64_t negatives = 0;
+    for (noc::NodeId id = 0; id < topo.size(); ++id) {
+        units.push_back(std::make_unique<blitzcoin::BlitzCoinUnit>(
+            eq, net, id, blitzcoin::UnitConfig{}, hoods[id],
+            seed * 100 + id));
+        net.setHandler(id, [&units, id](const noc::Packet &pkt) {
+            units[id]->handlePacket(pkt);
+        });
+        units.back()->onCoinsChanged = [&negatives](coin::Coins has) {
+            if (has < 0)
+                ++negatives;
+        };
+    }
+
+    // Background register traffic on the service plane.
+    auto rng = std::make_shared<sim::Rng>(seed);
+    auto injecting = std::make_shared<bool>(true);
+    auto inject = std::make_shared<std::function<void()>>();
+    *inject = [&eq, &net, &topo, rng, inject, injecting,
+               injectionRate] {
+        if (!*injecting)
+            return;
+        for (noc::NodeId id = 0; id < topo.size(); ++id) {
+            // Rates above 1.0 inject multiple packets per node per
+            // cycle, driving shared links past saturation.
+            double want = injectionRate;
+            while (want >= 1.0 || rng->chance(want)) {
+                noc::Packet p;
+                p.src = id;
+                p.dst = static_cast<noc::NodeId>(
+                    rng->below(topo.size()));
+                p.plane = noc::Plane::Service;
+                p.type = noc::MsgType::Generic;
+                net.send(p);
+                want -= 1.0;
+                if (want <= 0.0)
+                    break;
+            }
+        }
+        eq.scheduleIn(1, *inject);
+    };
+    if (injectionRate > 0.0)
+        eq.scheduleIn(1, *inject);
+
+    // Converged start, then one reallocation: tile 0 takes over.
+    const coin::Coins maxes[9] = {16, 16, 16, 16, 16, 16, 16, 16, 16};
+    for (std::size_t i = 0; i < 9; ++i) {
+        units[i]->setMax(maxes[i]);
+        units[i]->setHas(8);
+        units[i]->start();
+    }
+    eq.runUntil(20000);
+    sim::Tick t0 = eq.now();
+    units[0]->setMax(63); // demand spike: coins must flow to tile 0
+
+    // Settle probe: proportional within 1 coin mean.
+    auto error = [&units] {
+        coin::Coins th = 0, tm = 0;
+        for (auto &u : units) {
+            th += u->has();
+            tm += u->max();
+        }
+        double alpha = static_cast<double>(th) /
+                       static_cast<double>(tm);
+        double sum = 0.0;
+        for (auto &u : units) {
+            sum += std::abs(static_cast<double>(u->has()) -
+                            alpha * static_cast<double>(u->max()));
+        }
+        return sum / 9.0;
+    };
+    Result out;
+    sim::Tick settle = 0;
+    while (eq.now() < t0 + 200'000) {
+        eq.runUntil(eq.now() + 50);
+        if (error() < 1.0) {
+            settle = eq.now() - t0;
+            break;
+        }
+    }
+    // settle == 0 means the probe never crossed: report the horizon.
+    if (settle == 0)
+        settle = 200'000;
+    out.settleUs = sim::ticksToUs(settle);
+    out.negatives = negatives;
+    // Conservation check must quiesce first: a CoinUpdate in flight
+    // means one side of a delta has landed and the other has not,
+    // and saturated queues need time to flush once injection stops.
+    *injecting = false;
+    for (auto &u : units)
+        u->stop();
+    eq.runUntil(eq.now() + 400'000);
+    coin::Coins total = 0;
+    for (auto &u : units)
+        total += u->has();
+    out.conserved = total == 72;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("NoC contention (extension)",
+                  "coin exchange vs background service-plane traffic");
+
+    std::printf("\n%12s | %12s | %12s | %s\n", "inject rate",
+                "settle (us)", "neg. events", "conserved");
+    for (double rate : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+        sim::Summary settle;
+        std::uint64_t negatives = 0;
+        bool conserved = true;
+        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+            Result r = runWithBackground(rate, seed);
+            settle.add(r.settleUs);
+            negatives += r.negatives;
+            conserved = conserved && r.conserved;
+        }
+        std::printf("%12.2f | %12.3f | %12llu | %s\n", rate,
+                    settle.mean(),
+                    static_cast<unsigned long long>(negatives),
+                    conserved ? "yes" : "NO");
+    }
+    std::printf("\nShape check: settle time degrades gracefully with "
+                "congestion; negative transients (absorbed by the "
+                "hardware sign bit) appear under load; coins are "
+                "conserved at every rate.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the core operations: the
+ * pairwise exchange arithmetic, the 5-tile group split, a full
+ * behavioral convergence run, and the routed-NoC packet path. These
+ * bound the simulator's own cost, not the modeled hardware's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "coin/engine.hpp"
+#include "coin/exchange.hpp"
+#include "noc/network.hpp"
+#include "sim/rng.hpp"
+
+using namespace blitz;
+
+namespace {
+
+void
+BM_PairwiseDelta(benchmark::State &state)
+{
+    sim::Rng rng(1);
+    std::vector<coin::TileCoins> tiles(1024);
+    for (auto &t : tiles)
+        t = coin::TileCoins{rng.range(0, 63), rng.range(0, 63)};
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(coin::pairwiseDelta(
+            tiles[i % 1024], tiles[(i + 7) % 1024]));
+        ++i;
+    }
+}
+BENCHMARK(BM_PairwiseDelta);
+
+void
+BM_GroupSplit(benchmark::State &state)
+{
+    sim::Rng rng(2);
+    std::vector<coin::TileCoins> group(5);
+    for (auto &t : group)
+        t = coin::TileCoins{rng.range(0, 63), rng.range(1, 63)};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(coin::groupSplit(group));
+}
+BENCHMARK(BM_GroupSplit);
+
+void
+BM_MeshConvergence(benchmark::State &state)
+{
+    const int d = static_cast<int>(state.range(0));
+    coin::EngineConfig cfg;
+    cfg.wrap = true;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        coin::MeshSim sim(noc::Topology::square(d), cfg, seed++);
+        for (std::size_t i = 0; i < sim.ledger().size(); ++i)
+            sim.setMax(i, 16);
+        sim.randomizeHas(static_cast<coin::Coins>(8 * d * d));
+        auto r = sim.runUntilConverged(1.5, 10'000'000);
+        benchmark::DoNotOptimize(r.time);
+    }
+    state.SetLabel("tiles=" + std::to_string(d * d));
+}
+BENCHMARK(BM_MeshConvergence)->Arg(4)->Arg(10)->Arg(20);
+
+void
+BM_NocPacketDelivery(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    noc::Network net(eq, noc::Topology(8, 8, false));
+    std::uint64_t delivered = 0;
+    for (noc::NodeId id = 0; id < 64; ++id) {
+        net.setHandler(id, [&delivered](const noc::Packet &) {
+            ++delivered;
+        });
+    }
+    sim::Rng rng(3);
+    for (auto _ : state) {
+        noc::Packet p;
+        p.src = static_cast<noc::NodeId>(rng.below(64));
+        p.dst = static_cast<noc::NodeId>(rng.below(64));
+        net.send(p);
+        eq.runUntil();
+    }
+    benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_NocPacketDelivery);
+
+} // namespace
+
+BENCHMARK_MAIN();

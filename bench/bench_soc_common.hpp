@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the SoC-level benches (Figs. 16-20).
+ */
+
+#ifndef BLITZ_BENCH_SOC_COMMON_HPP
+#define BLITZ_BENCH_SOC_COMMON_HPP
+
+#include <array>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "bench_common.hpp"
+#include "soc/scenarios.hpp"
+#include "soc/soc.hpp"
+
+namespace blitz::bench {
+
+/** Build a PM config for a strategy at a budget (RP allocation). */
+inline soc::PmConfig
+pm(soc::PmKind kind, double budgetMw,
+   coin::AllocPolicy alloc = coin::AllocPolicy::RelativeProportional)
+{
+    soc::PmConfig cfg;
+    cfg.kind = kind;
+    cfg.alloc = alloc;
+    cfg.budgetMw = budgetMw;
+    return cfg;
+}
+
+/** Run one workload on a fresh SoC instance. */
+inline soc::SocRunStats
+runSoc(const soc::SocConfig &config, const soc::PmConfig &pmCfg,
+       const workload::Dag &dag, std::uint64_t seed = 11)
+{
+    soc::Soc s(config, pmCfg, seed);
+    return s.run(dag);
+}
+
+/** Print one strategy-comparison row. */
+inline void
+row(const char *label, const soc::SocRunStats &st, double baselineUs)
+{
+    std::printf("  %-7s %10.1f us %s %9.3f us %9.1f mW %7.1f%% %s\n",
+                label, st.execTimeUs(),
+                baselineUs > 0.0
+                    ? (std::string("(x") +
+                       std::to_string(baselineUs / st.execTimeUs())
+                           .substr(0, 4) +
+                       ")")
+                          .c_str()
+                    : "      ",
+                st.meanResponseUs(), st.trace->averageTotalMw(),
+                st.trace->budgetUtilization() * 100.0,
+                st.completed ? "" : "INCOMPLETE");
+}
+
+/** The three adaptive strategies compared throughout Section VI. */
+inline const std::array<soc::PmKind, 3> adaptiveKinds = {
+    soc::PmKind::BlitzCoin, soc::PmKind::BlitzCoinCentral,
+    soc::PmKind::CentralRoundRobin};
+
+} // namespace blitz::bench
+
+#endif // BLITZ_BENCH_SOC_COMMON_HPP

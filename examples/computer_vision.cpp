@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The 4x4 computer-vision SoC (Fig. 12 right): 4 GEMM, 5 Conv2D and
+ * 4 Vision accelerators running a frame pipeline
+ * (Vision -> Conv2D -> GEMM) under a 450 mW cap.
+ *
+ * Demonstrates the two allocation strategies of Section V-B on the
+ * same workload: Relative-Proportional (RP) lands every tile at the
+ * same relative operating point, Absolute-Proportional (AP) gives
+ * every tile the same absolute power — and loses throughput because
+ * the big GEMM tiles starve while the small Vision tiles saturate.
+ * Also dumps the BlitzCoin power trace as CSV for plotting.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "soc/scenarios.hpp"
+#include "soc/soc.hpp"
+
+using namespace blitz;
+
+namespace {
+
+soc::SocRunStats
+run(coin::AllocPolicy alloc, bool dumpTrace)
+{
+    soc::PmConfig pm;
+    pm.kind = soc::PmKind::BlitzCoin;
+    pm.alloc = alloc;
+    pm.budgetMw = soc::budgets::vision33Percent;
+
+    soc::Soc s(soc::make4x4VisionSoc(), pm, /*seed=*/21);
+    // The *parallel* workload mixes all three accelerator types
+    // concurrently — that heterogeneity is what separates AP from RP
+    // (a staged pipeline is type-homogeneous within each stage, where
+    // the two strategies coincide).
+    workload::Dag dag = soc::visionParallel(s.config());
+    auto st = s.run(dag);
+
+    if (dumpTrace) {
+        std::vector<std::string> names;
+        for (noc::NodeId id : s.config().managedAccelerators())
+            names.push_back(s.config().tile(id).name);
+        std::ofstream("computer_vision_trace.csv")
+            << st.trace->toCsv(names);
+    }
+    return st;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("4x4 vision SoC, all 13 accelerators concurrent "
+                "(WL-Par), %.0f mW budget\n\n",
+                soc::budgets::vision33Percent);
+
+    auto rp = run(coin::AllocPolicy::RelativeProportional, true);
+    auto ap = run(coin::AllocPolicy::AbsoluteProportional, false);
+
+    std::printf("%-22s %12s %12s %10s\n", "allocation", "exec (us)",
+                "avg power", "util");
+    std::printf("%-22s %12.1f %10.1fmW %9.1f%%\n",
+                "Relative-Proportional", rp.execTimeUs(),
+                rp.trace->averageTotalMw(),
+                rp.trace->budgetUtilization() * 100.0);
+    std::printf("%-22s %12.1f %10.1fmW %9.1f%%\n",
+                "Absolute-Proportional", ap.execTimeUs(),
+                ap.trace->averageTotalMw(),
+                ap.trace->budgetUtilization() * 100.0);
+    std::printf("\nRP throughput gain: %+.1f%% "
+                "(the Section VI-A effect)\n",
+                (ap.execTimeUs() / rp.execTimeUs() - 1.0) * 100.0);
+    std::printf("BlitzCoin trace written to "
+                "computer_vision_trace.csv\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Extending BlitzCoin to CPU tiles (the Section IV-C discussion).
+ *
+ * The paper keeps CPUs outside BlitzCoin because a CPU's
+ * power-to-frequency mapping shifts with the workload. This example
+ * walks the published extension path end-to-end:
+ *
+ *   1. calibrate an activity-counter power proxy on a synthetic
+ *      characterization rig (Floyd [18] / Huang [75] style);
+ *   2. run a CPU through compute-bound, memory-bound and idle-ish
+ *      phases, estimating the activity factor each epoch;
+ *   3. rescale the coin->frequency LUT with that factor, and compare
+ *      the frequency the same 8-coin budget buys against the static
+ *      worst-case LUT.
+ *
+ * The adaptive LUT recovers the headroom a low-activity phase leaves
+ * on the table while never exceeding the coin budget.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "blitzcoin/adaptive_lut.hpp"
+#include "blitzcoin/coin_lut.hpp"
+#include "power/activity_proxy.hpp"
+#include "sim/rng.hpp"
+
+using namespace blitz;
+
+namespace {
+
+constexpr double nomF = 800.0;
+constexpr double nomV = 1.0;
+
+// The "silicon": a hidden ground-truth CPU power model the rig
+// measures and the proxy has to learn.
+double
+siliconPower(const power::ActivityCounters &c, double f, double v)
+{
+    auto r = c.rates();
+    double s = (v / nomV) * (v / nomV) * (f / nomF);
+    return 10.0 * v + s * (6.0 + 26.0 * r[0] + 15.0 * r[1] + 20.0 * r[2]);
+}
+
+power::ActivityCounters
+phaseCounters(const char *phase, sim::Rng &rng)
+{
+    power::ActivityCounters c;
+    c.cycles = 100000;
+    double ipc, mem, fp;
+    if (std::string_view(phase) == "compute") {
+        ipc = rng.uniform(1.6, 2.0);
+        mem = rng.uniform(0.05, 0.15);
+        fp = rng.uniform(0.5, 0.8);
+    } else if (std::string_view(phase) == "memory") {
+        ipc = rng.uniform(0.4, 0.7);
+        mem = rng.uniform(0.4, 0.6);
+        fp = rng.uniform(0.0, 0.1);
+    } else { // spin-wait
+        ipc = rng.uniform(0.1, 0.3);
+        mem = rng.uniform(0.0, 0.05);
+        fp = 0.0;
+    }
+    c.instructions = static_cast<std::uint64_t>(ipc * c.cycles);
+    c.memAccesses = static_cast<std::uint64_t>(mem * c.cycles);
+    c.fpOps = static_cast<std::uint64_t>(fp * c.cycles);
+    return c;
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::Rng rng(2024);
+
+    // ---- 1. characterization rig ----------------------------------
+    std::vector<power::ProxySample> rig;
+    for (int i = 0; i < 120; ++i) {
+        power::ProxySample s;
+        const char *phases[3] = {"compute", "memory", "spin"};
+        s.counters = phaseCounters(phases[i % 3], rng);
+        s.freqMhz = rng.uniform(200.0, 800.0);
+        s.voltage = rng.uniform(0.5, 1.0);
+        s.measuredMw = siliconPower(s.counters, s.freqMhz, s.voltage) +
+                       rng.normal(0.0, 0.5); // measurement noise
+        rig.push_back(s);
+    }
+    auto proxy = power::PowerProxy::calibrate(rig, nomF, nomV);
+    std::printf("proxy calibrated: mean |err| = %.2f mW over the rig\n",
+                proxy.meanAbsErrorMw(rig));
+
+    // ---- 2 & 3. phase-adaptive LUT --------------------------------
+    // Model the CPU on the FFT-like curve (worst-case characterized
+    // power) inside a 120 mW 3x3-style domain; the tile holds 8 coins.
+    auto scale = coin::makeScale(120.0, {55.0, 27.5, 180.0}, 6);
+    blitzcoin::CoinLut fixed(power::catalog::fft(), scale, 6);
+    blitzcoin::AdaptiveCoinLut adaptive(power::catalog::fft(), scale);
+    const coin::Coins held = 8;
+
+    std::printf("\n%-8s %8s %8s | %12s %12s | %10s\n", "phase", "IPC",
+                "act", "static MHz", "adaptive MHz", "power");
+    for (const char *phase : {"compute", "memory", "spin", "compute"}) {
+        auto c = phaseCounters(phase, rng);
+        // Activity factor: estimated dynamic power at the worst-case
+        // characterization point, relative to the worst case itself.
+        double est = proxy.estimateMw(c, nomF, nomV);
+        double worst = power::catalog::fft().pMax();
+        double act = std::min(est / worst, 1.0);
+
+        double f_static = fixed.freqFor(held);
+        double f_adaptive = adaptive.freqFor(held, act);
+        std::printf("%-8s %8.2f %8.2f | %12.0f %12.0f | %7.1f mW\n",
+                    phase, c.rates()[0], act, f_static, f_adaptive,
+                    adaptive.powerFor(held, act));
+    }
+    std::printf("\nSame coins, workload-aware frequency: low-activity "
+                "phases run faster at equal power, and the budget is "
+                "never exceeded.\n");
+    return 0;
+}

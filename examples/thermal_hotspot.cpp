@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Thermal-cap extension (Sections III-A/III-B): hotspot mitigation by
+ * rejecting coins.
+ *
+ * A 6x6 mesh of identical accelerators develops a thermal hotspot in
+ * its center quadrant; the center tiles are given hard coin caps.
+ * The exchange then refuses to push budget into the hot region while
+ * conserving the global pool — the displaced coins raise the
+ * allocation of the cool tiles instead.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "coin/engine.hpp"
+#include "sim/types.hpp"
+
+using namespace blitz;
+
+int
+main()
+{
+    const int d = 6;
+    const noc::Topology topo = noc::Topology::square(d);
+
+    coin::EngineConfig cfg; // paper-default 1-way engine
+    cfg.thermalCaps.assign(topo.size(), coin::uncapped);
+
+    // Hot quadrant: the four center tiles get a hard 6-coin cap.
+    std::vector<noc::NodeId> hot;
+    for (int y = 2; y <= 3; ++y) {
+        for (int x = 2; x <= 3; ++x) {
+            noc::NodeId id = topo.idOf(noc::Coord{x, y});
+            cfg.thermalCaps[id] = 6;
+            hot.push_back(id);
+        }
+    }
+
+    coin::MeshSim sim(topo, cfg, /*seed=*/5);
+    for (std::size_t i = 0; i < topo.size(); ++i)
+        sim.setMax(i, 32);
+    // Pool sized so the uncapped fair share (12) exceeds the hot cap.
+    for (std::size_t i = 0; i < topo.size(); ++i)
+        sim.setHas(i, std::find(hot.begin(), hot.end(), i) == hot.end()
+                          ? 13
+                          : 1);
+
+    auto r = sim.runUntilConverged(1.5, sim::msToTicks(5.0));
+    std::printf("converged: %s after %.2f us; total coins %lld "
+                "(conserved)\n\n",
+                r.converged ? "yes" : "NO", sim::ticksToUs(r.time),
+                static_cast<long long>(sim.ledger().totalHas()));
+
+    std::printf("coin map (capped tiles marked *):\n");
+    double hot_sum = 0.0, cool_sum = 0.0;
+    for (int y = 0; y < d; ++y) {
+        for (int x = 0; x < d; ++x) {
+            noc::NodeId id = topo.idOf(noc::Coord{x, y});
+            bool capped = cfg.thermalCaps[id] != coin::uncapped;
+            std::printf(" %3lld%c",
+                        static_cast<long long>(sim.ledger().has(id)),
+                        capped ? '*' : ' ');
+            (capped ? hot_sum : cool_sum) +=
+                static_cast<double>(sim.ledger().has(id));
+        }
+        std::printf("\n");
+    }
+    std::printf("\nhot-quadrant mean: %.1f coins (cap 6); "
+                "cool mean: %.1f coins (uncapped share would be "
+                "%.1f)\n",
+                hot_sum / 4.0, cool_sum / 32.0,
+                static_cast<double>(sim.ledger().totalHas()) / 36.0);
+    std::printf("The hot tiles never exceed their cap; their budget "
+                "shifts to the cool region.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Analytical scaling model (Section V-E, Equations 5.1-5.3).
+ *
+ * Response times of the evaluated schemes follow power laws in the
+ * number of managed accelerators N:
+ *
+ *      T(N) = tau * N^e     with e = 1 for the centralized schemes
+ *                           (C-RR, BC-C) and the sequential-ring TS,
+ *                           and e = 1/2 for BlitzCoin's mesh diffusion.
+ *
+ * A scheme keeps up with a workload whose accelerator-level phase
+ * duration is T_w as long as T(N) < T_w / N; the crossing point defines
+ * N_max:  N_max = (T_w / tau)^(1/(e+1)).
+ *
+ * The tau constants are *fitted from measured response times* — the
+ * same procedure the paper applies to its Figs. 17/18/20 data — which
+ * is why this module only provides the regression and the closed forms.
+ */
+
+#ifndef BLITZ_ANALYTIC_SCALING_HPP
+#define BLITZ_ANALYTIC_SCALING_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace blitz::analytic {
+
+/** Power-management schemes compared by the scaling study. */
+enum class Scheme : std::uint8_t
+{
+    BC,  ///< BlitzCoin (decentralized mesh diffusion)
+    BCC, ///< BlitzCoin allocation, centralized controller
+    CRR, ///< centralized round-robin
+    TS,  ///< TokenSmart sequential ring
+    PT,  ///< hierarchical price theory (literature data, HW-scaled)
+};
+
+const char *schemeName(Scheme s);
+
+/** Scaling exponent e of T(N) = tau * N^e for a scheme. */
+double schemeExponent(Scheme s);
+
+/** One fitted response-time law. */
+struct ScalingLaw
+{
+    Scheme scheme = Scheme::BC;
+    double tauUs = 0.0;   ///< scale constant (us)
+    double exponent = 1.0;
+
+    /** Response time at N accelerators (us). */
+    double responseUs(double n) const;
+
+    /**
+     * Largest N a workload with phase duration @p twUs supports:
+     * the N where T(N) = T_w / N.
+     */
+    double nMax(double twUs) const;
+
+    /**
+     * Fraction of wall-clock time spent in power management for an
+     * N-accelerator SoC at phase duration twUs: decisions arrive every
+     * T_w / N and each costs T(N), so the fraction is N * T(N) / T_w.
+     * Values above 1 mean the scheme cannot keep up (N > N_max).
+     */
+    double pmTimeFraction(double n, double twUs) const;
+};
+
+/**
+ * Least-squares fit of tau for a fixed exponent: minimizes
+ * sum_i (T_i - tau * N_i^e)^2 over the (N, T_us) samples.
+ * @pre at least one sample with N > 0.
+ */
+ScalingLaw fitLaw(Scheme scheme,
+                  const std::vector<std::pair<double, double>> &samples);
+
+/**
+ * The paper's literature-derived PT law: 6.62-11.4 ms at N = 256 in
+ * software, scaled down by 2.5 orders of magnitude for a hypothetical
+ * hardware implementation (the same normalization the paper applies).
+ */
+ScalingLaw priceTheoryLaw();
+
+} // namespace blitz::analytic
+
+#endif // BLITZ_ANALYTIC_SCALING_HPP

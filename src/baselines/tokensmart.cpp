@@ -1,0 +1,162 @@
+#include "tokensmart.hpp"
+
+#include <algorithm>
+
+namespace blitz::baselines {
+
+TokenSmartSim::TokenSmartSim(std::size_t tiles,
+                             const TokenSmartConfig &cfg,
+                             std::uint64_t seed)
+    : cfg_(cfg), rng_(seed), ledger_(tiles), starvedLoops_(tiles, 0)
+{
+    BLITZ_ASSERT(cfg_.visitCycles > 0, "visit latency must be positive");
+}
+
+void
+TokenSmartSim::setMax(std::size_t i, coin::Coins max)
+{
+    ledger_.setMax(i, max);
+    // Activity changes reset the starvation bookkeeping; the policy
+    // re-evaluates from greedy, as in the reference design.
+    std::fill(starvedLoops_.begin(), starvedLoops_.end(), 0);
+    mode_ = TsMode::Greedy;
+    fairSatisfiedLoops_ = 0;
+}
+
+void
+TokenSmartSim::setHas(std::size_t i, coin::Coins has)
+{
+    ledger_.setHas(i, has);
+}
+
+void
+TokenSmartSim::randomizeHas(coin::Coins poolCoins)
+{
+    BLITZ_ASSERT(poolCoins >= 0, "coin pool cannot be negative");
+    // Tokens start scattered: some on tiles, some with the carrier.
+    for (coin::Coins c = 0; c < poolCoins; ++c) {
+        auto slot = rng_.below(ledger_.size() + 1);
+        if (slot == ledger_.size()) {
+            ++pool_;
+        } else {
+            ledger_.setHas(slot, ledger_.has(slot) + 1);
+        }
+    }
+}
+
+coin::Coins
+TokenSmartSim::targetOf(std::size_t i) const
+{
+    if (ledger_.max(i) == 0)
+        return 0;
+    if (mode_ == TsMode::Greedy)
+        return ledger_.max(i);
+    // Fair mode: equal share of every circulating token across the
+    // active tiles.
+    coin::Coins total = ledger_.totalHas() + pool_;
+    coin::Coins active = 0;
+    for (std::size_t k = 0; k < ledger_.size(); ++k) {
+        if (ledger_.max(k) > 0)
+            ++active;
+    }
+    return active > 0 ? total / active : 0;
+}
+
+coin::Coins
+TokenSmartSim::visit()
+{
+    const std::size_t i = pos_;
+    const coin::Coins target = targetOf(i);
+    const coin::Coins held = ledger_.has(i);
+    coin::Coins moved = 0;
+
+    if (held > target) {
+        // Return surplus to the carrier.
+        moved = held - target;
+        ledger_.setHas(i, target);
+        pool_ += moved;
+        starvedLoops_[i] = 0;
+    } else if (held < target) {
+        coin::Coins take = std::min(target - held, pool_);
+        if (take > 0) {
+            ledger_.setHas(i, held + take);
+            pool_ -= take;
+            moved = take;
+        }
+        if (held + take < target) {
+            ++starvedLoops_[i];
+        } else {
+            starvedLoops_[i] = 0;
+        }
+    } else {
+        starvedLoops_[i] = 0;
+    }
+
+    pos_ = (pos_ + 1) % ledger_.size();
+    now_ += cfg_.visitCycles;
+    ++packets_;
+    if (moved != 0)
+        ++exchanges_;
+    if (pos_ == 0)
+        updateMode();
+    return moved;
+}
+
+void
+TokenSmartSim::updateMode()
+{
+    if (mode_ == TsMode::Greedy) {
+        for (std::size_t i = 0; i < ledger_.size(); ++i) {
+            if (starvedLoops_[i] >= cfg_.starvationLoops) {
+                mode_ = TsMode::Fair;
+                fairSatisfiedLoops_ = 0;
+                std::fill(starvedLoops_.begin(), starvedLoops_.end(),
+                          0);
+                return;
+            }
+        }
+    } else {
+        // Fall back to greedy after the fair targets have held for a
+        // while; this is the oscillation source the paper observes.
+        bool satisfied = true;
+        for (std::size_t i = 0; i < ledger_.size(); ++i) {
+            if (ledger_.max(i) > 0 && ledger_.has(i) < targetOf(i))
+                satisfied = false;
+        }
+        if (satisfied) {
+            if (++fairSatisfiedLoops_ >= cfg_.fairHoldLoops) {
+                mode_ = TsMode::Greedy;
+                fairSatisfiedLoops_ = 0;
+            }
+        } else {
+            fairSatisfiedLoops_ = 0;
+        }
+    }
+}
+
+coin::RunResult
+TokenSmartSim::runUntilConverged(double errThreshold, sim::Tick maxTime)
+{
+    coin::RunResult result;
+    const std::uint64_t packets0 = packets_;
+    const std::uint64_t exchanges0 = exchanges_;
+
+    // The carrier's free tokens count against the distribution error:
+    // coins in flight serve no tile. Converged means the tiles alone
+    // satisfy the threshold and the pool holds only what no tile wants.
+    while (now_ <= maxTime) {
+        if (ledger_.globalError() < errThreshold) {
+            result.converged = true;
+            result.time = now_;
+            break;
+        }
+        visit();
+    }
+    result.packets = packets_ - packets0;
+    result.exchanges = exchanges_ - exchanges0;
+    if (!result.converged)
+        result.time = now_;
+    return result;
+}
+
+} // namespace blitz::baselines

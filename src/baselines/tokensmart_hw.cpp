@@ -1,0 +1,185 @@
+#include "tokensmart_hw.hpp"
+
+#include <cmath>
+
+namespace blitz::baselines {
+
+TokenSmartHwRing::TokenSmartHwRing(sim::EventQueue &eq,
+                                   noc::Network &net,
+                                   const TokenSmartHwConfig &cfg)
+    : eq_(eq), net_(net), cfg_(cfg)
+{
+    BLITZ_ASSERT(cfg_.nodeCycles > 0, "node latency must be positive");
+    const noc::Topology &topo = net.topology();
+
+    // Boustrophedon (serpentine) ring: consecutive members are mesh
+    // neighbors, so every pool hop is a single NoC hop.
+    ringPosOfMesh_.assign(topo.size(), 0);
+    for (int y = 0; y < topo.height(); ++y) {
+        for (int x = 0; x < topo.width(); ++x) {
+            int col = (y % 2 == 0) ? x : topo.width() - 1 - x;
+            Node n;
+            n.meshId = topo.idOf(noc::Coord{col, y});
+            ringPosOfMesh_[n.meshId] = nodes_.size();
+            nodes_.push_back(n);
+        }
+    }
+
+    for (const Node &n : nodes_) {
+        std::size_t pos = ringPosOfMesh_[n.meshId];
+        net_.setHandler(n.meshId, [this, pos](const noc::Packet &) {
+            arriveAt(pos);
+        });
+    }
+}
+
+void
+TokenSmartHwRing::setMax(std::size_t meshId, coin::Coins max)
+{
+    BLITZ_ASSERT(max >= 0, "max tokens cannot be negative");
+    nodes_[ringPosOfMesh_.at(meshId)].max = max;
+    // Activity change: policy re-evaluates from greedy, as in the
+    // reference design.
+    for (Node &n : nodes_)
+        n.starvedLoops = 0;
+    mode_ = TsMode::Greedy;
+    fairSatisfiedLoops_ = 0;
+}
+
+void
+TokenSmartHwRing::setHas(std::size_t meshId, coin::Coins has)
+{
+    nodes_[ringPosOfMesh_.at(meshId)].has = has;
+}
+
+coin::Coins
+TokenSmartHwRing::has(std::size_t meshId) const
+{
+    return nodes_[ringPosOfMesh_.at(meshId)].has;
+}
+
+coin::Coins
+TokenSmartHwRing::totalTokens() const
+{
+    coin::Coins sum = poolTokens_;
+    for (const Node &n : nodes_)
+        sum += n.has;
+    return sum;
+}
+
+double
+TokenSmartHwRing::globalError() const
+{
+    coin::Coins th = 0, tm = 0;
+    for (const Node &n : nodes_) {
+        th += n.has;
+        tm += n.max;
+    }
+    if (tm == 0)
+        return 0.0;
+    const double alpha =
+        static_cast<double>(th) / static_cast<double>(tm);
+    double sum = 0.0;
+    for (const Node &n : nodes_) {
+        sum += std::abs(static_cast<double>(n.has) -
+                        alpha * static_cast<double>(n.max));
+    }
+    return sum / static_cast<double>(nodes_.size());
+}
+
+coin::Coins
+TokenSmartHwRing::targetOf(const Node &n) const
+{
+    if (n.max == 0)
+        return 0;
+    if (mode_ == TsMode::Greedy)
+        return n.max;
+    // Fair mode: equal share of the circulating total. The census
+    // physically travels with the pool packet; the model reads it
+    // from the ring state the packet would carry.
+    if (activeCount_ == 0)
+        return 0;
+    return totalTokens() / static_cast<coin::Coins>(activeCount_);
+}
+
+void
+TokenSmartHwRing::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    activeCount_ = 0;
+    for (const Node &n : nodes_)
+        activeCount_ += n.max > 0 ? 1 : 0;
+    eq_.scheduleIn(1, [this] { arriveAt(0); });
+}
+
+void
+TokenSmartHwRing::arriveAt(std::size_t pos)
+{
+    // FSM processing before the pool moves on.
+    eq_.scheduleIn(cfg_.nodeCycles, [this, pos] {
+        Node &n = nodes_[pos];
+        const coin::Coins target = targetOf(n);
+        if (n.has > target) {
+            poolTokens_ += n.has - target;
+            n.has = target;
+            n.starvedLoops = 0;
+        } else if (n.has < target) {
+            coin::Coins take = std::min(target - n.has, poolTokens_);
+            poolTokens_ -= take;
+            n.has += take;
+            if (n.has < target) {
+                ++n.starvedLoops;
+                satisfiedThisLoop_ = false;
+            } else {
+                n.starvedLoops = 0;
+            }
+        } else {
+            n.starvedLoops = 0;
+        }
+
+        if (pos + 1 == nodes_.size()) {
+            // Loop boundary: refresh the census and the policy mode.
+            activeCount_ = 0;
+            for (const Node &m : nodes_)
+                activeCount_ += m.max > 0 ? 1 : 0;
+            if (mode_ == TsMode::Greedy) {
+                for (const Node &m : nodes_) {
+                    if (m.starvedLoops >= cfg_.starvationLoops) {
+                        mode_ = TsMode::Fair;
+                        fairSatisfiedLoops_ = 0;
+                        for (Node &r : nodes_)
+                            r.starvedLoops = 0;
+                        break;
+                    }
+                }
+            } else if (satisfiedThisLoop_) {
+                if (++fairSatisfiedLoops_ >= cfg_.fairHoldLoops) {
+                    mode_ = TsMode::Greedy;
+                    fairSatisfiedLoops_ = 0;
+                }
+            } else {
+                fairSatisfiedLoops_ = 0;
+            }
+            satisfiedThisLoop_ = true;
+        }
+        forward(pos);
+    });
+}
+
+void
+TokenSmartHwRing::forward(std::size_t fromPos)
+{
+    std::size_t next = (fromPos + 1) % nodes_.size();
+    noc::Packet pkt;
+    pkt.src = nodes_[fromPos].meshId;
+    pkt.dst = nodes_[next].meshId;
+    pkt.plane = noc::Plane::Service;
+    pkt.type = noc::MsgType::Generic;
+    pkt.payload[0] = poolTokens_; // the pool rides in the packet
+    ++hops_;
+    net_.send(pkt);
+}
+
+} // namespace blitz::baselines

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Packet-accurate TokenSmart: the ring protocol over the routed NoC.
+ *
+ * The behavioral TokenSmartSim (tokensmart.hpp) charges an abstract
+ * visit cost; this model sends the token pool as a real NoC packet
+ * around a ring embedded in the mesh (boustrophedon order, so every
+ * ring hop is one mesh hop). Each node processes the pool for a fixed
+ * FSM latency, takes or returns tokens against the current policy
+ * target, and forwards the packet. Global policy state travels *with*
+ * the pool — mode, circulating-total, and per-loop activity census —
+ * because a sequential token scheme has exactly one point of
+ * serialization to hang it on. That serialization is the O(N)
+ * response the paper contrasts with BlitzCoin's diffusion.
+ */
+
+#ifndef BLITZ_BASELINES_TOKENSMART_HW_HPP
+#define BLITZ_BASELINES_TOKENSMART_HW_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coin/ledger.hpp"
+#include "noc/network.hpp"
+#include "sim/event_queue.hpp"
+#include "tokensmart.hpp"
+
+namespace blitz::baselines {
+
+/** Configuration of the hardware TokenSmart ring. */
+struct TokenSmartHwConfig
+{
+    /** FSM cycles to process the pool at each node. */
+    sim::Tick nodeCycles = 4;
+    /** Starved loops before a node demands fair mode. */
+    unsigned starvationLoops = 2;
+    /** Satisfied full loops in fair mode before reverting to greedy. */
+    unsigned fairHoldLoops = 2;
+};
+
+/**
+ * The full ring: one node per mesh tile, pool packet circulating.
+ *
+ * Nodes are reached through Network handlers installed by this class;
+ * it must therefore own the service-plane handler of every member
+ * tile (fine for baseline measurement rigs).
+ */
+class TokenSmartHwRing
+{
+  public:
+    /**
+     * @param eq shared event queue.
+     * @param net NoC carrying the pool packet.
+     * @param cfg ring parameters.
+     *
+     * Every mesh tile becomes a ring member, ordered boustrophedon so
+     * consecutive members are mesh neighbors.
+     */
+    TokenSmartHwRing(sim::EventQueue &eq, noc::Network &net,
+                     const TokenSmartHwConfig &cfg = TokenSmartHwConfig{});
+
+    std::size_t size() const { return nodes_.size(); }
+
+    /** Program a node's token target. */
+    void setMax(std::size_t meshId, coin::Coins max);
+
+    /** Set a node's holdings (initialization). */
+    void setHas(std::size_t meshId, coin::Coins has);
+
+    /** Seed the carrier pool (initialization). */
+    void seedPool(coin::Coins tokens) { poolTokens_ = tokens; }
+
+    /** Launch the pool packet from ring position 0. */
+    void start();
+
+    /** Tokens currently held on a node. */
+    coin::Coins has(std::size_t meshId) const;
+
+    /** Tokens on all nodes plus the circulating pool. */
+    coin::Coins totalTokens() const;
+
+    /** Mean distribution error Err (same formula as the ledger's). */
+    double globalError() const;
+
+    /** Current policy mode. */
+    TsMode mode() const { return mode_; }
+
+    /** Pool-packet hops taken so far. */
+    std::uint64_t hops() const { return hops_; }
+
+  private:
+    struct Node
+    {
+        noc::NodeId meshId = 0;
+        coin::Coins has = 0;
+        coin::Coins max = 0;
+        unsigned starvedLoops = 0;
+    };
+
+    /** Pool packet arrives at ring position @p pos. */
+    void arriveAt(std::size_t pos);
+
+    /** Forward the pool to the next ring position. */
+    void forward(std::size_t fromPos);
+
+    /** Token target of a node under the current mode. */
+    coin::Coins targetOf(const Node &n) const;
+
+    sim::EventQueue &eq_;
+    noc::Network &net_;
+    TokenSmartHwConfig cfg_;
+    std::vector<Node> nodes_;      ///< ring order
+    std::vector<std::size_t> ringPosOfMesh_;
+    coin::Coins poolTokens_ = 0;
+    TsMode mode_ = TsMode::Greedy;
+    unsigned fairSatisfiedLoops_ = 0;
+    bool satisfiedThisLoop_ = true;
+    std::size_t activeCount_ = 0;
+    bool started_ = false;
+    std::uint64_t hops_ = 0;
+};
+
+} // namespace blitz::baselines
+
+#endif // BLITZ_BASELINES_TOKENSMART_HW_HPP

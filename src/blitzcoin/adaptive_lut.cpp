@@ -1,0 +1,50 @@
+#include "adaptive_lut.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace blitz::blitzcoin {
+
+AdaptiveCoinLut::AdaptiveCoinLut(const power::PfCurve &curve,
+                                 const coin::CoinScale &scale,
+                                 double minActivity)
+    : curve_(&curve), scale_(scale), minActivity_(minActivity)
+{
+    if (minActivity_ <= 0.0 || minActivity_ > 1.0)
+        sim::fatal("activity floor must be in (0, 1]");
+    BLITZ_ASSERT(scale_.mwPerCoin() > 0.0, "coin scale not initialized");
+}
+
+double
+AdaptiveCoinLut::powerAt(double freqMhz, double activityFactor) const
+{
+    // Idle floor is activity-independent (leakage + clock tree); the
+    // headroom above it scales with the switched fraction.
+    return curve_->pIdle() +
+           activityFactor * (curve_->powerAt(freqMhz) - curve_->pIdle());
+}
+
+double
+AdaptiveCoinLut::freqFor(coin::Coins has, double activityFactor) const
+{
+    if (has <= 0)
+        return 0.0;
+    const double a = std::clamp(activityFactor, minActivity_, 1.0);
+    const double budget = scale_.powerOf(has);
+    if (budget <= curve_->pIdle())
+        return 0.0;
+    // Invert P(f, a) = pIdle + a (P(f) - pIdle) <= budget.
+    const double equivalent =
+        curve_->pIdle() + (budget - curve_->pIdle()) / a;
+    return curve_->freqForPower(equivalent);
+}
+
+double
+AdaptiveCoinLut::powerFor(coin::Coins has, double activityFactor) const
+{
+    const double a = std::clamp(activityFactor, minActivity_, 1.0);
+    return powerAt(freqFor(has, activityFactor), a);
+}
+
+} // namespace blitz::blitzcoin

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Activity-adaptive coin->frequency LUT: the CPU-tile extension.
+ *
+ * Fixed-function accelerators have one power profile, so their LUT is
+ * static (coin_lut.hpp). A CPU's power at a given frequency varies
+ * with what it runs — the reason Section IV-C excludes CPUs from the
+ * paper's implementation. With an activity-counter power proxy
+ * (power/activity_proxy.hpp) the firmware can periodically rescale
+ * the LUT: if the current workload switches only a fraction `a` of
+ * the characterized worst-case capacitance, the same coin budget buys
+ * a higher frequency. This class performs that rescaling so the tile
+ * always extracts the most performance its coins pay for.
+ */
+
+#ifndef BLITZ_BLITZCOIN_ADAPTIVE_LUT_HPP
+#define BLITZ_BLITZCOIN_ADAPTIVE_LUT_HPP
+
+#include "coin/allocation.hpp"
+#include "coin/ledger.hpp"
+#include "power/pf_curve.hpp"
+
+namespace blitz::blitzcoin {
+
+/** Coin->frequency mapping parameterized by measured activity. */
+class AdaptiveCoinLut
+{
+  public:
+    /**
+     * @param curve worst-case (characterization) power curve.
+     * @param scale coin scale of the power domain.
+     * @param minActivity floor on the activity factor; prevents a
+     *        momentarily idle core from being granted a frequency its
+     *        next busy phase cannot afford.
+     */
+    AdaptiveCoinLut(const power::PfCurve &curve,
+                    const coin::CoinScale &scale,
+                    double minActivity = 0.2);
+
+    /**
+     * Frequency target for a holding under the current activity (MHz).
+     * @param has coin count (negative transients map to 0).
+     * @param activityFactor fraction of the characterized worst-case
+     *        dynamic power the present workload switches, from the
+     *        power proxy; 1.0 reproduces the static LUT.
+     */
+    double freqFor(coin::Coins has, double activityFactor) const;
+
+    /**
+     * Actual power drawn at the granted frequency under the activity
+     * (mW) — always within the coin budget by construction.
+     */
+    double powerFor(coin::Coins has, double activityFactor) const;
+
+  private:
+    /** Power drawn at frequency f under activity a (mW). */
+    double powerAt(double freqMhz, double activityFactor) const;
+
+    const power::PfCurve *curve_;
+    coin::CoinScale scale_;
+    double minActivity_;
+};
+
+} // namespace blitz::blitzcoin
+
+#endif // BLITZ_BLITZCOIN_ADAPTIVE_LUT_HPP

@@ -1,0 +1,42 @@
+#include "coin_lut.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace blitz::blitzcoin {
+
+CoinLut::CoinLut(const power::PfCurve &curve,
+                 const coin::CoinScale &scale, int coinBits)
+    : curve_(&curve)
+{
+    BLITZ_ASSERT(coinBits >= 2 && coinBits <= 16,
+                 "coin precision out of range");
+    const double mw_per_coin = scale.mwPerCoin();
+    BLITZ_ASSERT(mw_per_coin > 0.0, "coin scale not initialized");
+
+    const std::size_t entries = std::size_t{1} << coinBits;
+    table_.reserve(entries);
+    for (std::size_t c = 0; c < entries; ++c) {
+        double budget = static_cast<double>(c) * mw_per_coin;
+        table_.push_back(curve.freqForPower(budget));
+    }
+}
+
+double
+CoinLut::freqFor(coin::Coins has) const
+{
+    if (has <= 0)
+        return 0.0; // transient underflow parks the clock
+    auto idx = std::min<std::size_t>(static_cast<std::size_t>(has),
+                                     table_.size() - 1);
+    return table_[idx];
+}
+
+double
+CoinLut::powerFor(coin::Coins has) const
+{
+    return curve_->powerAt(freqFor(has));
+}
+
+} // namespace blitz::blitzcoin

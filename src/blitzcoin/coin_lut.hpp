@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Coin-count to frequency-target lookup table.
+ *
+ * Step (2) of the hardware pipeline (Section IV-A): a LUT converts the
+ * tile's coin count into a frequency target based on an offline
+ * pre-characterization of the tile's power profile. One entry per coin
+ * value — 6-bit coins give the 64 power levels the paper highlights
+ * against the 2-5 levels of prior designs.
+ */
+
+#ifndef BLITZ_BLITZCOIN_COIN_LUT_HPP
+#define BLITZ_BLITZCOIN_COIN_LUT_HPP
+
+#include <vector>
+
+#include "coin/allocation.hpp"
+#include "coin/ledger.hpp"
+#include "power/pf_curve.hpp"
+
+namespace blitz::blitzcoin {
+
+/** Per-tile table mapping held coins to the UVFR frequency target. */
+class CoinLut
+{
+  public:
+    /**
+     * Pre-characterize a tile.
+     * @param curve the tile's power/frequency curve.
+     * @param scale coin scale of the power domain (mW per coin).
+     * @param coinBits counter precision; table has 2^coinBits entries.
+     */
+    CoinLut(const power::PfCurve &curve, const coin::CoinScale &scale,
+            int coinBits = 6);
+
+    /**
+     * Frequency target for a holding (MHz). Negative transient counts
+     * map to 0; counts beyond the table saturate at the last entry.
+     */
+    double freqFor(coin::Coins has) const;
+
+    /** Number of table entries. */
+    std::size_t size() const { return table_.size(); }
+
+    /** Power the tile consumes when granted @p has coins (mW). */
+    double powerFor(coin::Coins has) const;
+
+  private:
+    std::vector<double> table_; ///< MHz per coin count
+    const power::PfCurve *curve_;
+};
+
+} // namespace blitz::blitzcoin
+
+#endif // BLITZ_BLITZCOIN_COIN_LUT_HPP

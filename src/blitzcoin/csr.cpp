@@ -1,0 +1,95 @@
+#include "csr.hpp"
+
+#include <cmath>
+
+namespace blitz::blitzcoin {
+
+CsrBlock::CsrBlock(BlitzCoinUnit &unit)
+    : unit_(&unit)
+{
+}
+
+std::int64_t
+CsrBlock::read(CsrReg reg) const
+{
+    switch (reg) {
+      case CsrReg::CoinCount:
+        return unit_->has();
+      case CsrReg::CoinTarget:
+        return unit_->max();
+      case CsrReg::ExchangesInit:
+        return static_cast<std::int64_t>(unit_->exchangesInitiated());
+      case CsrReg::ExchangesMoved:
+        return static_cast<std::int64_t>(unit_->exchangesMoved());
+      case CsrReg::MaxCoins:
+        return unit_->max();
+      case CsrReg::ThermalCap:
+        return unit_->config().thermalCap;
+      case CsrReg::RefreshBase:
+        return static_cast<std::int64_t>(
+            unit_->config().backoff.baseInterval);
+      case CsrReg::BackoffLambda8:
+        return static_cast<std::int64_t>(
+            std::llround(unit_->config().backoff.lambda * 8.0));
+      case CsrReg::BackoffK:
+        return static_cast<std::int64_t>(unit_->config().backoff.k);
+      case CsrReg::PairingPeriod:
+        return unit_->config().pairing.period;
+      case CsrReg::Enable:
+        return unit_->running() ? 1 : 0;
+    }
+    return 0; // unmapped addresses read as zero
+}
+
+bool
+CsrBlock::write(CsrReg reg, std::int64_t value)
+{
+    UnitConfig cfg = unit_->config();
+    switch (reg) {
+      case CsrReg::MaxCoins:
+        if (value < 0)
+            return false;
+        unit_->setMax(value);
+        return true;
+      case CsrReg::ThermalCap:
+        cfg.thermalCap = value < 0 ? coin::uncapped : value;
+        break;
+      case CsrReg::RefreshBase:
+        if (value < 1)
+            return false;
+        cfg.backoff.baseInterval = static_cast<sim::Tick>(value);
+        cfg.backoff.minInterval = std::min<sim::Tick>(
+            cfg.backoff.minInterval, cfg.backoff.baseInterval);
+        break;
+      case CsrReg::BackoffLambda8:
+        if (value < 8) // lambda < 1 would shrink on idle
+            return false;
+        cfg.backoff.lambda = static_cast<double>(value) / 8.0;
+        break;
+      case CsrReg::BackoffK:
+        if (value < 0)
+            return false;
+        cfg.backoff.k = static_cast<sim::Tick>(value);
+        break;
+      case CsrReg::PairingPeriod:
+        if (value < 2)
+            return false;
+        cfg.pairing.period = static_cast<unsigned>(value);
+        break;
+      case CsrReg::Enable:
+        if (value == 1) {
+            unit_->start();
+        } else if (value == 0) {
+            unit_->stop();
+        } else {
+            return false;
+        }
+        return true;
+      default:
+        return false; // status registers are read-only
+    }
+    unit_->reconfigure(cfg);
+    return true;
+}
+
+} // namespace blitz::blitzcoin

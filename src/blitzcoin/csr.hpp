@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Control and Status Registers of the NoC-domain socket (Fig. 11).
+ *
+ * The ESP integration places a CSR block next to the BlitzCoin FSM:
+ * configuration registers for the coin exchange (refresh cadence,
+ * back-off law, pairing period, thermal cap, coin target) and
+ * status registers (coin count, exchange counters) that software on
+ * the CPU tile reads and writes through memory-mapped NoC requests.
+ * This model services RegRead/RegWrite packets and applies
+ * configuration changes to a live BlitzCoinUnit, which is how the
+ * paper's bare-metal programs select power-management strategies at
+ * runtime.
+ */
+
+#ifndef BLITZ_BLITZCOIN_CSR_HPP
+#define BLITZ_BLITZCOIN_CSR_HPP
+
+#include <cstdint>
+
+#include "unit.hpp"
+
+namespace blitz::blitzcoin {
+
+/** Register addresses within the BlitzCoin CSR block. */
+enum class CsrReg : std::int64_t
+{
+    // -- status (read-only) ------------------------------------------
+    CoinCount = 0x00,     ///< current has (sign-extended)
+    CoinTarget = 0x08,    ///< current max
+    ExchangesInit = 0x10, ///< exchanges initiated
+    ExchangesMoved = 0x18,///< exchanges that moved coins
+    // -- configuration (read/write) ----------------------------------
+    MaxCoins = 0x20,      ///< program the activity target
+    ThermalCap = 0x28,    ///< per-tile coin cap
+    RefreshBase = 0x30,   ///< base refresh interval (cycles)
+    BackoffLambda8 = 0x38,///< lambda in 1/8ths (fixed point)
+    BackoffK = 0x40,      ///< additive shrink k
+    PairingPeriod = 0x48, ///< random pairing every Nth exchange
+    Enable = 0x50,        ///< 1 = exchanging, 0 = stopped
+};
+
+/**
+ * CSR front-end for one BlitzCoin unit.
+ *
+ * The owning tile routes RegRead/RegWrite packets whose payload[3]
+ * carries a CsrReg address into read()/write(); coin-exchange packets
+ * keep going straight to the unit. Configuration writes that affect
+ * protocol parameters rebuild the unit's timer/pairing state through
+ * its reconfigure hook.
+ */
+class CsrBlock
+{
+  public:
+    /** @param unit the unit this block fronts (must outlive it). */
+    explicit CsrBlock(BlitzCoinUnit &unit);
+
+    /** Read a register; unknown addresses read as 0. */
+    std::int64_t read(CsrReg reg) const;
+
+    /**
+     * Write a register; writes to read-only/unknown addresses are
+     * ignored (matching memory-mapped-IO convention).
+     * @return true when the write took effect.
+     */
+    bool write(CsrReg reg, std::int64_t value);
+
+    /** Packet-level service: @return reply payload for a RegRead. */
+    std::int64_t
+    handleRead(std::int64_t addr) const
+    {
+        return read(static_cast<CsrReg>(addr));
+    }
+
+    /** Packet-level service for a RegWrite. */
+    bool
+    handleWrite(std::int64_t addr, std::int64_t value)
+    {
+        return write(static_cast<CsrReg>(addr), value);
+    }
+
+  private:
+    BlitzCoinUnit *unit_;
+};
+
+} // namespace blitz::blitzcoin
+
+#endif // BLITZ_BLITZCOIN_CSR_HPP

@@ -1,0 +1,371 @@
+#include "unit.hpp"
+
+namespace blitz::blitzcoin {
+
+namespace {
+
+/** Guard interval after which a lost exchange is abandoned (cycles). */
+constexpr sim::Tick exchangeTimeout = 512;
+
+/** Re-poll delay when the FSM is busy with an in-flight exchange. */
+constexpr sim::Tick busyRetry = 4;
+
+} // namespace
+
+BlitzCoinUnit::BlitzCoinUnit(sim::EventQueue &eq, noc::Network &net,
+                             noc::NodeId self, const UnitConfig &cfg,
+                             std::uint64_t seed)
+    : eq_(eq), net_(net), self_(self), cfg_(cfg), rng_(seed),
+      timer_(cfg.backoff),
+      selector_(net.topology(), self, cfg.pairing, rng_)
+{
+}
+
+BlitzCoinUnit::BlitzCoinUnit(sim::EventQueue &eq, noc::Network &net,
+                             noc::NodeId self, const UnitConfig &cfg,
+                             const coin::Neighborhood &hood,
+                             std::uint64_t seed)
+    : eq_(eq), net_(net), self_(self), cfg_(cfg), rng_(seed),
+      timer_(cfg.backoff),
+      selector_(hood.neighbors, hood.far, cfg.pairing, rng_)
+{
+}
+
+void
+BlitzCoinUnit::reconfigure(const UnitConfig &cfg)
+{
+    cfg_ = cfg;
+    timer_ = coin::BackoffTimer(cfg_.backoff);
+    // Rebuild the selector with the same logical neighborhood; copies
+    // are taken first because assignment replaces the source lists.
+    std::vector<noc::NodeId> neighbors = selector_.neighbors();
+    std::vector<noc::NodeId> far = selector_.far();
+    selector_ = coin::PartnerSelector(std::move(neighbors),
+                                      std::move(far), cfg_.pairing,
+                                      rng_);
+    if (running_)
+        scheduleNext(timer_.interval());
+}
+
+void
+BlitzCoinUnit::setHas(coin::Coins has)
+{
+    state_.has = has;
+    coinsChanged();
+}
+
+void
+BlitzCoinUnit::setMax(coin::Coins max)
+{
+    BLITZ_ASSERT(max >= 0, "max coins cannot be negative");
+    state_.max = max;
+    // Activity start/end is the trigger for requesting or relinquishing
+    // coins: snap the refresh cadence back and fire right away.
+    timer_.resetOnActivity();
+    if (running_)
+        scheduleNext(1);
+}
+
+void
+BlitzCoinUnit::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    scheduleNext(1 + rng_.below(cfg_.backoff.baseInterval));
+}
+
+void
+BlitzCoinUnit::stop()
+{
+    running_ = false;
+    ++timerGen_; // invalidate any scheduled wakeup
+}
+
+void
+BlitzCoinUnit::scheduleNext(sim::Tick delay)
+{
+    const std::uint64_t gen = ++timerGen_;
+    eq_.scheduleIn(delay, [this, gen] {
+        if (gen != timerGen_ || !running_)
+            return;
+        initiate();
+    });
+}
+
+void
+BlitzCoinUnit::initiate()
+{
+    if (awaitingUpdate_ || snapshotHeld_) {
+        scheduleNext(busyRetry);
+        return;
+    }
+    if (cfg_.mode == coin::ExchangeMode::FourWay) {
+        initiateFourWay();
+        return;
+    }
+    noc::NodeId partner = selector_.next(isolated());
+    noc::Packet pkt;
+    pkt.src = self_;
+    pkt.dst = partner;
+    pkt.plane = noc::Plane::Service;
+    pkt.type = noc::MsgType::CoinStatus;
+    pkt.payload[0] = state_.has;
+    pkt.payload[1] = state_.max;
+    pkt.payload[2] = cfg_.thermalCap;
+    pkt.payload[3] = 0; // 1-way opening, not a request reply
+    net_.send(pkt);
+    ++initiated_;
+    awaitingUpdate_ = true;
+
+    // Abandon the exchange if the update never lands (packet dropped by
+    // a fault-injection harness); the partner's half, if it happened,
+    // still conserves coins because the delta is applied on both ends
+    // from the same arithmetic.
+    const std::uint64_t gen = timerGen_;
+    eq_.scheduleIn(exchangeTimeout, [this, gen] {
+        if (!awaitingUpdate_ || gen != timerGen_)
+            return;
+        awaitingUpdate_ = false;
+        if (running_)
+            scheduleNext(timer_.intervalFor(discontent() || isolated()));
+    });
+}
+
+void
+BlitzCoinUnit::handlePacket(const noc::Packet &pkt)
+{
+    switch (pkt.type) {
+      case noc::MsgType::CoinStatus:
+        // payload[3] != 0 marks a status sent in *reply* to our
+        // CoinRequest (it carries the round tag); 0 is a 1-way
+        // opening.
+        if (pkt.payload[3] != 0) {
+            collectStatus(pkt);
+        } else {
+            serveStatus(pkt);
+        }
+        break;
+      case noc::MsgType::CoinRequest:
+        serveRequest(pkt);
+        break;
+      case noc::MsgType::CoinUpdate:
+        applyUpdate(pkt);
+        break;
+      default:
+        break; // other service-plane traffic is not ours
+    }
+}
+
+void
+BlitzCoinUnit::serveStatus(const noc::Packet &pkt)
+{
+    // One FSM cycle to compute the rebalance (Section IV-A).
+    eq_.scheduleIn(cfg_.fsmCycles, [this, pkt] {
+        coin::TileCoins remote{pkt.payload[0], pkt.payload[1]};
+        coin::Coins remote_cap = pkt.payload[2];
+        coin::Coins delta = coin::pairwiseDelta(
+            remote, state_, remote_cap, cfg_.thermalCap);
+
+        if (delta != 0) {
+            state_.has += delta;
+            coinsChanged();
+        }
+        timer_.onExchange(delta != 0);
+        iso_.onExchange(delta != 0, remote.max);
+        // Receiving coins is evidence of a transition in flight: bring
+        // the next self-initiated exchange forward so the wave keeps
+        // propagating (a backed-off wakeup may be far in the future).
+        if (delta != 0 && running_ && !awaitingUpdate_)
+            scheduleNext(timer_.intervalFor(discontent() || isolated()));
+
+        noc::Packet reply;
+        reply.src = self_;
+        reply.dst = pkt.src;
+        reply.plane = noc::Plane::Service;
+        reply.type = noc::MsgType::CoinUpdate;
+        reply.payload[0] = -delta;
+        // Echo this tile's registers so the initiator sees its
+        // partner's state too (needed by the isolation detector).
+        reply.payload[1] = state_.has;
+        reply.payload[2] = state_.max;
+        net_.send(reply);
+    });
+}
+
+void
+BlitzCoinUnit::applyUpdate(const noc::Packet &pkt)
+{
+    coin::Coins delta = pkt.payload[0];
+    if (delta != 0) {
+        state_.has += delta;
+        ++moved_;
+        coinsChanged();
+    }
+    timer_.onExchange(delta != 0);
+    iso_.onExchange(delta != 0, pkt.payload[2]);
+    if (pkt.payload[3] == 1) {
+        // Group (4-way) update from a center tile: apply-only. It
+        // must not clear this tile's own in-flight exchange state,
+        // but it does release the snapshot lock it corresponds to.
+        if (snapshotHeld_ && pkt.src == snapshotHolder_) {
+            snapshotHeld_ = false;
+            ++snapshotGen_; // retire the pending release timeout
+        }
+        if (delta != 0 && running_ && !awaitingUpdate_)
+            scheduleNext(timer_.intervalFor(discontent() || isolated()));
+        return;
+    }
+    awaitingUpdate_ = false;
+    if (running_)
+        scheduleNext(timer_.intervalFor(discontent() || isolated()));
+}
+
+void
+BlitzCoinUnit::initiateFourWay()
+{
+    // Algorithm 1: request status from every logical neighbor, then
+    // compute the 5-tile fair split and push updates.
+    gathered_.clear();
+    awaitedStatuses_ = selector_.neighbors().size();
+    awaitingUpdate_ = true; // FSM busy until the round completes
+    const std::uint64_t gen = ++fourWayGen_;
+    ++initiated_;
+    for (noc::NodeId n : selector_.neighbors()) {
+        noc::Packet pkt;
+        pkt.src = self_;
+        pkt.dst = n;
+        pkt.plane = noc::Plane::Service;
+        pkt.type = noc::MsgType::CoinRequest;
+        // Round tag: replies echo it so a late reply from a timed-out
+        // round can never be gathered into a newer one (which would
+        // double-count that neighbor and destabilize the split).
+        pkt.payload[0] = static_cast<std::int64_t>(gen);
+        net_.send(pkt);
+    }
+    // Complete with whatever arrived if a reply is lost.
+    eq_.scheduleIn(exchangeTimeout, [this, gen] {
+        if (gen != fourWayGen_ || !awaitingUpdate_)
+            return;
+        completeFourWay();
+    });
+}
+
+void
+BlitzCoinUnit::serveRequest(const noc::Packet &pkt)
+{
+    eq_.scheduleIn(cfg_.fsmCycles, [this, pkt] {
+        // The conflict the paper describes (tile C requests B while
+        // A-B is in flight): a busy tile does NOT reply. The center
+        // completes with the members it could lock; the requester's
+        // retry comes on its next refresh.
+        if (awaitingUpdate_ || snapshotHeld_)
+            return;
+        // Freeze the coin count until the center's update lands, so
+        // the snapshot it computes with stays valid.
+        snapshotHeld_ = true;
+        snapshotHolder_ = pkt.src;
+        const std::uint64_t sgen = ++snapshotGen_;
+        eq_.scheduleIn(exchangeTimeout, [this, sgen] {
+            if (snapshotHeld_ && snapshotGen_ == sgen)
+                snapshotHeld_ = false; // center died; release
+        });
+
+        noc::Packet reply;
+        reply.src = self_;
+        reply.dst = pkt.src;
+        reply.plane = noc::Plane::Service;
+        reply.type = noc::MsgType::CoinStatus;
+        reply.payload[0] = state_.has;
+        reply.payload[1] = state_.max;
+        reply.payload[2] = cfg_.thermalCap;
+        reply.payload[3] = pkt.payload[0]; // echo the round tag
+        net_.send(reply);
+    });
+}
+
+void
+BlitzCoinUnit::collectStatus(const noc::Packet &pkt)
+{
+    if (!awaitingUpdate_ || cfg_.mode != coin::ExchangeMode::FourWay)
+        return; // stale reply from a timed-out round
+    if (pkt.payload[3] != static_cast<std::int64_t>(fourWayGen_))
+        return; // reply belongs to an earlier, abandoned round
+    for (const auto &[node, tc] : gathered_) {
+        if (node == pkt.src)
+            return; // duplicate delivery
+    }
+    gathered_.emplace_back(pkt.src,
+                           coin::TileCoins{pkt.payload[0],
+                                           pkt.payload[1]});
+    if (gathered_.size() >= awaitedStatuses_)
+        completeFourWay();
+}
+
+void
+BlitzCoinUnit::completeFourWay()
+{
+    ++fourWayGen_; // invalidate the timeout guard
+    awaitingUpdate_ = false;
+    // Concurrent rounds can leave the gathered snapshots inconsistent
+    // (a neighbor's coins moved between its status and now); a
+    // negative apparent total is the tell. Abort and retry later —
+    // part of the synchronization hazard that makes the 4-way
+    // datapath more complex than the pairwise one (Section III-B).
+    coin::Coins snapshot_total = state_.has;
+    for (const auto &[node, tc] : gathered_)
+        snapshot_total += tc.has;
+    if (!gathered_.empty() && snapshot_total >= 0) {
+        std::vector<coin::TileCoins> group;
+        group.reserve(gathered_.size() + 1);
+        group.push_back(state_);
+        for (const auto &[node, tc] : gathered_)
+            group.push_back(tc);
+        std::vector<coin::Coins> split = coin::groupSplit(group);
+
+        coin::Coins out_total = 0;
+        bool moved = false;
+        for (std::size_t k = 0; k < gathered_.size(); ++k) {
+            coin::Coins delta = split[k + 1] - gathered_[k].second.has;
+            out_total += delta;
+            if (delta != 0)
+                moved = true;
+            noc::Packet upd;
+            upd.src = self_;
+            upd.dst = gathered_[k].first;
+            upd.plane = noc::Plane::Service;
+            upd.type = noc::MsgType::CoinUpdate;
+            upd.payload[0] = delta;
+            upd.payload[1] = state_.has;
+            upd.payload[2] = state_.max;
+            upd.payload[3] = 1; // group update (apply-only)
+            net_.send(upd);
+        }
+        // Conservation: the center absorbs the negated sum, applied
+        // against its *current* count (stale snapshots show up as the
+        // transient negatives the sign bit exists for).
+        if (out_total != 0) {
+            state_.has -= out_total;
+            ++moved_;
+            coinsChanged();
+        }
+        timer_.onExchange(moved);
+        for (const auto &[node, tc] : gathered_)
+            iso_.onExchange(moved, tc.max);
+        gathered_.clear();
+    } else {
+        gathered_.clear();
+        timer_.onExchange(false);
+    }
+    if (running_)
+        scheduleNext(timer_.intervalFor(discontent() || isolated()));
+}
+
+void
+BlitzCoinUnit::coinsChanged()
+{
+    if (onCoinsChanged)
+        onCoinsChanged(state_.has);
+}
+
+} // namespace blitz::blitzcoin

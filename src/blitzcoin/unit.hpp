@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The BlitzCoin hardware unit: a per-tile FSM in the NoC power domain.
+ *
+ * This is the packet-accurate model of Section IV: each tile owns one
+ * unit holding the (sign-extended) coin counter and the max target. On
+ * its (dynamically timed) refresh the unit initiates a 1-way exchange —
+ * CoinStatus out, CoinUpdate back — with a partner chosen by neighbor
+ * rotation or randomized pairing. The partner computes the rebalance in
+ * one FSM cycle and applies its half immediately; the initiator applies
+ * the returned delta when the update lands. Because other exchanges can
+ * interleave on the NoC, a tile's count can transiently go negative;
+ * the sign bit absorbs it and steady state is always non-negative.
+ *
+ * There is deliberately no shared state between units: the only
+ * communication is NoC packets, which is what makes the model a faithful
+ * stand-in for the RTL.
+ */
+
+#ifndef BLITZ_BLITZCOIN_UNIT_HPP
+#define BLITZ_BLITZCOIN_UNIT_HPP
+
+#include <functional>
+#include <memory>
+
+#include "coin/backoff.hpp"
+#include "coin/engine.hpp"
+#include "coin/exchange.hpp"
+#include "coin/neighborhood.hpp"
+#include "coin/pairing.hpp"
+#include "noc/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace blitz::blitzcoin {
+
+/** Configuration of one BlitzCoin unit. */
+struct UnitConfig
+{
+    /**
+     * Exchange algorithm. OneWay is the paper's chosen embodiment;
+     * FourWay implements Algorithm 1 at packet level (request ->
+     * status x4 -> update x4) with the snapshot locking the paper
+     * says the group datapath requires — busy members refuse to
+     * reply, so contended rounds complete partially and throughput
+     * drops, which is exactly the Section III-B argument for 1-way.
+     */
+    coin::ExchangeMode mode = coin::ExchangeMode::OneWay;
+    coin::BackoffConfig backoff{};
+    coin::PairingConfig pairing{};
+    /** Coin counter width (excluding the sign bit). */
+    int coinBits = 6;
+    /** Coin-update FSM latency (1 cycle in the RTL). */
+    sim::Tick fsmCycles = 1;
+    /** Thermal cap on this tile's holdings (::coin::uncapped if none). */
+    coin::Coins thermalCap = coin::uncapped;
+};
+
+/**
+ * Per-tile BlitzCoin FSM.
+ *
+ * The owning tile wires handlePacket() into its service-plane demux and
+ * observes coin changes through the onCoinsChanged callback (which feeds
+ * the LUT + UVFR pipeline).
+ */
+class BlitzCoinUnit
+{
+  public:
+    /**
+     * @param eq shared event queue.
+     * @param net NoC carrying the coin traffic.
+     * @param self tile node id.
+     * @param cfg unit parameters.
+     * @param seed per-tile RNG seed (pairing staggering).
+     */
+    BlitzCoinUnit(sim::EventQueue &eq, noc::Network &net,
+                  noc::NodeId self, const UnitConfig &cfg,
+                  std::uint64_t seed);
+
+    /**
+     * Construct with an explicit logical neighborhood — the PM-cluster
+     * case where only a subset of tiles exchanges coins.
+     */
+    BlitzCoinUnit(sim::EventQueue &eq, noc::Network &net,
+                  noc::NodeId self, const UnitConfig &cfg,
+                  const coin::Neighborhood &hood, std::uint64_t seed);
+
+    noc::NodeId self() const { return self_; }
+    coin::Coins has() const { return state_.has; }
+    coin::Coins max() const { return state_.max; }
+    bool running() const { return running_; }
+    const UnitConfig &config() const { return cfg_; }
+
+    /**
+     * Apply a new configuration at runtime (CSR writes, Fig. 11).
+     * Protocol parameters (back-off law, pairing period, thermal cap)
+     * take effect from the next exchange; the logical neighborhood is
+     * preserved.
+     */
+    void reconfigure(const UnitConfig &cfg);
+
+    /** Initialize holdings (before start()). */
+    void setHas(coin::Coins has);
+
+    /**
+     * Program the activity target. Called by the tile when execution
+     * starts (max > 0) or ends (max = 0); fires an immediate exchange.
+     */
+    void setMax(coin::Coins max);
+
+    /** Begin periodic exchange initiation. */
+    void start();
+
+    /** Stop initiating (incoming exchanges are still served). */
+    void stop();
+
+    /** Service-plane packet delivery from the tile's demux. */
+    void handlePacket(const noc::Packet &pkt);
+
+    /** Observer invoked whenever the coin count changes. */
+    std::function<void(coin::Coins)> onCoinsChanged;
+
+    /** Exchanges initiated by this unit. */
+    std::uint64_t exchangesInitiated() const { return initiated_; }
+
+    /** Exchanges that moved at least one coin. */
+    std::uint64_t exchangesMoved() const { return moved_; }
+
+  private:
+    /**
+     * Locally computable imbalance: holding coins with no need, or
+     * active with none — either keeps the refresh cadence capped so
+     * the tile does not back off while it has business to transact.
+     */
+    bool
+    discontent() const
+    {
+        return (state_.max == 0 && state_.has > 0) ||
+               (state_.max > 0 && state_.has == 0);
+    }
+
+    /** Active tile stranded in an idle neighborhood (Fig. 5). */
+    bool
+    isolated() const
+    {
+        return state_.max > 0 && iso_.isolated();
+    }
+
+    void scheduleNext(sim::Tick delay);
+    void initiate();
+    void initiateFourWay();
+    void serveStatus(const noc::Packet &pkt);
+    void serveRequest(const noc::Packet &pkt);
+    void collectStatus(const noc::Packet &pkt);
+    void completeFourWay();
+    void applyUpdate(const noc::Packet &pkt);
+    void coinsChanged();
+
+    sim::EventQueue &eq_;
+    noc::Network &net_;
+    noc::NodeId self_;
+    UnitConfig cfg_;
+    sim::Rng rng_;
+    coin::TileCoins state_{};
+    coin::BackoffTimer timer_;
+    coin::PartnerSelector selector_;
+    coin::IsolationDetector iso_;
+    bool running_ = false;
+    bool awaitingUpdate_ = false;
+    /** In-flight 4-way exchange: statuses gathered so far. */
+    std::vector<std::pair<noc::NodeId, coin::TileCoins>> gathered_;
+    std::size_t awaitedStatuses_ = 0;
+    std::uint64_t fourWayGen_ = 0;
+    /**
+     * 4-way snapshot lock: after replying a status to a center, the
+     * coin count is frozen until that center's update lands (or a
+     * timeout). This is the synchronization primitive the paper says
+     * the 4-way datapath requires (Section III-B); without it,
+     * concurrent group rebalances act on stale snapshots and diverge.
+     */
+    bool snapshotHeld_ = false;
+    noc::NodeId snapshotHolder_ = 0;
+    std::uint64_t snapshotGen_ = 0;
+    std::uint64_t timerGen_ = 0; ///< invalidates superseded wakeups
+    std::uint64_t initiated_ = 0;
+    std::uint64_t moved_ = 0;
+};
+
+} // namespace blitz::blitzcoin
+
+#endif // BLITZ_BLITZCOIN_UNIT_HPP

@@ -1,0 +1,67 @@
+#include "allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blitz::coin {
+
+const char *
+allocPolicyName(AllocPolicy p)
+{
+    switch (p) {
+      case AllocPolicy::AbsoluteProportional: return "AP";
+      case AllocPolicy::RelativeProportional: return "RP";
+    }
+    return "?";
+}
+
+CoinScale
+makeScale(double budgetMw, const std::vector<double> &pMaxMw, int coinBits)
+{
+    if (budgetMw <= 0.0)
+        sim::fatal("budget must be positive, got ", budgetMw, " mW");
+    BLITZ_ASSERT(coinBits >= 2 && coinBits <= 16,
+                 "coin precision out of range");
+    double largest = 0.0;
+    for (double p : pMaxMw)
+        largest = std::max(largest, p);
+    if (largest <= 0.0)
+        sim::fatal("no tile has positive peak power");
+
+    const auto levels = static_cast<double>((1 << coinBits) - 1);
+    const double mw_per_coin = largest / levels;
+    auto pool = static_cast<Coins>(std::llround(budgetMw / mw_per_coin));
+    return CoinScale{std::max<Coins>(pool, 1), budgetMw};
+}
+
+std::vector<Coins>
+computeMaxCoins(AllocPolicy policy, const std::vector<double> &pMaxMw,
+                const std::vector<bool> &active, const CoinScale &scale,
+                int coinBits)
+{
+    BLITZ_ASSERT(pMaxMw.size() == active.size(),
+                 "pMax/active size mismatch");
+    const Coins saturation = (Coins{1} << coinBits) - 1;
+    const double mw_per_coin = scale.mwPerCoin();
+    BLITZ_ASSERT(mw_per_coin > 0.0, "coin scale not initialized");
+
+    std::vector<Coins> out(pMaxMw.size(), 0);
+    for (std::size_t i = 0; i < pMaxMw.size(); ++i) {
+        if (!active[i] || pMaxMw[i] <= 0.0)
+            continue; // inactive tiles relinquish coins (max = 0)
+        Coins target;
+        if (policy == AllocPolicy::RelativeProportional) {
+            target = static_cast<Coins>(
+                std::llround(pMaxMw[i] / mw_per_coin));
+        } else {
+            // AP: identical max per active tile. Any common value gives
+            // the equal-power equilibrium; full scale maximizes the
+            // resolution of the per-tile coin counter.
+            target = saturation;
+        }
+        out[i] = std::clamp<Coins>(target, 1, saturation);
+    }
+    return out;
+}
+
+} // namespace blitz::coin

@@ -1,0 +1,311 @@
+#include "engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace blitz::coin {
+
+const char *
+exchangeModeName(ExchangeMode m)
+{
+    switch (m) {
+      case ExchangeMode::OneWay:  return "1-way";
+      case ExchangeMode::FourWay: return "4-way";
+    }
+    return "?";
+}
+
+MeshSim::MeshSim(const noc::Topology &topo, const EngineConfig &cfg,
+                 std::uint64_t seed)
+    : topo_(topo.width(), topo.height(), cfg.wrap), cfg_(cfg), rng_(seed),
+      ledger_(topo_.size()), pending_(topo_.size(), 0)
+{
+    BLITZ_ASSERT(cfg_.thermalCaps.empty() ||
+                 cfg_.thermalCaps.size() == topo_.size(),
+                 "thermal cap list size mismatch");
+    timers_.reserve(topo_.size());
+    selectors_.reserve(topo_.size());
+    iso_.resize(topo_.size());
+    for (noc::NodeId i = 0; i < topo_.size(); ++i) {
+        timers_.emplace_back(cfg_.backoff);
+        selectors_.emplace_back(topo_, i, cfg_.pairing, rng_);
+        // Stagger initial firings across one base interval so the mesh
+        // does not act in lockstep.
+        scheduleTile(i, 1 + rng_.below(cfg_.backoff.baseInterval));
+    }
+}
+
+Coins
+MeshSim::capOf(std::size_t i) const
+{
+    return cfg_.thermalCaps.empty() ? uncapped : cfg_.thermalCaps[i];
+}
+
+Coins
+MeshSim::neighborhoodCoins(std::size_t i) const
+{
+    Coins sum = ledger_.has(i);
+    for (noc::NodeId n : selectors_[i].neighbors())
+        sum += ledger_.has(n);
+    return sum;
+}
+
+Coins
+MeshSim::effectiveCap(std::size_t i) const
+{
+    Coins cap = capOf(i);
+    if (cfg_.neighborhoodCap == uncapped)
+        return cap;
+    // Acceptance headroom of the 5-tile cross, expressed as the
+    // largest holding this tile may grow to without breaching the
+    // group cap.
+    Coins group_room =
+        cfg_.neighborhoodCap - (neighborhoodCoins(i) - ledger_.has(i));
+    return std::min(cap, std::max<Coins>(group_room, 0));
+}
+
+void
+MeshSim::rebuildError()
+{
+    alpha_ = ledger_.alpha();
+    errSum_ = 0.0;
+    for (std::size_t i = 0; i < ledger_.size(); ++i) {
+        errSum_ += std::abs(
+            static_cast<double>(ledger_.has(i)) -
+            alpha_ * static_cast<double>(ledger_.max(i)));
+    }
+}
+
+double
+MeshSim::globalError() const
+{
+    return errSum_ / static_cast<double>(ledger_.size());
+}
+
+void
+MeshSim::setMax(std::size_t i, Coins max)
+{
+    ledger_.setMax(i, max);
+    rebuildError(); // alpha changed; all contributions shift
+    timers_[i].resetOnActivity();
+    // An activity change triggers an immediate status update from the
+    // affected tile (the start/end of execution drives the request or
+    // relinquishment of coins, Section III-A).
+    scheduleTile(static_cast<std::uint32_t>(i), now_ + 1);
+}
+
+void
+MeshSim::setHas(std::size_t i, Coins has)
+{
+    ledger_.setHas(i, has);
+    rebuildError();
+}
+
+void
+MeshSim::randomizeHas(Coins pool)
+{
+    BLITZ_ASSERT(pool >= 0, "coin pool cannot be negative");
+    for (Coins c = 0; c < pool; ++c) {
+        auto i = static_cast<std::size_t>(rng_.below(ledger_.size()));
+        ledger_.setHas(i, ledger_.has(i) + 1);
+    }
+    rebuildError();
+}
+
+void
+MeshSim::clusterHas(Coins pool)
+{
+    BLITZ_ASSERT(pool >= 0, "coin pool cannot be negative");
+    // Random center; coins land uniformly within a Chebyshev radius
+    // of ~d/4 around it (wrapping), i.e. about a quarter of the mesh.
+    noc::Topology wrapped(topo_.width(), topo_.height(), true);
+    const auto center =
+        static_cast<noc::NodeId>(rng_.below(topo_.size()));
+    const noc::Coord cc = wrapped.coordOf(center);
+    const int rx = std::max(topo_.width() / 4, 1);
+    const int ry = std::max(topo_.height() / 4, 1);
+    for (Coins c = 0; c < pool; ++c) {
+        int dx = static_cast<int>(rng_.range(-rx, rx));
+        int dy = static_cast<int>(rng_.range(-ry, ry));
+        noc::Coord at{(cc.x + dx + topo_.width()) % topo_.width(),
+                      (cc.y + dy + topo_.height()) % topo_.height()};
+        auto i = static_cast<std::size_t>(wrapped.idOf(at));
+        ledger_.setHas(i, ledger_.has(i) + 1);
+    }
+    rebuildError();
+}
+
+void
+MeshSim::scheduleTile(std::uint32_t tile, sim::Tick when)
+{
+    ++pending_[tile];
+    heap_.push(Firing{when, tile, pending_[tile]});
+}
+
+Coins
+MeshSim::doPairwise(std::uint32_t i, std::uint32_t j)
+{
+    const double err_i = std::abs(
+        static_cast<double>(ledger_.has(i)) -
+        alpha_ * static_cast<double>(ledger_.max(i)));
+    const double err_j = std::abs(
+        static_cast<double>(ledger_.has(j)) -
+        alpha_ * static_cast<double>(ledger_.max(j)));
+
+    Coins delta = pairwiseDelta(ledger_.tile(i), ledger_.tile(j),
+                                effectiveCap(i), effectiveCap(j));
+    if (delta != 0)
+        ledger_.transfer(i, j, delta);
+
+    errSum_ -= err_i + err_j;
+    errSum_ += std::abs(static_cast<double>(ledger_.has(i)) -
+                        alpha_ * static_cast<double>(ledger_.max(i)));
+    errSum_ += std::abs(static_cast<double>(ledger_.has(j)) -
+                        alpha_ * static_cast<double>(ledger_.max(j)));
+    return std::llabs(delta);
+}
+
+Coins
+MeshSim::doFourWay(std::uint32_t center)
+{
+    const auto &members = selectors_[center].neighbors();
+    std::vector<TileCoins> group;
+    std::vector<Coins> caps;
+    group.reserve(members.size() + 1);
+    group.push_back(ledger_.tile(center));
+    caps.push_back(effectiveCap(center));
+    for (noc::NodeId n : members) {
+        group.push_back(ledger_.tile(n));
+        caps.push_back(effectiveCap(n));
+    }
+
+    const bool capped = !cfg_.thermalCaps.empty() ||
+                        cfg_.neighborhoodCap != uncapped;
+    std::vector<Coins> split =
+        groupSplit(group, capped ? std::span<const Coins>(caps)
+                                 : std::span<const Coins>{});
+
+    Coins moved = 0;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+        Coins delta = split[k + 1] - ledger_.has(members[k]);
+        if (delta != 0) {
+            ledger_.transfer(center, members[k], delta);
+            moved += std::llabs(delta);
+        }
+    }
+    rebuildError(); // alpha is unchanged but up to 5 tiles moved
+    return moved;
+}
+
+sim::Tick
+MeshSim::fire(std::uint32_t tile)
+{
+    sim::Tick completion;
+    Coins moved;
+    if (cfg_.mode == ExchangeMode::OneWay) {
+        noc::NodeId partner = selectors_[tile].next(isolated(tile));
+        const auto dist = static_cast<sim::Tick>(
+            topo_.distance(tile, partner));
+        // status hop(s) + FSM compute + update hop(s)
+        completion = now_ + dist * cfg_.hopCycles + cfg_.fsmCycles +
+                     dist * cfg_.hopCycles;
+        packets_ += 2;
+        moved = doPairwise(tile, partner);
+        timers_[partner].onExchange(moved != 0);
+        iso_[tile].onExchange(moved != 0, ledger_.max(partner));
+        iso_[partner].onExchange(moved != 0, ledger_.max(tile));
+        // Wake the partner at its (now shortened) cadence so the
+        // reallocation wave propagates instead of waiting out a
+        // backed-off interval.
+        if (moved != 0)
+            scheduleTile(partner,
+                         completion +
+                             timers_[partner].intervalFor(
+                                 discontent(partner) ||
+                                 isolated(partner)));
+    } else {
+        // request + status + update to each of the (up to) 4 neighbors;
+        // neighbor hops are distance 1 by construction.
+        const auto fan = static_cast<sim::Tick>(
+            selectors_[tile].neighbors().size());
+        completion = now_ + 3 * cfg_.hopCycles + cfg_.fsmCycles +
+                     cfg_.fourWayExtraCycles;
+        packets_ += 3 * fan;
+        moved = doFourWay(tile);
+        for (noc::NodeId n : selectors_[tile].neighbors()) {
+            timers_[n].onExchange(moved != 0);
+            if (moved != 0)
+                scheduleTile(n, completion +
+                                    timers_[n].intervalFor(
+                                        discontent(n) || isolated(n)));
+        }
+    }
+    ++exchanges_;
+    timers_[tile].onExchange(moved != 0);
+    scheduleTile(tile,
+                 completion + timers_[tile].intervalFor(
+                                  discontent(tile) || isolated(tile)));
+    return completion;
+}
+
+RunResult
+MeshSim::runUntilConverged(double errThreshold, sim::Tick maxTime)
+{
+    RunResult result;
+    const std::uint64_t packets0 = packets_;
+    const std::uint64_t exchanges0 = exchanges_;
+
+    if (globalError() < errThreshold) {
+        result.converged = true;
+        result.time = now_;
+        return result;
+    }
+
+    while (!heap_.empty() && heap_.top().when <= maxTime) {
+        Firing f = heap_.top();
+        heap_.pop();
+        if (f.stamp != pending_[f.tile])
+            continue; // superseded by an activity-change reschedule
+        now_ = f.when;
+        sim::Tick completion = fire(f.tile);
+        if (globalError() < errThreshold) {
+            result.converged = true;
+            result.time = completion;
+            break;
+        }
+    }
+    if (!result.converged) {
+        now_ = std::min(maxTime, now_);
+        result.time = now_;
+    }
+    result.packets = packets_ - packets0;
+    result.exchanges = exchanges_ - exchanges0;
+    return result;
+}
+
+RunResult
+MeshSim::runFor(sim::Tick duration)
+{
+    RunResult result;
+    const std::uint64_t packets0 = packets_;
+    const std::uint64_t exchanges0 = exchanges_;
+    const sim::Tick deadline = now_ + duration;
+
+    while (!heap_.empty() && heap_.top().when <= deadline) {
+        Firing f = heap_.top();
+        heap_.pop();
+        if (f.stamp != pending_[f.tile])
+            continue;
+        now_ = f.when;
+        fire(f.tile);
+    }
+    now_ = deadline;
+    result.converged = false;
+    result.time = now_;
+    result.packets = packets_ - packets0;
+    result.exchanges = exchanges_ - exchanges0;
+    return result;
+}
+
+} // namespace blitz::coin

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Behavioral coin-exchange engine (the paper's "in-house simulator").
+ *
+ * Section III evaluates BlitzCoin's algorithm with Monte-Carlo runs of a
+ * step-level emulator: tiles fire on their refresh timers, pick partners,
+ * and rebalance atomically while the engine accounts NoC cycles and
+ * packets analytically. This engine reproduces that methodology — it is
+ * the vehicle for Figs. 3, 4, 6, 7 and 8 and for the design-space
+ * ablations. The full packet-accurate model lives in src/blitzcoin and
+ * is used for the SoC-level experiments.
+ */
+
+#ifndef BLITZ_COIN_ENGINE_HPP
+#define BLITZ_COIN_ENGINE_HPP
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "backoff.hpp"
+#include "exchange.hpp"
+#include "ledger.hpp"
+#include "noc/topology.hpp"
+#include "pairing.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace blitz::coin {
+
+/** Which exchange algorithm the engine runs. */
+enum class ExchangeMode : std::uint8_t
+{
+    OneWay,  ///< Algorithm 2: pairwise, rotating through neighbors
+    FourWay, ///< Algorithm 1: center + 4 neighbors at once
+};
+
+const char *exchangeModeName(ExchangeMode m);
+
+/** Engine configuration; defaults match the paper's chosen embodiment. */
+struct EngineConfig
+{
+    ExchangeMode mode = ExchangeMode::OneWay;
+    /** Torus wrap-around neighborhoods (Fig. 5 left). */
+    bool wrap = true;
+    /** Dynamic timing; .enabled=false gives the fixed-interval variant. */
+    BackoffConfig backoff{};
+    /** Random pairing; .randomPairing=false disables it. */
+    PairingConfig pairing{};
+    /** Per-hop NoC latency in cycles. */
+    sim::Tick hopCycles = 1;
+    /** Coin-update FSM latency; 1 cycle in the hardware (Section IV-A). */
+    sim::Tick fsmCycles = 1;
+    /**
+     * Extra latency of the 4-way arithmetic: the many-operand update
+     * needs pipelining and synchronization the pairwise datapath avoids
+     * (Section III-B).
+     */
+    sim::Tick fourWayExtraCycles = 4;
+    /** Optional per-tile thermal caps (empty = uncapped). */
+    std::vector<Coins> thermalCaps;
+    /**
+     * Optional neighborhood thermal cap (Section III-B's sub-group
+     * form): a tile rejects incoming coins when its own holdings plus
+     * its mesh neighbors' would exceed this value — bounding the power
+     * density of any 5-tile cross on the die. ::uncapped disables it.
+     */
+    Coins neighborhoodCap = uncapped;
+};
+
+/** Outcome of a convergence run. */
+struct RunResult
+{
+    bool converged = false;
+    sim::Tick time = 0;          ///< tick of the converging exchange
+    std::uint64_t packets = 0;   ///< NoC messages used
+    std::uint64_t exchanges = 0; ///< exchange operations performed
+};
+
+/**
+ * Step-level mesh simulator for the coin-exchange algorithm.
+ *
+ * Determinism: all randomness (initial holdings, partner staggering,
+ * same-tick ordering) derives from the seed passed at construction.
+ */
+class MeshSim
+{
+  public:
+    /**
+     * @param topo mesh shape (copied). Wrap-around is taken from
+     *        cfg.wrap, overriding the topology flag.
+     * @param cfg engine parameters.
+     * @param seed RNG seed for this trial.
+     */
+    MeshSim(const noc::Topology &topo, const EngineConfig &cfg,
+            std::uint64_t seed);
+
+    const noc::Topology &topology() const { return topo_; }
+    const Ledger &ledger() const { return ledger_; }
+    sim::Tick now() const { return now_; }
+
+    /** Program a tile's target; resets its refresh timer. */
+    void setMax(std::size_t i, Coins max);
+
+    /** Set a tile's holdings (initialization). */
+    void setHas(std::size_t i, Coins has);
+
+    /**
+     * Scatter @p pool coins uniformly at random over the tiles —
+     * the random initialization of the paper's Monte-Carlo runs.
+     */
+    void randomizeHas(Coins pool);
+
+    /**
+     * Scatter @p pool coins over a random contiguous region covering
+     * roughly a quarter of the mesh. This is the physically relevant
+     * initialization — coins start parked where the previous workload
+     * ran — and it creates the long-range transport that makes
+     * convergence time scale with the mesh diameter (Fig. 3); a
+     * uniform scatter has only local imbalance and converges in O(1)
+     * rounds at any size.
+     */
+    void clusterHas(Coins pool);
+
+    /** Global mean error Err (cached; O(1)). */
+    double globalError() const;
+
+    /** Largest per-tile error (Fig. 7 metric; O(N)). */
+    double maxError() const { return ledger_.maxError(); }
+
+    /**
+     * Run until Err < @p errThreshold or @p maxTime passes.
+     * Counters (packets/exchanges) are measured from the call, not from
+     * construction, so response-time probes can reuse one engine.
+     */
+    RunResult runUntilConverged(double errThreshold, sim::Tick maxTime);
+
+    /** Run for a fixed duration regardless of convergence. */
+    RunResult runFor(sim::Tick duration);
+
+    /** Total packets since construction. */
+    std::uint64_t totalPackets() const { return packets_; }
+
+    /** Total exchanges since construction. */
+    std::uint64_t totalExchanges() const { return exchanges_; }
+
+    /**
+     * Coins held by a tile's cross neighborhood (itself included) —
+     * the quantity the neighborhood thermal cap bounds.
+     */
+    Coins neighborhoodCoins(std::size_t i) const;
+
+  private:
+    struct Firing
+    {
+        sim::Tick when;
+        std::uint32_t tile;
+        std::uint64_t stamp; ///< matches pending_[tile] or it is stale
+
+        bool
+        operator>(const Firing &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return tile > o.tile;
+        }
+    };
+
+    /** Recompute alpha and the cached error sum from scratch. */
+    void rebuildError();
+
+    /** Execute one firing; returns the exchange completion tick. */
+    sim::Tick fire(std::uint32_t tile);
+
+    /** Perform a pairwise exchange; returns coins moved (absolute). */
+    Coins doPairwise(std::uint32_t i, std::uint32_t j);
+
+    /** Perform a 4-way group exchange; returns coins moved (absolute). */
+    Coins doFourWay(std::uint32_t center);
+
+    void scheduleTile(std::uint32_t tile, sim::Tick when);
+
+    Coins capOf(std::size_t i) const;
+
+    /**
+     * Acceptance cap of a tile combining its own thermal cap with the
+     * neighborhood (power-density) cap.
+     */
+    Coins effectiveCap(std::size_t i) const;
+
+    /** Local imbalance that pins the tile at a short refresh cadence. */
+    bool
+    discontent(std::size_t i) const
+    {
+        const TileCoins &t = ledger_.tile(i);
+        return (t.max == 0 && t.has > 0) || (t.max > 0 && t.has == 0);
+    }
+
+    /** Active tile stranded in an idle neighborhood (Fig. 5). */
+    bool
+    isolated(std::size_t i) const
+    {
+        return ledger_.max(i) > 0 && iso_[i].isolated();
+    }
+
+    noc::Topology topo_;
+    EngineConfig cfg_;
+    sim::Rng rng_;
+    Ledger ledger_;
+    std::vector<BackoffTimer> timers_;
+    std::vector<PartnerSelector> selectors_;
+    std::vector<IsolationDetector> iso_;
+    std::vector<std::uint64_t> pending_;
+    std::priority_queue<Firing, std::vector<Firing>,
+                        std::greater<Firing>> heap_;
+    sim::Tick now_ = 0;
+    std::uint64_t packets_ = 0;
+    std::uint64_t exchanges_ = 0;
+    // Cached error state: alpha_ changes only on setMax/setHas.
+    double alpha_ = 0.0;
+    double errSum_ = 0.0;
+};
+
+} // namespace blitz::coin
+
+#endif // BLITZ_COIN_ENGINE_HPP

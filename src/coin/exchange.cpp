@@ -1,0 +1,170 @@
+#include "exchange.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace blitz::coin {
+
+namespace {
+
+/** round(num / den) to nearest, half away from zero; den > 0. */
+Coins
+roundDiv(Coins num, Coins den)
+{
+    BLITZ_ASSERT(den > 0, "roundDiv needs a positive denominator");
+    if (num >= 0)
+        return (num + den / 2) / den;
+    return -((-num + den / 2) / den);
+}
+
+/** Acceptance headroom of a tile under its thermal cap. */
+Coins
+headroom(const TileCoins &t, Coins cap)
+{
+    if (cap == uncapped)
+        return uncapped;
+    return std::max<Coins>(0, cap - t.has);
+}
+
+} // namespace
+
+Coins
+pairwiseDelta(const TileCoins &i, const TileCoins &j, Coins capI,
+              Coins capJ)
+{
+    const Coins total = i.has + j.has;
+    const Coins m = i.max + j.max;
+    if (m == 0) {
+        // Both tiles inactive: coins stay put; a later exchange with an
+        // active tile (possibly via random pairing) will collect them.
+        return 0;
+    }
+    const Coins new_i = roundDiv(i.max * total, m);
+    Coins into_i = new_i - i.has; // positive: coins flow j -> i
+
+    // Thermal caps limit what a tile will *accept*, never what it may
+    // already hold (Section III-B hotspot rejection).
+    if (into_i > 0) {
+        into_i = std::min(into_i, headroom(i, capI));
+    } else if (into_i < 0) {
+        into_i = -std::min(-into_i, headroom(j, capJ));
+    }
+    return -into_i; // signed flow i -> j
+}
+
+std::vector<Coins>
+groupSplit(std::span<const TileCoins> group, std::span<const Coins> caps)
+{
+    BLITZ_ASSERT(!group.empty(), "empty exchange group");
+    BLITZ_ASSERT(caps.empty() || caps.size() == group.size(),
+                 "cap list size mismatch");
+
+    const std::size_t n = group.size();
+    Coins total = 0;
+    Coins m = 0;
+    for (const auto &t : group) {
+        total += t.has;
+        m += t.max;
+    }
+    BLITZ_ASSERT(total >= 0, "group exchange with negative coin total");
+
+    std::vector<Coins> out(n);
+    if (m == 0) {
+        for (std::size_t k = 0; k < n; ++k)
+            out[k] = group[k].has;
+        return out;
+    }
+
+    // Waterfill: tiles whose fair share exceeds their acceptance limit
+    // are frozen at that limit and the remainder is re-split among the
+    // rest. Terminates in <= n rounds (each round freezes >= 1 tile).
+    std::vector<bool> frozen(n, false);
+    Coins remaining = total;
+    Coins mActive = m;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t k = 0; k < n && mActive > 0; ++k) {
+            if (frozen[k])
+                continue;
+            Coins cap = caps.empty() ? uncapped : caps[k];
+            // A tile accepts at most up to its cap but always keeps
+            // what it already holds.
+            Coins limit = cap == uncapped
+                              ? uncapped
+                              : std::max(group[k].has, cap);
+            if (limit == uncapped)
+                continue;
+            Coins fair = roundDiv(group[k].max * remaining, mActive);
+            if (fair > limit) {
+                out[k] = limit;
+                frozen[k] = true;
+                remaining -= limit;
+                mActive -= group[k].max;
+                changed = true;
+            }
+        }
+    }
+
+    // Fair split of what remains: floor shares plus largest-remainder
+    // distribution, deterministic (ties resolve to the lowest index).
+    std::vector<std::size_t> active;
+    for (std::size_t k = 0; k < n; ++k) {
+        if (!frozen[k])
+            active.push_back(k);
+    }
+    if (active.empty())
+        return out;
+
+    if (mActive == 0) {
+        // Only inactive tiles remain unfrozen; park leftover coins on
+        // the first of them to conserve the total.
+        for (std::size_t k : active)
+            out[k] = 0;
+        out[active.front()] += remaining;
+        return out;
+    }
+
+    Coins assigned = 0;
+    std::vector<std::pair<Coins, std::size_t>> fracs; // (remainder, idx)
+    for (std::size_t k : active) {
+        Coins num = group[k].max * remaining;
+        Coins share = num >= 0 ? num / mActive
+                               : -((-num + mActive - 1) / mActive);
+        out[k] = share;
+        assigned += share;
+        fracs.emplace_back(num - share * mActive, k);
+    }
+    Coins leftover = remaining - assigned;
+    std::sort(fracs.begin(), fracs.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    auto limit_of = [&](std::size_t k) {
+        Coins cap = caps.empty() ? uncapped : caps[k];
+        return cap == uncapped ? uncapped : std::max(group[k].has, cap);
+    };
+    // Largest-remainder distribution, skipping tiles already at their
+    // acceptance limit so the +1 never breaches a cap.
+    std::size_t stuck = 0;
+    for (std::size_t r = 0; leftover > 0; ++r) {
+        std::size_t k = fracs[r % fracs.size()].second;
+        if (out[k] < limit_of(k)) {
+            ++out[k];
+            --leftover;
+            stuck = 0;
+        } else if (++stuck >= fracs.size()) {
+            // Every unfrozen tile is at its limit: conservation wins
+            // and the residue stays with the first of them.
+            out[fracs[0].second] += leftover;
+            leftover = 0;
+        }
+    }
+
+    return out;
+}
+
+} // namespace blitz::coin

@@ -1,0 +1,91 @@
+#include "ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blitz::coin {
+
+Ledger::Ledger(std::size_t n)
+    : tiles_(n)
+{
+    BLITZ_ASSERT(n > 0, "ledger needs at least one tile");
+}
+
+void
+Ledger::setMax(std::size_t i, Coins max)
+{
+    BLITZ_ASSERT(i < tiles_.size(), "tile index out of range");
+    BLITZ_ASSERT(max >= 0, "max coins cannot be negative");
+    totalMax_ += max - tiles_[i].max;
+    tiles_[i].max = max;
+}
+
+void
+Ledger::setHas(std::size_t i, Coins has)
+{
+    BLITZ_ASSERT(i < tiles_.size(), "tile index out of range");
+    totalHas_ += has - tiles_[i].has;
+    tiles_[i].has = has;
+}
+
+void
+Ledger::transfer(std::size_t from, std::size_t to, Coins amount)
+{
+    BLITZ_ASSERT(from < tiles_.size() && to < tiles_.size(),
+                 "tile index out of range");
+    BLITZ_ASSERT(from != to, "transfer to self");
+    tiles_[from].has -= amount;
+    tiles_[to].has += amount;
+}
+
+double
+Ledger::alpha() const
+{
+    if (totalMax_ == 0)
+        return 0.0;
+    return static_cast<double>(totalHas_) /
+           static_cast<double>(totalMax_);
+}
+
+double
+Ledger::tileError(std::size_t i) const
+{
+    BLITZ_ASSERT(i < tiles_.size(), "tile index out of range");
+    return std::abs(static_cast<double>(tiles_[i].has) -
+                    alpha() * static_cast<double>(tiles_[i].max));
+}
+
+double
+Ledger::globalError() const
+{
+    double sum = 0.0;
+    const double a = alpha();
+    for (const auto &t : tiles_) {
+        sum += std::abs(static_cast<double>(t.has) -
+                        a * static_cast<double>(t.max));
+    }
+    return sum / static_cast<double>(tiles_.size());
+}
+
+double
+Ledger::maxError() const
+{
+    double worst = 0.0;
+    const double a = alpha();
+    for (const auto &t : tiles_) {
+        worst = std::max(worst,
+                         std::abs(static_cast<double>(t.has) -
+                                  a * static_cast<double>(t.max)));
+    }
+    return worst;
+}
+
+void
+Ledger::clear()
+{
+    std::fill(tiles_.begin(), tiles_.end(), TileCoins{});
+    totalHas_ = 0;
+    totalMax_ = 0;
+}
+
+} // namespace blitz::coin

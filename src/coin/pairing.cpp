@@ -1,0 +1,81 @@
+#include "pairing.hpp"
+
+#include <algorithm>
+
+namespace blitz::coin {
+
+PartnerSelector::PartnerSelector(const noc::Topology &topo,
+                                 noc::NodeId self,
+                                 const PairingConfig &cfg, sim::Rng &rng)
+    : cfg_(cfg), rng_(&rng), neighbors_(topo.neighbors(self))
+{
+    BLITZ_ASSERT(!neighbors_.empty(),
+                 "tile ", self, " has no neighbors; mesh too small");
+    BLITZ_ASSERT(cfg_.period >= 2 || !cfg_.randomPairing,
+                 "random pairing period must be >= 2");
+
+    if (cfg_.randomPairing) {
+        for (noc::NodeId n = 0; n < topo.size(); ++n) {
+            if (n == self)
+                continue;
+            if (std::find(neighbors_.begin(), neighbors_.end(), n) !=
+                neighbors_.end()) {
+                continue;
+            }
+            far_.push_back(n);
+        }
+        // Stagger per-tile walks so the whole mesh does not pair with
+        // the same far region simultaneously; the hardware gets the
+        // same effect from per-tile shift-register seeds.
+        if (!far_.empty())
+            farPos_ = rng.below(far_.size());
+    }
+
+    // Start the neighbor rotation at a per-tile offset as well.
+    rotate_ = rng.below(neighbors_.size());
+}
+
+PartnerSelector::PartnerSelector(std::vector<noc::NodeId> neighbors,
+                                 std::vector<noc::NodeId> far,
+                                 const PairingConfig &cfg, sim::Rng &rng)
+    : cfg_(cfg), rng_(&rng), neighbors_(std::move(neighbors)),
+      far_(std::move(far))
+{
+    BLITZ_ASSERT(!neighbors_.empty(), "explicit neighbor list is empty");
+    BLITZ_ASSERT(cfg_.period >= 2 || !cfg_.randomPairing,
+                 "random pairing period must be >= 2");
+    if (!cfg_.randomPairing)
+        far_.clear();
+    if (!far_.empty())
+        farPos_ = rng.below(far_.size());
+    rotate_ = rng.below(neighbors_.size());
+}
+
+noc::NodeId
+PartnerSelector::nextFar()
+{
+    BLITZ_ASSERT(!far_.empty(), "no non-neighbors available");
+    if (cfg_.mode == PairingMode::Uniform)
+        return far_[rng_->below(far_.size())];
+    noc::NodeId partner = far_[farPos_];
+    farPos_ = (farPos_ + 1) % far_.size();
+    return partner;
+}
+
+noc::NodeId
+PartnerSelector::next(bool forceFar)
+{
+    ++exchangeCount_;
+    if (!far_.empty() &&
+        (forceFar || (cfg_.randomPairing &&
+                      exchangeCount_ % cfg_.period == 0))) {
+        lastWasRandom_ = true;
+        return nextFar();
+    }
+    lastWasRandom_ = false;
+    noc::NodeId partner = neighbors_[rotate_];
+    rotate_ = (rotate_ + 1) % neighbors_.size();
+    return partner;
+}
+
+} // namespace blitz::coin

@@ -1,0 +1,105 @@
+#include "network.hpp"
+
+#include <utility>
+
+namespace blitz::noc {
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::CoinStatus:  return "CoinStatus";
+      case MsgType::CoinUpdate:  return "CoinUpdate";
+      case MsgType::CoinRequest: return "CoinRequest";
+      case MsgType::RegRead:     return "RegRead";
+      case MsgType::RegReadResp: return "RegReadResp";
+      case MsgType::RegWrite:    return "RegWrite";
+      case MsgType::Interrupt:   return "Interrupt";
+      case MsgType::Generic:     return "Generic";
+    }
+    return "?";
+}
+
+Network::Network(sim::EventQueue &eq, Topology topo, sim::Tick hopLatency)
+    : eq_(eq), topo_(std::move(topo)), hopLatency_(hopLatency),
+      handlers_(topo_.size()),
+      linkFree_(topo_.size() * 4 * numPlanes, 0),
+      ejectFree_(topo_.size() * numPlanes, 0)
+{
+    BLITZ_ASSERT(hopLatency_ >= 1, "hop latency must be at least 1 cycle");
+}
+
+void
+Network::setHandler(NodeId node, Handler handler)
+{
+    BLITZ_ASSERT(node < handlers_.size(), "handler node out of range");
+    handlers_[node] = std::move(handler);
+}
+
+std::size_t
+Network::linkIndex(NodeId node, Dir d, Plane p) const
+{
+    return (static_cast<std::size_t>(node) * 4 +
+            static_cast<std::size_t>(d)) * numPlanes +
+           static_cast<std::size_t>(p);
+}
+
+std::size_t
+Network::ejectIndex(NodeId node, Plane p) const
+{
+    return static_cast<std::size_t>(node) * numPlanes +
+           static_cast<std::size_t>(p);
+}
+
+std::uint64_t
+Network::send(Packet pkt)
+{
+    BLITZ_ASSERT(pkt.src < topo_.size() && pkt.dst < topo_.size(),
+                 "packet endpoints out of range");
+    pkt.seq = nextSeq_++;
+    pkt.injectTick = eq_.now();
+    ++packetsSent_;
+    hop(pkt, pkt.src);
+    return pkt.seq;
+}
+
+void
+Network::hop(Packet pkt, NodeId at)
+{
+    const sim::Tick now = eq_.now();
+
+    if (at == pkt.dst) {
+        // Ejection port: serializes deliveries into the endpoint.
+        auto &free = ejectFree_[ejectIndex(at, pkt.plane)];
+        sim::Tick depart = std::max(now, free);
+        free = depart + hopLatency_;
+        eq_.schedule(depart + hopLatency_, [this, pkt, at] {
+            ++packetsDelivered_;
+            latency_.add(static_cast<double>(eq_.now() - pkt.injectTick));
+            if (handlers_[at])
+                handlers_[at](pkt);
+        }, sim::Priority::NocTransfer);
+        return;
+    }
+
+    Dir d = topo_.nextHopDir(at, pkt.dst);
+    NodeId next = topo_.nextHop(at, pkt.dst);
+    auto &free = linkFree_[linkIndex(at, d, pkt.plane)];
+    sim::Tick depart = std::max(now, free);
+    free = depart + hopLatency_;
+    ++totalHops_;
+    eq_.schedule(depart + hopLatency_, [this, pkt, next] {
+        hop(pkt, next);
+    }, sim::Priority::NocTransfer);
+}
+
+void
+Network::resetStats()
+{
+    packetsSent_ = 0;
+    packetsDelivered_ = 0;
+    totalHops_ = 0;
+    latency_ = sim::Summary{};
+}
+
+} // namespace blitz::noc

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cycle-level packet-switched mesh network.
+ *
+ * The model operates at packet granularity with per-link, per-plane
+ * serialization: each router output link forwards at most one packet per
+ * cycle on each plane (the fabricated SoC guarantees one-cycle-per-hop
+ * throughput at a fixed NoC voltage/frequency, Section IV-C). Packets
+ * follow dimension-ordered XY routing, so delivery is deadlock-free and
+ * per-flow ordering is preserved.
+ */
+
+#ifndef BLITZ_NOC_NETWORK_HPP
+#define BLITZ_NOC_NETWORK_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "topology.hpp"
+
+namespace blitz::noc {
+
+/**
+ * Event-driven NoC connecting one endpoint per mesh node.
+ *
+ * Endpoints register a delivery handler; Network::send injects a packet
+ * at the current tick and the handler fires when the last hop (plus the
+ * ejection cycle) completes.
+ */
+class Network
+{
+  public:
+    using Handler = std::function<void(const Packet &)>;
+
+    /**
+     * @param eq event queue driving the simulation.
+     * @param topo mesh shape (copied).
+     * @param hopLatency cycles per router traversal; 1 matches the SoC.
+     */
+    Network(sim::EventQueue &eq, Topology topo, sim::Tick hopLatency = 1);
+
+    const Topology &topology() const { return topo_; }
+
+    /** Install the delivery callback for a node (replaces any previous). */
+    void setHandler(NodeId node, Handler handler);
+
+    /**
+     * Inject a packet at the current tick.
+     * src/dst/plane/type/payload must be filled in by the caller;
+     * seq and injectTick are assigned here.
+     * @return the assigned sequence number.
+     */
+    std::uint64_t send(Packet pkt);
+
+    /** Total packets injected. */
+    std::uint64_t packetsSent() const { return packetsSent_; }
+
+    /** Total packets delivered to handlers. */
+    std::uint64_t packetsDelivered() const { return packetsDelivered_; }
+
+    /** Total router-to-router hops traversed. */
+    std::uint64_t totalHops() const { return totalHops_; }
+
+    /** End-to-end latency distribution (ticks). */
+    const sim::Summary &latency() const { return latency_; }
+
+    /** Reset traffic counters (topology and handlers stay). */
+    void resetStats();
+
+  private:
+    /** Index of the (node, dir, plane) output-link reservation slot. */
+    std::size_t linkIndex(NodeId node, Dir d, Plane p) const;
+
+    /** Local ejection-port reservation slot for (node, plane). */
+    std::size_t ejectIndex(NodeId node, Plane p) const;
+
+    /** Move a packet one hop; schedules the next hop or delivery. */
+    void hop(Packet pkt, NodeId at);
+
+    sim::EventQueue &eq_;
+    Topology topo_;
+    sim::Tick hopLatency_;
+    std::vector<Handler> handlers_;
+    /** Earliest tick each output link is free, per (node, dir, plane). */
+    std::vector<sim::Tick> linkFree_;
+    /** Earliest tick each ejection port is free, per (node, plane). */
+    std::vector<sim::Tick> ejectFree_;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t packetsSent_ = 0;
+    std::uint64_t packetsDelivered_ = 0;
+    std::uint64_t totalHops_ = 0;
+    sim::Summary latency_;
+};
+
+} // namespace blitz::noc
+
+#endif // BLITZ_NOC_NETWORK_HPP

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * NoC packet definition.
+ *
+ * The ESP NoC the paper integrates with carries six planes; coin-exchange
+ * traffic shares plane 5 with memory-mapped-register and interrupt
+ * messages (Section IV-B), which is why the model keeps per-plane link
+ * serialization: coin packets can be delayed behind register traffic,
+ * producing the transient negative-coin artifacts the paper describes.
+ */
+
+#ifndef BLITZ_NOC_PACKET_HPP
+#define BLITZ_NOC_PACKET_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hpp"
+#include "topology.hpp"
+
+namespace blitz::noc {
+
+/** NoC planes mirroring the ESP integration (Section IV-B). */
+enum class Plane : std::uint8_t
+{
+    Coherence0 = 0,
+    Coherence1 = 1,
+    Coherence2 = 2,
+    Dma0 = 3,
+    Dma1 = 4,
+    /** Memory-mapped registers, interrupts, and coin exchange. */
+    Service = 5,
+};
+
+inline constexpr int numPlanes = 6;
+
+/**
+ * Message kinds carried on the service plane.
+ *
+ * The first three implement the 1-way coin protocol; CoinRequest exists
+ * only for the 4-way variant. RegRead/RegWrite model the centralized
+ * controllers' polling traffic and generic CSR accesses.
+ */
+enum class MsgType : std::uint8_t
+{
+    CoinStatus = 0,   ///< initiator advertises (has, max) to a partner
+    CoinUpdate = 1,   ///< partner returns the signed coin delta
+    CoinRequest = 2,  ///< 4-way: center asks a neighbor for status
+    RegRead = 3,      ///< centralized controller polls a tile CSR
+    RegReadResp = 4,  ///< CSR read response
+    RegWrite = 5,     ///< centralized controller sets a tile V/F state
+    Interrupt = 6,    ///< activity-change notification to a controller
+    Generic = 7,      ///< background traffic for contention experiments
+};
+
+/** Printable message-type name. */
+const char *msgTypeName(MsgType t);
+
+/** One NoC packet; payload words are message-type specific. */
+struct Packet
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+    Plane plane = Plane::Service;
+    MsgType type = MsgType::Generic;
+    /** Up to four 64-bit payload words (coins, CSR values...). */
+    std::array<std::int64_t, 4> payload{};
+    /** Tick at which the packet entered the network. */
+    sim::Tick injectTick = 0;
+    /** Monotonic per-network sequence number, set on send. */
+    std::uint64_t seq = 0;
+};
+
+} // namespace blitz::noc
+
+#endif // BLITZ_NOC_PACKET_HPP

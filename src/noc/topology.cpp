@@ -1,0 +1,132 @@
+#include "topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace blitz::noc {
+
+const char *
+dirName(Dir d)
+{
+    switch (d) {
+      case Dir::North: return "N";
+      case Dir::South: return "S";
+      case Dir::East:  return "E";
+      case Dir::West:  return "W";
+    }
+    return "?";
+}
+
+Topology::Topology(int width, int height, bool wrap)
+    : width_(width), height_(height), wrap_(wrap)
+{
+    if (width < 1 || height < 1)
+        sim::fatal("topology dimensions must be positive, got ",
+                   width, "x", height);
+}
+
+Coord
+Topology::coordOf(NodeId id) const
+{
+    BLITZ_ASSERT(id < size(), "node id ", id, " out of range");
+    return Coord{static_cast<int>(id) % width_,
+                 static_cast<int>(id) / width_};
+}
+
+NodeId
+Topology::idOf(Coord c) const
+{
+    BLITZ_ASSERT(contains(c), "coordinate (", c.x, ",", c.y,
+                 ") out of range");
+    return static_cast<NodeId>(c.y * width_ + c.x);
+}
+
+std::optional<NodeId>
+Topology::neighbor(NodeId id, Dir d) const
+{
+    Coord c = coordOf(id);
+    switch (d) {
+      case Dir::North: c.y -= 1; break;
+      case Dir::South: c.y += 1; break;
+      case Dir::East:  c.x += 1; break;
+      case Dir::West:  c.x -= 1; break;
+    }
+    if (!contains(c)) {
+        if (!wrap_)
+            return std::nullopt;
+        c.x = (c.x + width_) % width_;
+        c.y = (c.y + height_) % height_;
+    }
+    return idOf(c);
+}
+
+std::vector<NodeId>
+Topology::neighbors(NodeId id) const
+{
+    std::vector<NodeId> out;
+    out.reserve(4);
+    for (Dir d : allDirs) {
+        auto n = neighbor(id, d);
+        // Skip self-links (1-wide wrapped dimensions) and duplicates
+        // (2-wide wrapped dimensions reach the same node both ways).
+        if (n && *n != id &&
+            std::find(out.begin(), out.end(), *n) == out.end()) {
+            out.push_back(*n);
+        }
+    }
+    return out;
+}
+
+int
+Topology::axisDelta(int from, int to, int span) const
+{
+    // Signed steps along one axis; in wrap mode pick the shorter way
+    // around the ring (ties resolve to the positive direction).
+    int delta = to - from;
+    if (!wrap_)
+        return delta;
+    int wrapped = delta > 0 ? delta - span : delta + span;
+    return std::abs(wrapped) < std::abs(delta) ? wrapped : delta;
+}
+
+int
+Topology::distance(NodeId a, NodeId b) const
+{
+    Coord ca = coordOf(a);
+    Coord cb = coordOf(b);
+    return std::abs(axisDelta(ca.x, cb.x, width_)) +
+           std::abs(axisDelta(ca.y, cb.y, height_));
+}
+
+Dir
+Topology::nextHopDir(NodeId from, NodeId to) const
+{
+    BLITZ_ASSERT(from != to, "routing a packet to itself");
+    Coord cf = coordOf(from);
+    Coord ct = coordOf(to);
+    int dx = axisDelta(cf.x, ct.x, width_);
+    if (dx != 0)
+        return dx > 0 ? Dir::East : Dir::West;
+    int dy = axisDelta(cf.y, ct.y, height_);
+    BLITZ_ASSERT(dy != 0, "zero route delta for distinct nodes");
+    return dy > 0 ? Dir::South : Dir::North;
+}
+
+NodeId
+Topology::nextHop(NodeId from, NodeId to) const
+{
+    auto n = neighbor(from, nextHopDir(from, to));
+    BLITZ_ASSERT(n.has_value(), "XY routing walked off the mesh edge");
+    return *n;
+}
+
+std::string
+Topology::describe() const
+{
+    std::ostringstream os;
+    os << width_ << "x" << height_ << (wrap_ ? " torus" : " mesh");
+    return os.str();
+}
+
+} // namespace blitz::noc

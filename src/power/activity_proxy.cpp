@@ -1,0 +1,132 @@
+#include "activity_proxy.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace blitz::power {
+
+std::array<double, 3>
+ActivityCounters::rates() const
+{
+    if (cycles == 0)
+        return {0.0, 0.0, 0.0};
+    const double c = static_cast<double>(cycles);
+    return {static_cast<double>(instructions) / c,
+            static_cast<double>(memAccesses) / c,
+            static_cast<double>(fpOps) / c};
+}
+
+PowerProxy::PowerProxy(const Weights &weights, double nomFreqMhz,
+                       double nomVoltage)
+    : weights_(weights), nomFreqMhz_(nomFreqMhz),
+      nomVoltage_(nomVoltage)
+{
+    if (nomFreqMhz_ <= 0.0 || nomVoltage_ <= 0.0)
+        sim::fatal("power proxy needs a positive nominal point");
+}
+
+double
+PowerProxy::estimateMw(const ActivityCounters &counters, double freqMhz,
+                       double voltage) const
+{
+    const auto r = counters.rates();
+    const double vr = voltage / nomVoltage_;
+    const double fr = freqMhz / nomFreqMhz_;
+    const double dynamic = weights_.base + weights_.ipc * r[0] +
+                           weights_.mem * r[1] + weights_.fp * r[2];
+    return weights_.leakPerVolt * voltage + vr * vr * fr * dynamic;
+}
+
+namespace {
+
+/**
+ * Solve the symmetric positive-definite normal equations A x = b by
+ * Gaussian elimination with partial pivoting (5x5; no dependency on a
+ * linear-algebra library for one tiny solve).
+ */
+std::array<double, 5>
+solve5(std::array<std::array<double, 5>, 5> a, std::array<double, 5> b)
+{
+    constexpr int n = 5;
+    for (int col = 0; col < n; ++col) {
+        int pivot = col;
+        for (int row = col + 1; row < n; ++row) {
+            if (std::abs(a[row][col]) > std::abs(a[pivot][col]))
+                pivot = row;
+        }
+        if (std::abs(a[pivot][col]) < 1e-12) {
+            sim::fatal("power-proxy calibration is singular; the "
+                       "samples do not span the model (vary activity "
+                       "and DVFS points)");
+        }
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (int row = col + 1; row < n; ++row) {
+            double f = a[row][col] / a[col][col];
+            for (int k = col; k < n; ++k)
+                a[row][k] -= f * a[col][k];
+            b[row] -= f * b[col];
+        }
+    }
+    std::array<double, 5> x{};
+    for (int row = n - 1; row >= 0; --row) {
+        double sum = b[row];
+        for (int k = row + 1; k < n; ++k)
+            sum -= a[row][k] * x[k];
+        x[row] = sum / a[row][row];
+    }
+    return x;
+}
+
+} // namespace
+
+PowerProxy
+PowerProxy::calibrate(const std::vector<ProxySample> &samples,
+                      double nomFreqMhz, double nomVoltage)
+{
+    if (samples.size() < 5)
+        sim::fatal("power-proxy calibration needs at least 5 samples");
+
+    // Regressors: [V, s, s*IPC, s*MEM, s*FP] with s = (V/Vn)^2 (F/Fn).
+    std::array<std::array<double, 5>, 5> ata{};
+    std::array<double, 5> atb{};
+    for (const ProxySample &s : samples) {
+        if (s.counters.cycles == 0)
+            sim::fatal("calibration sample with zero cycles");
+        const auto r = s.counters.rates();
+        const double vr = s.voltage / nomVoltage;
+        const double fr = s.freqMhz / nomFreqMhz;
+        const double scale = vr * vr * fr;
+        const std::array<double, 5> row{s.voltage, scale,
+                                        scale * r[0], scale * r[1],
+                                        scale * r[2]};
+        for (int i = 0; i < 5; ++i) {
+            for (int j = 0; j < 5; ++j)
+                ata[i][j] += row[i] * row[j];
+            atb[i] += row[i] * s.measuredMw;
+        }
+    }
+    auto x = solve5(ata, atb);
+    Weights w;
+    w.leakPerVolt = x[0];
+    w.base = x[1];
+    w.ipc = x[2];
+    w.mem = x[3];
+    w.fp = x[4];
+    return PowerProxy(w, nomFreqMhz, nomVoltage);
+}
+
+double
+PowerProxy::meanAbsErrorMw(const std::vector<ProxySample> &samples) const
+{
+    BLITZ_ASSERT(!samples.empty(), "no samples to evaluate");
+    double sum = 0.0;
+    for (const ProxySample &s : samples) {
+        sum += std::abs(estimateMw(s.counters, s.freqMhz, s.voltage) -
+                        s.measuredMw);
+    }
+    return sum / static_cast<double>(samples.size());
+}
+
+} // namespace blitz::power

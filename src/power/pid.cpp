@@ -1,0 +1,56 @@
+#include "pid.hpp"
+
+#include <algorithm>
+
+namespace blitz::power {
+
+Pid::Pid(const PidConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.outMax <= cfg_.outMin)
+        sim::fatal("PID output range is empty");
+}
+
+double
+Pid::step(double error)
+{
+    const double proposed_integral = integral_ + error;
+    double derivative = hasLast_ ? error - lastError_ : 0.0;
+    lastError_ = error;
+    hasLast_ = true;
+
+    double out = cfg_.kp * error + cfg_.ki * proposed_integral +
+                 cfg_.kd * derivative;
+    if (out > cfg_.outMax) {
+        out = cfg_.outMax;
+        // Anti-windup: only absorb the integral step when it drives the
+        // output further into saturation.
+        if (error < 0.0)
+            integral_ = proposed_integral;
+    } else if (out < cfg_.outMin) {
+        out = cfg_.outMin;
+        if (error > 0.0)
+            integral_ = proposed_integral;
+    } else {
+        integral_ = proposed_integral;
+    }
+    return out;
+}
+
+void
+Pid::reset()
+{
+    integral_ = 0.0;
+    lastError_ = 0.0;
+    hasLast_ = false;
+}
+
+void
+Pid::prime(double output)
+{
+    reset();
+    if (cfg_.ki != 0.0)
+        integral_ = output / cfg_.ki;
+}
+
+} // namespace blitz::power

@@ -1,0 +1,39 @@
+#include "tdc.hpp"
+
+#include <cmath>
+
+namespace blitz::power {
+
+Tdc::Tdc(int windowCycles, double nocFreqMhz)
+    : window_(windowCycles), nocFreqMhz_(nocFreqMhz)
+{
+    if (window_ <= 0)
+        sim::fatal("TDC window must be positive");
+    if (nocFreqMhz_ <= 0.0)
+        sim::fatal("TDC reference frequency must be positive");
+}
+
+int
+Tdc::measure(double tileFreqMhz) const
+{
+    BLITZ_ASSERT(tileFreqMhz >= 0.0, "negative frequency");
+    // Number of full tile-clock edges inside the window.
+    return static_cast<int>(
+        std::floor(tileFreqMhz / nocFreqMhz_ * window_));
+}
+
+int
+Tdc::codeFor(double targetFreqMhz) const
+{
+    // Round to nearest so target and measurement agree at steady state.
+    return static_cast<int>(
+        std::llround(targetFreqMhz / nocFreqMhz_ * window_));
+}
+
+double
+Tdc::freqOf(int code) const
+{
+    return static_cast<double>(code) * resolutionMhz();
+}
+
+} // namespace blitz::power

@@ -1,0 +1,67 @@
+#include "uvfr.hpp"
+
+#include <cmath>
+
+namespace blitz::power {
+
+Uvfr::Uvfr(const UvfrConfig &cfg)
+    : cfg_(cfg), ldo_(cfg.ldo), ro_(cfg.ro),
+      tdc_(cfg.tdcWindow, cfg.nocFreqMhz), pid_(cfg.pid)
+{
+    if (cfg_.controlPeriod == 0)
+        sim::fatal("UVFR control period must be positive");
+}
+
+void
+Uvfr::setTargetMhz(double freqMhz)
+{
+    BLITZ_ASSERT(freqMhz >= 0.0, "negative frequency target");
+    int code = tdc_.codeFor(freqMhz);
+    if (code == targetCode_)
+        return;
+    targetCode_ = code;
+    // Bumpless transfer: start the PID from the code that would hold the
+    // *current* voltage, so control picks up from where the plant is.
+    pid_.prime(ldo_.code());
+}
+
+void
+Uvfr::step()
+{
+    const double dt_ns = static_cast<double>(cfg_.controlPeriod) *
+                         sim::nsPerTick;
+    // (1) the analog output slews toward the code set last iteration,
+    ldo_.step(dt_ns);
+    // (2) the TDC digitizes the replica-oscillator frequency (the
+    //     undivided clock: the loop controls the supply, the divider
+    //     only gates what leaves the tile),
+    lastTdcCode_ = tdc_.measure(oscFreqMhz());
+    // (3) the PID turns the code error into a new LDO setting.
+    double out = pid_.step(static_cast<double>(targetCode_ -
+                                               lastTdcCode_));
+    ldo_.setCode(static_cast<int>(std::lround(out)));
+}
+
+void
+Uvfr::injectDroopV(double deltaV)
+{
+    BLITZ_ASSERT(deltaV >= 0.0, "droop magnitude cannot be negative");
+    ldo_.forceVoltage(std::max(ldo_.voltage() - deltaV, 0.0));
+}
+
+bool
+Uvfr::settled() const
+{
+    if (std::abs(lastTdcCode_ - targetCode_) <= 1)
+        return true;
+    // Saturation: a target below the minimum-voltage frequency (the
+    // divider supplies it) or above the oscillator ceiling is as
+    // settled as the supply can make it.
+    if (ldo_.code() == 0 && lastTdcCode_ > targetCode_)
+        return true;
+    if (ldo_.code() == ldo_.codes() - 1 && lastTdcCode_ < targetCode_)
+        return true;
+    return false;
+}
+
+} // namespace blitz::power

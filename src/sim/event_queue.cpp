@@ -1,0 +1,50 @@
+#include "event_queue.hpp"
+
+#include <algorithm>
+
+namespace blitz::sim {
+
+bool
+EventQueue::isCancelled(EventId id)
+{
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    if (it == cancelled_.end())
+        return false;
+    // Each cancellation token is consumed exactly once.
+    cancelled_.erase(it);
+    return true;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!queue_.empty()) {
+        Entry e = queue_.top();
+        queue_.pop();
+        --pending_;
+        if (isCancelled(e.id))
+            continue;
+        BLITZ_ASSERT(e.when >= now_, "event queue went backwards");
+        now_ = e.when;
+        e.fn();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && queue_.top().when <= limit) {
+        if (runOne())
+            ++executed;
+    }
+    // Advance time to the limit when asked to run to a horizon so that
+    // repeated runUntil() calls observe monotonically increasing now().
+    if (limit != maxTick && limit > now_)
+        now_ = limit;
+    return executed;
+}
+
+} // namespace blitz::sim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The full-SoC model (NoC routers, BlitzCoin FSMs, accelerators, LDO
+ * controllers) is event driven: components schedule callbacks at future
+ * ticks and the queue executes them in (tick, priority, insertion-order)
+ * order, so simulations are deterministic regardless of scheduling
+ * pattern. The behavioral coin-exchange engine does not use this kernel;
+ * it steps a global clock directly for Monte-Carlo speed.
+ */
+
+#ifndef BLITZ_SIM_EVENT_QUEUE_HPP
+#define BLITZ_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "logging.hpp"
+#include "types.hpp"
+
+namespace blitz::sim {
+
+/**
+ * Relative ordering of events scheduled for the same tick.
+ * Lower values run first.
+ */
+enum class Priority : int
+{
+    NocTransfer = 0,  ///< packet hops land before logic reacts to them
+    Default = 10,
+    Controller = 20,  ///< PM controllers act after state settles
+    Stats = 30,       ///< sampling sees the post-update state
+};
+
+/**
+ * Time-ordered event queue.
+ *
+ * Events are plain std::function callbacks. Cancellation is supported
+ * through the handle returned by schedule(); a cancelled event still
+ * occupies its queue slot but is skipped when popped.
+ */
+class EventQueue
+{
+  public:
+    /** Opaque handle used to cancel a scheduled event. */
+    using EventId = std::uint64_t;
+
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     * @param when absolute tick; must not be in the past.
+     * @param fn callback to execute.
+     * @param prio same-tick ordering class.
+     * @return handle usable with cancel().
+     */
+    EventId
+    schedule(Tick when, std::function<void()> fn,
+             Priority prio = Priority::Default)
+    {
+        BLITZ_ASSERT(when >= now_, "scheduling event in the past (",
+                     when, " < ", now_, ")");
+        EventId id = nextId_++;
+        queue_.push(Entry{when, static_cast<int>(prio), id, std::move(fn),
+                          false});
+        ++pending_;
+        return id;
+    }
+
+    /** Schedule a callback @p delta ticks from now. */
+    EventId
+    scheduleIn(Tick delta, std::function<void()> fn,
+               Priority prio = Priority::Default)
+    {
+        return schedule(now_ + delta, std::move(fn), prio);
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * O(1): the event is tombstoned and skipped on pop. Cancelling an
+     * already-executed or unknown id is a harmless no-op.
+     */
+    void
+    cancel(EventId id)
+    {
+        cancelled_.push_back(id);
+    }
+
+    /** Number of events still scheduled (including cancelled ones). */
+    std::size_t pending() const { return pending_; }
+
+    /** True when no runnable events remain. */
+    bool empty() const { return queue_.empty(); }
+
+    /**
+     * Run events until the queue drains or @p limit is passed.
+     * @param limit stop before executing events scheduled after this tick.
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Tick limit = maxTick);
+
+    /** Execute a single event; @return false if the queue was empty. */
+    bool runOne();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        EventId id;
+        std::function<void()> fn;
+        bool cancelled;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.id > b.id;
+        }
+    };
+
+    bool isCancelled(EventId id);
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    std::vector<EventId> cancelled_;
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+    std::size_t pending_ = 0;
+};
+
+} // namespace blitz::sim
+
+#endif // BLITZ_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,19 @@
+#include "logging.hpp"
+
+#include <iostream>
+
+namespace blitz::sim::detail {
+
+void
+emitWarning(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << '\n';
+}
+
+void
+emitInform(const std::string &msg)
+{
+    std::cerr << "info: " << msg << '\n';
+}
+
+} // namespace blitz::sim::detail

@@ -1,0 +1,26 @@
+#include "rng.hpp"
+
+#include <cmath>
+
+namespace blitz::sim {
+
+double
+Rng::exponential(double mean)
+{
+    BLITZ_ASSERT(mean > 0.0, "exponential mean must be positive");
+    // 1 - uniform() is in (0, 1], keeping log() finite.
+    return -mean * std::log(1.0 - uniform());
+}
+
+double
+Rng::normal()
+{
+    // Box-Muller; draws two uniforms per variate for simplicity since the
+    // simulator's normal draws are not on any hot path.
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+} // namespace blitz::sim

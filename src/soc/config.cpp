@@ -1,0 +1,247 @@
+#include "config.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace blitz::soc {
+
+const char *
+tileTypeName(TileType t)
+{
+    switch (t) {
+      case TileType::Empty:      return "Empty";
+      case TileType::Cpu:        return "CPU";
+      case TileType::Accel:      return "Accel";
+      case TileType::Mem:        return "MEM";
+      case TileType::Io:         return "IO";
+      case TileType::Scratchpad: return "SPM";
+    }
+    return "?";
+}
+
+std::vector<noc::NodeId>
+SocConfig::managedAccelerators() const
+{
+    std::vector<noc::NodeId> out;
+    for (noc::NodeId i = 0; i < tiles.size(); ++i) {
+        if (tiles[i].type == TileType::Accel && tiles[i].pmEnabled)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<noc::NodeId>
+SocConfig::allAccelerators() const
+{
+    std::vector<noc::NodeId> out;
+    for (noc::NodeId i = 0; i < tiles.size(); ++i) {
+        if (tiles[i].type == TileType::Accel)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<double>
+SocConfig::pMaxByNode() const
+{
+    std::vector<double> out(tiles.size(), 0.0);
+    for (noc::NodeId i = 0; i < tiles.size(); ++i) {
+        if (tiles[i].type == TileType::Accel)
+            out[i] = tiles[i].curve->pMax();
+    }
+    return out;
+}
+
+double
+SocConfig::totalManagedPMax() const
+{
+    double sum = 0.0;
+    for (noc::NodeId id : managedAccelerators())
+        sum += tiles[id].curve->pMax();
+    return sum;
+}
+
+noc::NodeId
+SocConfig::findTile(const std::string &tileName) const
+{
+    for (noc::NodeId i = 0; i < tiles.size(); ++i) {
+        if (tiles[i].name == tileName)
+            return i;
+    }
+    sim::fatal("SoC '", name, "' has no tile named '", tileName, "'");
+}
+
+void
+SocConfig::validate() const
+{
+    if (width < 1 || height < 1)
+        sim::fatal("SoC '", name, "' has empty dimensions");
+    if (tiles.size() != static_cast<std::size_t>(width * height))
+        sim::fatal("SoC '", name, "' tile list does not fill the grid");
+    if (cpuTile >= tiles.size() ||
+        tiles[cpuTile].type != TileType::Cpu) {
+        sim::fatal("SoC '", name, "' controller tile is not a CPU");
+    }
+    for (noc::NodeId i = 0; i < tiles.size(); ++i) {
+        const TileSpec &t = tiles[i];
+        if (t.type == TileType::Accel && t.curve == nullptr)
+            sim::fatal("accelerator tile ", i, " has no power curve");
+        if (t.type != TileType::Accel && t.curve != nullptr)
+            sim::fatal("non-accelerator tile ", i, " has a power curve");
+    }
+    if (managedAccelerators().empty())
+        sim::fatal("SoC '", name, "' has no managed accelerators");
+}
+
+namespace {
+
+TileSpec
+accel(const power::PfCurve &curve, const std::string &name,
+      bool pm = true)
+{
+    return TileSpec{TileType::Accel, name, &curve, pm};
+}
+
+TileSpec
+plain(TileType type, const std::string &name)
+{
+    return TileSpec{type, name, nullptr, false};
+}
+
+} // namespace
+
+SocConfig
+make3x3AvSoc()
+{
+    using namespace power::catalog;
+    SocConfig cfg;
+    cfg.name = "soc3x3-av";
+    cfg.width = 3;
+    cfg.height = 3;
+    cfg.cpuTile = 0;
+    cfg.tiles = {
+        plain(TileType::Cpu, "CPU"),
+        accel(fft(), "FFT0"),
+        accel(viterbi(), "VIT0"),
+        accel(fft(), "FFT1"),
+        accel(nvdla(), "NVDLA"),
+        plain(TileType::Mem, "MEM"),
+        accel(fft(), "FFT2"),
+        accel(viterbi(), "VIT1"),
+        plain(TileType::Io, "IO"),
+    };
+    cfg.validate();
+    return cfg;
+}
+
+SocConfig
+make4x4VisionSoc()
+{
+    using namespace power::catalog;
+    SocConfig cfg;
+    cfg.name = "soc4x4-vision";
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.cpuTile = 0;
+    cfg.tiles = {
+        plain(TileType::Cpu, "CPU"),
+        accel(gemm(), "GEMM0"),
+        accel(conv2d(), "CONV0"),
+        accel(vision(), "VIS0"),
+        accel(gemm(), "GEMM1"),
+        accel(conv2d(), "CONV1"),
+        accel(vision(), "VIS1"),
+        plain(TileType::Mem, "MEM"),
+        accel(conv2d(), "CONV2"),
+        accel(gemm(), "GEMM2"),
+        accel(vision(), "VIS2"),
+        accel(conv2d(), "CONV3"),
+        accel(vision(), "VIS3"),
+        accel(conv2d(), "CONV4"),
+        accel(gemm(), "GEMM3"),
+        plain(TileType::Io, "IO"),
+    };
+    cfg.validate();
+    return cfg;
+}
+
+SocConfig
+make6x6SiliconSoc()
+{
+    using namespace power::catalog;
+    SocConfig cfg;
+    cfg.name = "soc6x6-silicon";
+    cfg.width = 6;
+    cfg.height = 6;
+    cfg.cpuTile = 0;
+    cfg.tiles = {
+        // row 0
+        plain(TileType::Cpu, "CPU0"),
+        accel(fft(), "FFT0"),
+        accel(viterbi(), "VIT0"),
+        accel(viterbi(), "VIT1"),
+        plain(TileType::Cpu, "CPU1"),
+        plain(TileType::Mem, "MEM0"),
+        // row 1
+        accel(fft(), "FFT1"),
+        accel(nvdla(), "NVDLA0"),
+        accel(viterbi(), "VIT2"),
+        accel(viterbi(), "VIT3"),
+        plain(TileType::Scratchpad, "SPM0"),
+        plain(TileType::Mem, "MEM1"),
+        // row 2
+        accel(fft(), "FFT2"),
+        accel(viterbi(), "VIT4"),
+        accel(viterbi(), "VIT5"),
+        accel(fft(), "FFT-NoPM", /*pm=*/false),
+        plain(TileType::Scratchpad, "SPM1"),
+        plain(TileType::Mem, "MEM2"),
+        // row 3 (unmanaged accelerators outside the PM cluster)
+        accel(gemm(), "ACC0", /*pm=*/false),
+        accel(conv2d(), "ACC1", /*pm=*/false),
+        accel(vision(), "ACC2", /*pm=*/false),
+        accel(conv2d(), "ACC3", /*pm=*/false),
+        plain(TileType::Scratchpad, "SPM2"),
+        plain(TileType::Mem, "MEM3"),
+        // row 4
+        plain(TileType::Cpu, "CPU2"),
+        accel(vision(), "ACC4", /*pm=*/false),
+        accel(gemm(), "ACC5", /*pm=*/false),
+        accel(conv2d(), "ACC6", /*pm=*/false),
+        plain(TileType::Scratchpad, "SPM3"),
+        plain(TileType::Io, "IO"),
+        // row 5
+        plain(TileType::Cpu, "CPU3"),
+        accel(vision(), "ACC7", /*pm=*/false),
+        plain(TileType::Empty, "E0"),
+        plain(TileType::Empty, "E1"),
+        plain(TileType::Empty, "E2"),
+        plain(TileType::Empty, "E3"),
+    };
+    cfg.validate();
+    BLITZ_ASSERT(cfg.managedAccelerators().size() == 10,
+                 "silicon PM cluster must have 10 tiles");
+    return cfg;
+}
+
+SocConfig
+makeSyntheticSoc(int d, const power::PfCurve &curve)
+{
+    if (d < 2)
+        sim::fatal("synthetic SoC dimension must be at least 2");
+    SocConfig cfg;
+    cfg.name = "soc-synthetic-" + std::to_string(d) + "x" +
+               std::to_string(d);
+    cfg.width = d;
+    cfg.height = d;
+    cfg.cpuTile = 0;
+    cfg.tiles.reserve(static_cast<std::size_t>(d) * d);
+    cfg.tiles.push_back(plain(TileType::Cpu, "CPU"));
+    for (int i = 1; i < d * d; ++i)
+        cfg.tiles.push_back(accel(curve, "ACC" + std::to_string(i)));
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace blitz::soc

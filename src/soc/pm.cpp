@@ -1,0 +1,129 @@
+#include "pm.hpp"
+
+#include "pm_impl.hpp"
+
+namespace blitz::soc {
+
+const char *
+pmKindName(PmKind k)
+{
+    switch (k) {
+      case PmKind::BlitzCoin:         return "BC";
+      case PmKind::BlitzCoinCentral:  return "BC-C";
+      case PmKind::CentralRoundRobin: return "C-RR";
+      case PmKind::StaticAlloc:       return "Static";
+    }
+    return "?";
+}
+
+PowerManager::PowerManager(const PmContext &ctx, const PmConfig &cfg)
+    : ctx_(ctx), cfg_(cfg), active_(ctx.soc.size(), false)
+{
+    if (cfg_.budgetMw <= 0.0)
+        sim::fatal("power manager needs a positive budget");
+
+    // The coin scale covers the managed accelerators: one coin is the
+    // budget divided into units sized so the largest tile's Fmax maps
+    // to full counter scale. Idle floors cannot be reallocated — every
+    // tile pays its own even when fully drained — so only the budget
+    // above the sum of floors is distributable as coins (the paper's
+    // "fixed number of coins allocated to non-accelerator tiles and
+    // the NoC" plays the same bookkeeping role, Section IV-C).
+    std::vector<double> managed_pmax;
+    double idle_floor = 0.0;
+    for (noc::NodeId id : ctx_.soc.managedAccelerators()) {
+        managed_pmax.push_back(ctx_.soc.tile(id).curve->pMax());
+        idle_floor += ctx_.soc.tile(id).curve->pIdle();
+    }
+    const double distributable = cfg_.budgetMw - idle_floor;
+    if (distributable <= 0.0) {
+        sim::fatal("budget ", cfg_.budgetMw,
+                   " mW does not even cover the ", idle_floor,
+                   " mW of idle floors");
+    }
+    scale_ = coin::makeScale(distributable, managed_pmax, cfg_.coinBits);
+
+    // Per-node targets: policy applied as if every managed tile were
+    // active; activity gates the value 0 <-> max at runtime.
+    std::vector<double> pmax_by_node = ctx_.soc.pMaxByNode();
+    std::vector<bool> all_active(ctx_.soc.size(), false);
+    for (noc::NodeId id : ctx_.soc.managedAccelerators())
+        all_active[id] = true;
+    // Unmanaged accelerators must not receive coin targets.
+    for (noc::NodeId i = 0; i < ctx_.soc.size(); ++i) {
+        if (!all_active[i])
+            pmax_by_node[i] = 0.0;
+    }
+    maxCoins_ = coin::computeMaxCoins(cfg_.alloc, pmax_by_node,
+                                      all_active, scale_, cfg_.coinBits);
+}
+
+void
+PowerManager::noteActivityChange()
+{
+    // Overlapping changes measure from the most recent one, matching
+    // how the paper isolates transitions (Fig. 20 captures a single
+    // task-end event).
+    pendingChange_ = ctx_.eq.now();
+}
+
+void
+PowerManager::noteSettled()
+{
+    if (!pendingChange_)
+        return;
+    response_.add(static_cast<double>(ctx_.eq.now() - *pendingChange_));
+    pendingChange_.reset();
+}
+
+bool
+PowerManager::tilesSettled() const
+{
+    for (noc::NodeId id : ctx_.soc.managedAccelerators()) {
+        const AcceleratorTile *tile = ctx_.tiles[id];
+        if (tile && !tile->uvfr().settled())
+            return false;
+    }
+    return true;
+}
+
+void
+PowerManager::armSettleProbe()
+{
+    if (probeArmed_)
+        return;
+    probeArmed_ = true;
+    constexpr sim::Tick probe_period = 16;
+    auto probe = std::make_shared<std::function<void()>>();
+    *probe = [this, probe] {
+        if (!awaitingSettle()) {
+            probeArmed_ = false;
+            return;
+        }
+        if (settleCondition() && tilesSettled()) {
+            noteSettled();
+            probeArmed_ = false;
+            return;
+        }
+        ctx_.eq.scheduleIn(probe_period, *probe, sim::Priority::Stats);
+    };
+    ctx_.eq.scheduleIn(probe_period, *probe, sim::Priority::Stats);
+}
+
+std::unique_ptr<PowerManager>
+makePowerManager(const PmContext &ctx, const PmConfig &cfg)
+{
+    switch (cfg.kind) {
+      case PmKind::BlitzCoin:
+        return std::make_unique<BlitzCoinPm>(ctx, cfg);
+      case PmKind::BlitzCoinCentral:
+        return std::make_unique<CentralPm>(ctx, cfg, /*roundRobin=*/false);
+      case PmKind::CentralRoundRobin:
+        return std::make_unique<CentralPm>(ctx, cfg, /*roundRobin=*/true);
+      case PmKind::StaticAlloc:
+        return std::make_unique<StaticPm>(ctx, cfg);
+    }
+    sim::panic("unknown power-manager kind");
+}
+
+} // namespace blitz::soc

@@ -1,0 +1,313 @@
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "pm_impl.hpp"
+
+namespace blitz::soc {
+
+namespace {
+
+/** RegWrite payload is the power grant in microwatts. */
+std::int64_t
+toUw(double mw)
+{
+    return static_cast<std::int64_t>(std::llround(mw * 1000.0));
+}
+
+double
+fromUw(std::int64_t uw)
+{
+    return static_cast<double>(uw) / 1000.0;
+}
+
+} // namespace
+
+CentralPm::CentralPm(const PmContext &ctx, const PmConfig &cfg,
+                     bool roundRobin)
+    : PowerManager(ctx, cfg), roundRobin_(roundRobin),
+      managed_(ctx.soc.managedAccelerators()),
+      grants_(ctx.soc.size(), 0.0)
+{
+}
+
+void
+CentralPm::start()
+{
+    // Everything idle at boot: one round zeroes all targets.
+    startRound(/*fromActivity=*/false);
+
+    if (roundRobin_) {
+        // Fairness rotation: periodically advance the grant order so
+        // tiles starved by the greedy pass get their turn.
+        auto rotate = std::make_shared<std::function<void()>>();
+        *rotate = [this, rotate] {
+            rotation_ = (rotation_ + 1) % std::max<std::size_t>(
+                managed_.size(), 1);
+            bool any_active = false;
+            for (noc::NodeId id : managed_)
+                any_active = any_active || active_[id];
+            if (any_active && !roundActive_)
+                startRound(/*fromActivity=*/false);
+            ctx_.eq.scheduleIn(cfg_.crrRotationPeriod, *rotate,
+                              sim::Priority::Controller);
+        };
+        ctx_.eq.scheduleIn(cfg_.crrRotationPeriod, *rotate,
+                          sim::Priority::Controller);
+    }
+}
+
+void
+CentralPm::onTaskStart(noc::NodeId tile)
+{
+    noteActivityChange();
+    writesApplied_ = false;
+    active_[tile] = true;
+    activityChanged(tile, true);
+}
+
+void
+CentralPm::onTaskEnd(noc::NodeId tile)
+{
+    noteActivityChange();
+    writesApplied_ = false;
+    active_[tile] = false;
+    activityChanged(tile, false);
+}
+
+void
+CentralPm::activityChanged(noc::NodeId tile, bool nowActive)
+{
+    (void)nowActive;
+    // The tile raises an interrupt to the on-chip controller; the
+    // reallocation starts when it lands (NoC latency included).
+    noc::Packet pkt;
+    pkt.src = tile;
+    pkt.dst = ctx_.soc.cpuTile;
+    pkt.plane = noc::Plane::Service;
+    pkt.type = noc::MsgType::Interrupt;
+    if (tile == ctx_.soc.cpuTile) {
+        // Degenerate self-notification (not used by the presets).
+        startRound(true);
+        return;
+    }
+    ctx_.net.send(pkt);
+}
+
+void
+CentralPm::startRound(bool fromActivity)
+{
+    if (roundActive_) {
+        dirty_ = true;
+        roundFromActivity_ = roundFromActivity_ || fromActivity;
+        return;
+    }
+    roundActive_ = true;
+    roundFromActivity_ = fromActivity;
+    pollIdx_ = 0;
+    // Firmware wake-up / scheduling overhead before the first poll.
+    ctx_.eq.scheduleIn(cfg_.ctrlRoundOverhead, [this] { pollNext(); },
+                      sim::Priority::Controller);
+}
+
+void
+CentralPm::pollNext()
+{
+    if (pollIdx_ >= managed_.size()) {
+        computeAndWrite();
+        return;
+    }
+    noc::Packet pkt;
+    pkt.src = ctx_.soc.cpuTile;
+    pkt.dst = managed_[pollIdx_];
+    pkt.plane = noc::Plane::Service;
+    pkt.type = noc::MsgType::RegRead;
+    ctx_.net.send(pkt);
+    // Continuation happens when the RegReadResp lands (handlePacket).
+}
+
+void
+CentralPm::computeAndWrite()
+{
+    std::vector<double> alloc = computeAllocation();
+    for (noc::NodeId id : managed_)
+        grants_[id] = alloc[id];
+    writeIdx_ = 0;
+    writeNext();
+}
+
+void
+CentralPm::writeNext()
+{
+    if (writeIdx_ >= managed_.size()) {
+        roundActive_ = false;
+        if (dirty_) {
+            dirty_ = false;
+            bool from_activity = roundFromActivity_;
+            roundFromActivity_ = false;
+            startRound(from_activity);
+        }
+        return;
+    }
+    noc::NodeId node = managed_[writeIdx_];
+    noc::Packet pkt;
+    pkt.src = ctx_.soc.cpuTile;
+    pkt.dst = node;
+    pkt.plane = noc::Plane::Service;
+    pkt.type = noc::MsgType::RegWrite;
+    pkt.payload[0] = toUw(grants_[node]);
+    pkt.payload[1] =
+        (writeIdx_ + 1 == managed_.size() && roundFromActivity_) ? 1 : 0;
+    ctx_.net.send(pkt);
+
+    ++writeIdx_;
+    // Sequential firmware: one write prepared per controller step.
+    ctx_.eq.scheduleIn(cfg_.ctrlCyclesPerTile, [this] { writeNext(); },
+                      sim::Priority::Controller);
+}
+
+void
+CentralPm::handlePacket(noc::NodeId at, const noc::Packet &pkt)
+{
+    if (at == ctx_.soc.cpuTile) {
+        switch (pkt.type) {
+          case noc::MsgType::Interrupt:
+            startRound(/*fromActivity=*/true);
+            break;
+          case noc::MsgType::RegReadResp:
+            // Bookkeeping cost of digesting one tile's status.
+            ctx_.eq.scheduleIn(cfg_.ctrlCyclesPerTile, [this] {
+                ++pollIdx_;
+                pollNext();
+            }, sim::Priority::Controller);
+            break;
+          default:
+            break;
+        }
+        return;
+    }
+
+    switch (pkt.type) {
+      case noc::MsgType::RegRead: {
+        // CSR read of the tile's activity/status registers.
+        noc::Packet reply;
+        reply.src = at;
+        reply.dst = ctx_.soc.cpuTile;
+        reply.plane = noc::Plane::Service;
+        reply.type = noc::MsgType::RegReadResp;
+        reply.payload[0] = active_[at] ? 1 : 0;
+        ctx_.net.send(reply);
+        break;
+      }
+      case noc::MsgType::RegWrite: {
+        AcceleratorTile *tile = ctx_.tiles[at];
+        BLITZ_ASSERT(tile != nullptr, "RegWrite to a non-accel tile");
+        double grant = fromUw(pkt.payload[0]);
+        tile->setFreqTargetMhz(tile->curve().freqForPower(grant));
+        if (pkt.payload[1] == 1) {
+            // Last write of an activity-triggered round has landed;
+            // the response completes once the regulators settle.
+            writesApplied_ = true;
+            armSettleProbe();
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+double
+CentralPm::quantize(double powerMw) const
+{
+    const double unit = scale_.mwPerCoin();
+    return std::floor(powerMw / unit) * unit;
+}
+
+std::vector<double>
+CentralPm::computeAllocation() const
+{
+    std::vector<double> out(ctx_.soc.size(), 0.0);
+
+    if (!roundRobin_) {
+        // BC-C: the BlitzCoin equilibrium computed centrally — every
+        // active tile gets budget * w_i / sum(w), w being its coin
+        // target, capped at its own Pmax.
+        double total_w = 0.0;
+        for (noc::NodeId id : managed_) {
+            if (active_[id])
+                total_w += static_cast<double>(maxCoins()[id]);
+        }
+        if (total_w <= 0.0)
+            return out;
+        for (noc::NodeId id : managed_) {
+            if (!active_[id])
+                continue;
+            double share = scale_.budgetMw *
+                           static_cast<double>(maxCoins()[id]) / total_w;
+            share = std::min(share, ctx_.soc.tile(id).curve->pMax());
+            out[id] = quantize(share);
+        }
+        return out;
+    }
+
+    // C-RR: greedy full-power grants in rotating order until the
+    // budget runs out; everyone else idles until the rotation brings
+    // them to the front (Section V-C).
+    double remaining = scale_.budgetMw;
+    const std::size_t n = managed_.size();
+    for (std::size_t k = 0; k < n && remaining > 0.0; ++k) {
+        noc::NodeId id = managed_[(rotation_ + k) % n];
+        if (!active_[id])
+            continue;
+        double grant = std::min(remaining,
+                                ctx_.soc.tile(id).curve->pMax());
+        grant = quantize(grant);
+        out[id] = grant;
+        remaining -= grant;
+    }
+    return out;
+}
+
+StaticPm::StaticPm(const PmContext &ctx, const PmConfig &cfg)
+    : PowerManager(ctx, cfg)
+{
+}
+
+void
+StaticPm::start()
+{
+    // One-time proportional split over the provisioned tiles: the
+    // share of a tile whose task has finished (or not yet started) is
+    // simply wasted, which is the inefficiency the silicon experiment
+    // quantifies (Fig. 19 top).
+    std::vector<noc::NodeId> participants = cfg_.staticParticipants;
+    if (participants.empty())
+        participants = ctx_.soc.managedAccelerators();
+    double total_w = 0.0;
+    for (noc::NodeId id : participants)
+        total_w += static_cast<double>(maxCoins()[id]);
+    BLITZ_ASSERT(total_w > 0.0, "no tiles to allocate statically");
+    for (noc::NodeId id : participants) {
+        double share = scale_.budgetMw *
+                       static_cast<double>(maxCoins()[id]) / total_w;
+        AcceleratorTile *tile = ctx_.tiles[id];
+        BLITZ_ASSERT(tile != nullptr, "participant without a tile");
+        tile->setFreqTargetMhz(tile->curve().freqForPower(share));
+    }
+}
+
+void
+StaticPm::onTaskStart(noc::NodeId tile)
+{
+    (void)tile; // static allocation never reacts
+}
+
+void
+StaticPm::onTaskEnd(noc::NodeId tile)
+{
+    (void)tile;
+}
+
+} // namespace blitz::soc

@@ -1,0 +1,175 @@
+#include "scenarios.hpp"
+
+#include "sim/logging.hpp"
+
+namespace blitz::soc {
+
+namespace {
+
+/** Work cycles for a duration at the tile's full frequency. */
+double
+workUs(const SocConfig &cfg, noc::NodeId node, double usAtFmax)
+{
+    return usAtFmax * cfg.tile(node).curve->fMax();
+}
+
+} // namespace
+
+workload::Dag
+avParallel(const SocConfig &cfg)
+{
+    workload::Dag dag;
+    const noc::NodeId nvdla = cfg.findTile("NVDLA");
+    const noc::NodeId fft0 = cfg.findTile("FFT0");
+    const noc::NodeId fft1 = cfg.findTile("FFT1");
+    const noc::NodeId fft2 = cfg.findTile("FFT2");
+    const noc::NodeId vit0 = cfg.findTile("VIT0");
+    const noc::NodeId vit1 = cfg.findTile("VIT1");
+
+    // Staggered lengths: completions arrive one by one, each forcing a
+    // power reallocation (the transitions magnified in Fig. 16).
+    dag.add("nvdla", nvdla, workUs(cfg, nvdla, 600.0));
+    dag.add("fft0", fft0, workUs(cfg, fft0, 500.0));
+    dag.add("fft1", fft1, workUs(cfg, fft1, 450.0));
+    dag.add("fft2", fft2, workUs(cfg, fft2, 400.0));
+    dag.add("vit0", vit0, workUs(cfg, vit0, 300.0));
+    dag.add("vit1", vit1, workUs(cfg, vit1, 250.0));
+    return dag;
+}
+
+workload::Dag
+avDependent(const SocConfig &cfg, int frames)
+{
+    BLITZ_ASSERT(frames >= 1, "need at least one frame");
+    workload::Dag dag;
+    const noc::NodeId nvdla = cfg.findTile("NVDLA");
+    const noc::NodeId ffts[3] = {cfg.findTile("FFT0"),
+                                 cfg.findTile("FFT1"),
+                                 cfg.findTile("FFT2")};
+    const noc::NodeId vits[2] = {cfg.findTile("VIT0"),
+                                 cfg.findTile("VIT1")};
+
+    workload::TaskId prev_detect = 0;
+    bool has_prev = false;
+    for (int f = 0; f < frames; ++f) {
+        const std::string tag = "f" + std::to_string(f);
+        std::vector<workload::TaskId> stage;
+        for (int k = 0; k < 3; ++k) {
+            std::vector<workload::TaskId> deps;
+            if (has_prev)
+                deps.push_back(prev_detect);
+            stage.push_back(dag.add("fft" + std::to_string(k) + "-" + tag,
+                                    ffts[k], workUs(cfg, ffts[k], 120.0),
+                                    deps));
+        }
+        for (int k = 0; k < 2; ++k) {
+            std::vector<workload::TaskId> deps;
+            if (has_prev)
+                deps.push_back(prev_detect);
+            stage.push_back(dag.add("vit" + std::to_string(k) + "-" + tag,
+                                    vits[k], workUs(cfg, vits[k], 80.0),
+                                    deps));
+        }
+        prev_detect = dag.add("nvdla-" + tag, nvdla,
+                              workUs(cfg, nvdla, 150.0), stage);
+        has_prev = true;
+    }
+    return dag;
+}
+
+workload::Dag
+visionParallel(const SocConfig &cfg)
+{
+    workload::Dag dag;
+    // One staggered task per accelerator; lengths spread 200-500 us.
+    const char *names[13] = {"GEMM0", "GEMM1", "GEMM2", "GEMM3",
+                             "CONV0", "CONV1", "CONV2", "CONV3",
+                             "CONV4", "VIS0", "VIS1", "VIS2", "VIS3"};
+    double us = 500.0;
+    for (const char *n : names) {
+        noc::NodeId node = cfg.findTile(n);
+        dag.add(n, node, workUs(cfg, node, us));
+        us -= 25.0;
+    }
+    return dag;
+}
+
+workload::Dag
+visionDependent(const SocConfig &cfg, int frames)
+{
+    BLITZ_ASSERT(frames >= 1, "need at least one frame");
+    workload::Dag dag;
+    const noc::NodeId vis[4] = {cfg.findTile("VIS0"), cfg.findTile("VIS1"),
+                                cfg.findTile("VIS2"), cfg.findTile("VIS3")};
+    const noc::NodeId conv[5] = {cfg.findTile("CONV0"),
+                                 cfg.findTile("CONV1"),
+                                 cfg.findTile("CONV2"),
+                                 cfg.findTile("CONV3"),
+                                 cfg.findTile("CONV4")};
+    const noc::NodeId gemmT[4] = {cfg.findTile("GEMM0"),
+                                  cfg.findTile("GEMM1"),
+                                  cfg.findTile("GEMM2"),
+                                  cfg.findTile("GEMM3")};
+
+    std::vector<workload::TaskId> prev;
+    for (int f = 0; f < frames; ++f) {
+        const std::string tag = "f" + std::to_string(f);
+        std::vector<workload::TaskId> vstage;
+        for (int k = 0; k < 4; ++k) {
+            vstage.push_back(dag.add("vis" + std::to_string(k) + "-" + tag,
+                                     vis[k], workUs(cfg, vis[k], 150.0),
+                                     prev));
+        }
+        std::vector<workload::TaskId> cstage;
+        for (int k = 0; k < 5; ++k) {
+            cstage.push_back(dag.add("conv" + std::to_string(k) + "-" +
+                                         tag,
+                                     conv[k], workUs(cfg, conv[k], 180.0),
+                                     vstage));
+        }
+        std::vector<workload::TaskId> gstage;
+        for (int k = 0; k < 4; ++k) {
+            gstage.push_back(dag.add("gemm" + std::to_string(k) + "-" +
+                                         tag,
+                                     gemmT[k], workUs(cfg, gemmT[k], 120.0),
+                                     cstage));
+        }
+        prev = gstage;
+    }
+    return dag;
+}
+
+workload::Dag
+siliconWorkload(const SocConfig &cfg, int accels)
+{
+    workload::Dag dag;
+    struct Entry
+    {
+        const char *tile;
+        double us;
+    };
+    // NVDLA ends first so the Fig. 20 capture has its activity edge;
+    // the remaining tiles keep executing through the transition.
+    const Entry seven[7] = {
+        {"NVDLA0", 200.0}, {"FFT0", 420.0}, {"FFT1", 390.0},
+        {"VIT0", 360.0},   {"VIT1", 330.0}, {"VIT2", 300.0},
+        {"VIT3", 270.0},
+    };
+    int count;
+    switch (accels) {
+      case 7: count = 7; break;
+      case 5: count = 5; break;
+      case 4: count = 4; break;
+      case 3: count = 3; break;
+      default:
+        sim::fatal("silicon workload supports 3/4/5/7 accelerators, got ",
+                   accels);
+    }
+    for (int k = 0; k < count; ++k) {
+        noc::NodeId node = cfg.findTile(seven[k].tile);
+        dag.add(seven[k].tile, node, workUs(cfg, node, seven[k].us));
+    }
+    return dag;
+}
+
+} // namespace blitz::soc

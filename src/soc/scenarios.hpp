@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Workload scenarios of Section V-B.
+ *
+ * Two dataflow shapes per SoC (Fig. 14): Workload-Parallel (WL-Par),
+ * where every accelerator runs concurrently with staggered task lengths
+ * so completions create a stream of activity changes, and
+ * Workload-Dependent (WL-Dep), where tasks chain in the DAG a realistic
+ * application (the mini-ERA autonomous-vehicle pipeline, or a
+ * vision -> convolution -> GEMM CNN flow) imposes. Task lengths are
+ * specified as time at Fmax and converted to work cycles; under a power
+ * cap the effective duration stretches with the granted frequency.
+ *
+ * The silicon workloads reproduce the prototype measurements: 7, 5, 4
+ * or 3 accelerators of the PM cluster driven from one CVA6 core
+ * (Section V-D), with the NVDLA task ending first so the Fig. 20
+ * response capture has its activity edge.
+ */
+
+#ifndef BLITZ_SOC_SCENARIOS_HPP
+#define BLITZ_SOC_SCENARIOS_HPP
+
+#include "config.hpp"
+#include "workload/dag.hpp"
+
+namespace blitz::soc {
+
+/** WL-Par on the 3x3 AV SoC: all six accelerators, staggered lengths. */
+workload::Dag avParallel(const SocConfig &cfg);
+
+/**
+ * WL-Dep on the 3x3 AV SoC: per frame, the three FFTs (depth
+ * estimation) and two Viterbis (V2V decode) feed the NVDLA detection
+ * stage; frames pipeline back-to-back.
+ */
+workload::Dag avDependent(const SocConfig &cfg, int frames = 3);
+
+/** WL-Par on the 4x4 vision SoC: all 13 accelerators. */
+workload::Dag visionParallel(const SocConfig &cfg);
+
+/**
+ * WL-Dep on the 4x4 vision SoC: Vision front-ends feed Conv2D layers
+ * feeding GEMM classifier stages, per frame.
+ */
+workload::Dag visionDependent(const SocConfig &cfg, int frames = 3);
+
+/**
+ * Silicon-prototype workload on the 6x6 SoC PM cluster.
+ * @param accels 7, 5, 4 or 3 concurrently used accelerators.
+ */
+workload::Dag siliconWorkload(const SocConfig &cfg, int accels = 7);
+
+/** Budget presets used by the paper (mW). */
+namespace budgets {
+
+/** 3x3 SoC: 30% and 15% of the 400 mW combined accelerator peak. */
+inline constexpr double av30Percent = 120.0;
+inline constexpr double av15Percent = 60.0;
+
+/** 4x4 SoC: 33% and 66% of the ~1355 mW combined peak. */
+inline constexpr double vision33Percent = 450.0;
+inline constexpr double vision66Percent = 900.0;
+
+/** 6x6 PM cluster (510 mW peak): the measurement operating point. */
+inline constexpr double silicon = 150.0;
+
+} // namespace budgets
+
+} // namespace blitz::soc
+
+#endif // BLITZ_SOC_SCENARIOS_HPP

@@ -1,0 +1,182 @@
+#include "soc.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace blitz::soc {
+
+Soc::Soc(SocConfig config, const PmConfig &pmCfg, std::uint64_t seed)
+    : config_(std::move(config))
+{
+    config_.validate();
+    noc::Topology topo(config_.width, config_.height, /*wrap=*/false);
+    net_ = std::make_unique<noc::Network>(eq_, topo);
+
+    tilesByNode_.assign(config_.size(), nullptr);
+    for (noc::NodeId id = 0; id < config_.size(); ++id) {
+        const TileSpec &spec = config_.tile(id);
+        if (spec.type != TileType::Accel)
+            continue;
+        tileStore_.push_back(std::make_unique<AcceleratorTile>(
+            eq_, id, spec.name, *spec.curve));
+        tilesByNode_[id] = tileStore_.back().get();
+    }
+
+    PmContext ctx{eq_, *net_, config_, tilesByNode_, seed};
+    pm_ = makePowerManager(ctx, pmCfg);
+
+    // Route every node's service-plane deliveries into the manager
+    // (BlitzCoin units, controller, and tile CSRs all live there).
+    for (noc::NodeId id = 0; id < config_.size(); ++id) {
+        net_->setHandler(id, [this, id](const noc::Packet &pkt) {
+            pm_->handlePacket(id, pkt);
+        });
+    }
+}
+
+Soc::~Soc() = default;
+
+AcceleratorTile &
+Soc::tile(noc::NodeId id)
+{
+    BLITZ_ASSERT(id < tilesByNode_.size() && tilesByNode_[id],
+                 "node ", id, " is not an accelerator tile");
+    return *tilesByNode_[id];
+}
+
+double
+Soc::totalAccelPowerMw() const
+{
+    double total = 0.0;
+    for (const auto &t : tileStore_)
+        total += t->powerMw();
+    return total;
+}
+
+void
+Soc::dispatchReady()
+{
+    BLITZ_ASSERT(dag_ != nullptr, "dispatch without a workload");
+    for (const workload::Task &t : dag_->tasks()) {
+        if (taskDone_[t.id] || remainingDeps_[t.id] != 0)
+            continue;
+        AcceleratorTile *tile = tilesByNode_[t.tile];
+        BLITZ_ASSERT(tile != nullptr,
+                     "task '", t.name, "' targets a non-accel tile");
+        auto &queue = tileQueues_[t.tile];
+        if (std::find(queue.begin(), queue.end(), t.id) == queue.end())
+            queue.push_back(t.id);
+        remainingDeps_[t.id] = static_cast<std::size_t>(-1); // queued
+    }
+    // Start the head-of-line task on every idle tile.
+    for (noc::NodeId node = 0; node < tileQueues_.size(); ++node) {
+        auto &queue = tileQueues_[node];
+        if (queue.empty())
+            continue;
+        AcceleratorTile *tile = tilesByNode_[node];
+        if (tile->busy())
+            continue;
+        workload::TaskId id = queue.front();
+        queue.erase(queue.begin());
+        const workload::Task &t = dag_->task(id);
+        pm_->onTaskStart(node);
+        if (activityTrace_)
+            activityTrace_->record(eq_.now(), node, true);
+        tile->beginTask(t.workCycles, [this, id] { onTaskDone(id); });
+    }
+}
+
+void
+Soc::onTaskDone(workload::TaskId id)
+{
+    const workload::Task &t = dag_->task(id);
+    taskDone_[id] = true;
+    ++tasksCompleted_;
+    lastCompletionTick_ = eq_.now();
+
+    // The tile goes idle unless more work is queued on it; either way
+    // the manager sees the activity edge.
+    pm_->onTaskEnd(t.tile);
+    if (activityTrace_)
+        activityTrace_->record(eq_.now(), t.tile, false);
+
+    for (workload::TaskId s : dag_->successors(id)) {
+        BLITZ_ASSERT(remainingDeps_[s] > 0, "dependency underflow");
+        --remainingDeps_[s];
+    }
+    // Dispatch after the CPU notices the completion interrupt.
+    eq_.scheduleIn(1, [this] { dispatchReady(); },
+                   sim::Priority::Controller);
+}
+
+SocRunStats
+Soc::run(const workload::Dag &dag, const SocRunOptions &opts)
+{
+    dag.validate();
+    dag_ = &dag;
+    remainingDeps_.assign(dag.size(), 0);
+    taskDone_.assign(dag.size(), false);
+    tileQueues_.assign(config_.size(), {});
+    tasksCompleted_ = 0;
+    lastCompletionTick_ = 0;
+    for (const workload::Task &t : dag.tasks())
+        remainingDeps_[t.id] = t.deps.size();
+
+    SocRunStats stats;
+    // Trace the managed tiles: that is the domain the budget governs
+    // (unmanaged accelerators sit outside the PM cluster's cap).
+    const auto accels = config_.managedAccelerators();
+    std::vector<std::string> names;
+    for (noc::NodeId id : accels)
+        names.push_back(config_.tile(id).name);
+    stats.trace = std::make_unique<power::PowerTrace>(
+        accels.size(), pm_->budgetMw());
+    activityTrace_ = &stats.activity;
+    for (noc::NodeId id : accels)
+        stats.activity.setTargetCoins(id, std::max<coin::Coins>(
+            pm_->maxCoins()[id], 1));
+
+    // Periodic power sampling (the paper reconstructs traces the same
+    // way: per-tile frequency -> Fig. 13 curve -> power).
+    auto sampler = std::make_shared<std::function<void()>>();
+    auto sampling = std::make_shared<bool>(true);
+    *sampler = [this, sampler, sampling, &stats, accels, opts] {
+        if (!*sampling)
+            return;
+        std::vector<double> row;
+        row.reserve(accels.size());
+        for (noc::NodeId id : accels)
+            row.push_back(tilesByNode_[id]->powerMw());
+        stats.trace->record(eq_.now(), std::move(row));
+        eq_.scheduleIn(opts.sampleInterval, *sampler,
+                       sim::Priority::Stats);
+    };
+    eq_.schedule(0, *sampler, sim::Priority::Stats);
+
+    pm_->start();
+    eq_.scheduleIn(opts.dispatchLatency, [this] { dispatchReady(); },
+                   sim::Priority::Controller);
+
+    // Drive the event loop; stop pumping once all tasks completed and
+    // the trailing PM traffic has had a short settling window.
+    while (tasksCompleted_ < dag.size() && eq_.now() < opts.maxTime &&
+           !eq_.empty()) {
+        eq_.runOne();
+    }
+    stats.completed = tasksCompleted_ == dag.size();
+    if (stats.completed && lastCompletionTick_ + 2000 < opts.maxTime) {
+        // Capture the post-workload power decay in the trace.
+        eq_.runUntil(lastCompletionTick_ + 2000);
+    }
+    *sampling = false;
+
+    stats.execTime = lastCompletionTick_;
+    stats.responseTicks = pm_->responseTimes();
+    stats.nocPackets = net_->packetsSent();
+    activityTrace_ = nullptr;
+    dag_ = nullptr;
+    return stats;
+}
+
+} // namespace blitz::soc

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Full-SoC simulation harness.
+ *
+ * Assembles the pieces the paper's RTL testbench assembles: the mesh
+ * NoC at a fixed 800 MHz, one UVFR-clocked accelerator tile per
+ * accelerator slot, a power manager (BC / BC-C / C-RR / Static), and a
+ * CPU-side dispatcher that launches DAG workloads onto the tiles. A run
+ * produces the quantities the evaluation section reports: execution
+ * time, power-management response times, and a sampled power trace.
+ */
+
+#ifndef BLITZ_SOC_SOC_HPP
+#define BLITZ_SOC_SOC_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+#include "noc/network.hpp"
+#include "pm.hpp"
+#include "power/power_trace.hpp"
+#include "sim/event_queue.hpp"
+#include "tile.hpp"
+#include "workload/dag.hpp"
+#include "workload/trace.hpp"
+
+namespace blitz::soc {
+
+/** Result of one workload run. */
+struct SocRunStats
+{
+    /** Tick at which the last task completed (0 if none ran). */
+    sim::Tick execTime = 0;
+    /** True when every task finished inside the horizon. */
+    bool completed = false;
+    /** Power-management response times (ticks). */
+    sim::Summary responseTicks;
+    /** Sampled accelerator power trace. */
+    std::unique_ptr<power::PowerTrace> trace;
+    /** Total NoC packets (coin + control traffic). */
+    std::uint64_t nocPackets = 0;
+    /**
+     * Tile-activity edges observed during the run, with coin targets
+     * attached — replayable on the behavioral engine for fast
+     * design-space sweeps (workload::ActivityTrace::replayOn).
+     */
+    workload::ActivityTrace activity;
+
+    double
+    execTimeUs() const
+    {
+        return sim::ticksToUs(execTime);
+    }
+
+    double
+    meanResponseUs() const
+    {
+        return responseTicks.mean() * sim::nsPerTick * 1e-3;
+    }
+};
+
+/** Run options. */
+struct SocRunOptions
+{
+    /** Abort horizon (ticks). */
+    sim::Tick maxTime = sim::msToTicks(50.0);
+    /** Power sampling cadence (ticks); 400 = 0.5 us at 800 MHz. */
+    sim::Tick sampleInterval = 400;
+    /** CPU dispatch cost per task launch (cycles). */
+    sim::Tick dispatchLatency = 64;
+};
+
+/**
+ * One simulated SoC instance. Build, then run one workload; create a
+ * fresh instance per run (state is not reset between runs).
+ */
+class Soc
+{
+  public:
+    /**
+     * @param config tile grid (copied; validated).
+     * @param pmCfg power-management strategy and budget.
+     * @param seed determinism seed for the whole instance.
+     */
+    Soc(SocConfig config, const PmConfig &pmCfg, std::uint64_t seed = 1);
+
+    ~Soc();
+    Soc(const Soc &) = delete;
+    Soc &operator=(const Soc &) = delete;
+
+    const SocConfig &config() const { return config_; }
+    PowerManager &pm() { return *pm_; }
+    noc::Network &network() { return *net_; }
+    sim::EventQueue &eventQueue() { return eq_; }
+
+    /** Accelerator tile at a node. @pre the node hosts an accelerator. */
+    AcceleratorTile &tile(noc::NodeId id);
+
+    /** Execute a workload to completion (or the horizon). */
+    SocRunStats run(const workload::Dag &dag,
+                    const SocRunOptions &opts = SocRunOptions{});
+
+    /** Sum of instantaneous accelerator power (mW). */
+    double totalAccelPowerMw() const;
+
+  private:
+    void dispatchReady();
+    void onTaskDone(workload::TaskId id);
+
+    SocConfig config_;
+    sim::EventQueue eq_;
+    std::unique_ptr<noc::Network> net_;
+    std::vector<std::unique_ptr<AcceleratorTile>> tileStore_;
+    std::vector<AcceleratorTile *> tilesByNode_;
+    std::unique_ptr<PowerManager> pm_;
+
+    // Per-run scheduler state.
+    workload::ActivityTrace *activityTrace_ = nullptr;
+    const workload::Dag *dag_ = nullptr;
+    std::vector<std::size_t> remainingDeps_;
+    std::vector<bool> taskDone_;
+    std::vector<std::vector<workload::TaskId>> tileQueues_; ///< by node
+    std::size_t tasksCompleted_ = 0;
+    sim::Tick lastCompletionTick_ = 0;
+};
+
+} // namespace blitz::soc
+
+#endif // BLITZ_SOC_SOC_HPP

@@ -1,0 +1,189 @@
+#include "tile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace blitz::soc {
+
+namespace {
+
+/** Tile-clock cycles executed per NoC tick at a frequency. */
+double
+cyclesPerTick(double freqMhz)
+{
+    return freqMhz / (sim::nocFrequencyHz / 1e6);
+}
+
+/** Work below this many cycles counts as finished. */
+constexpr double completionEpsilon = 0.5;
+
+/**
+ * Residual switching activity of an idle tile whose clock still runs
+ * (the free-running oscillator keeps toggling while coins drain).
+ */
+constexpr double idleActivityFraction = 0.15;
+
+} // namespace
+
+AcceleratorTile::AcceleratorTile(sim::EventQueue &eq, noc::NodeId id,
+                                 std::string name,
+                                 const power::PfCurve &curve,
+                                 power::UvfrConfig uvfrCfg)
+    : eq_(eq), id_(id), name_(std::move(name)), curve_(&curve),
+      uvfr_([&] {
+          // The ring oscillator replicates this tile's critical path:
+          // at the curve's top voltage it runs at the tile's Fmax.
+          uvfrCfg.ro.fMaxMhz = curve.fMax();
+          uvfrCfg.ro.vNominal = curve.points().back().voltage;
+          uvfrCfg.ldo.vMax = curve.points().back().voltage;
+          return uvfrCfg;
+      }())
+{
+}
+
+double
+AcceleratorTile::powerMw() const
+{
+    double f = std::min(freqMhz(), curve_->fMax());
+    double active = curve_->powerAt(f);
+    if (busy_)
+        return active;
+    // Idle tile: datapath quiescent, clock tree and leakage remain
+    // until the coin drain parks the supply at the 7.5x idle floor.
+    return curve_->pIdle() +
+           idleActivityFraction * std::max(active - curve_->pIdle(), 0.0);
+}
+
+void
+AcceleratorTile::setFreqTargetMhz(double freqMhz)
+{
+    // Close the progress interval at the old frequency first: the
+    // clock divider acts instantly when the target drops below the
+    // oscillator output, so the effective frequency can change at
+    // this very tick, before any control-loop step runs.
+    accrueProgress();
+    uvfr_.setTargetMhz(std::min(freqMhz, curve_->fMax()));
+    accrualFreqMhz_ = this->freqMhz();
+    scheduleCompletion();
+    kickControlLoop();
+}
+
+void
+AcceleratorTile::accrueProgress()
+{
+    const sim::Tick now = eq_.now();
+    if (busy_ && now > lastAccrual_) {
+        double done = cyclesPerTick(accrualFreqMhz_) *
+                      static_cast<double>(now - lastAccrual_);
+        done = std::min(done, remainingCycles_);
+        remainingCycles_ -= done;
+        cyclesDone_ += done;
+    }
+    lastAccrual_ = now;
+    accrualFreqMhz_ = freqMhz();
+}
+
+void
+AcceleratorTile::scheduleCompletion()
+{
+    const std::uint64_t gen = ++completionGen_;
+    if (!busy_)
+        return;
+    const double rate = cyclesPerTick(accrualFreqMhz_);
+    if (rate <= 0.0)
+        return; // clock parked; completion waits for coins
+    if (remainingCycles_ <= completionEpsilon) {
+        // Degenerate zero-length remainder: finish on the next tick.
+        eq_.scheduleIn(1, [this, gen] {
+            if (gen != completionGen_)
+                return;
+            finishCheck();
+        });
+        return;
+    }
+    auto ticks = static_cast<sim::Tick>(
+        std::ceil(remainingCycles_ / rate));
+    eq_.scheduleIn(std::max<sim::Tick>(ticks, 1), [this, gen] {
+        if (gen != completionGen_)
+            return;
+        finishCheck();
+    });
+}
+
+void
+AcceleratorTile::finishCheck()
+{
+    accrueProgress();
+    if (remainingCycles_ <= completionEpsilon) {
+        busy_ = false;
+        remainingCycles_ = 0.0;
+        auto done = std::move(onComplete_);
+        onComplete_ = nullptr;
+        if (done)
+            done();
+    } else {
+        scheduleCompletion(); // frequency changed mid-flight; re-aim
+    }
+}
+
+void
+AcceleratorTile::beginTask(double workCycles,
+                           std::function<void()> onComplete)
+{
+    BLITZ_ASSERT(!busy_, "tile ", name_, " is already executing");
+    BLITZ_ASSERT(workCycles > 0.0, "task with non-positive work");
+    accrueProgress();
+    busy_ = true;
+    remainingCycles_ = workCycles;
+    onComplete_ = std::move(onComplete);
+    scheduleCompletion();
+}
+
+double
+AcceleratorTile::progressCycles() const
+{
+    return busy_ ? remainingCycles_ : 0.0;
+}
+
+void
+AcceleratorTile::controlStep()
+{
+    accrueProgress(); // close the interval at the pre-step frequency
+    const double before = uvfr_.freqMhz();
+    uvfr_.step();
+    const double after = uvfr_.freqMhz();
+    if (after != before) {
+        accrualFreqMhz_ = after;
+        scheduleCompletion();
+    }
+    if (uvfr_.settled() && after == before) {
+        // Loop reached steady state: stop stepping until the next
+        // target change (kickControlLoop re-arms it).
+        loopActive_ = false;
+        return;
+    }
+    const std::uint64_t gen = loopGen_;
+    eq_.scheduleIn(uvfr_.controlPeriod(), [this, gen] {
+        if (gen != loopGen_ || !loopActive_)
+            return;
+        controlStep();
+    });
+}
+
+void
+AcceleratorTile::kickControlLoop()
+{
+    if (loopActive_)
+        return;
+    loopActive_ = true;
+    const std::uint64_t gen = ++loopGen_;
+    eq_.scheduleIn(uvfr_.controlPeriod(), [this, gen] {
+        if (gen != loopGen_ || !loopActive_)
+            return;
+        controlStep();
+    });
+}
+
+} // namespace blitz::soc

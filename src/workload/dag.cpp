@@ -1,0 +1,100 @@
+#include "dag.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace blitz::workload {
+
+TaskId
+Dag::add(std::string name, noc::NodeId tile, double workCycles,
+         std::vector<TaskId> deps)
+{
+    if (workCycles <= 0.0)
+        sim::fatal("task '", name, "' has non-positive work");
+    auto id = static_cast<TaskId>(tasks_.size());
+    tasks_.push_back(Task{id, std::move(name), tile, workCycles,
+                          std::move(deps)});
+    successors_.emplace_back();
+    for (TaskId d : tasks_.back().deps) {
+        if (d >= id)
+            sim::fatal("task ", id, " depends on not-yet-added task ", d);
+        successors_[d].push_back(id);
+    }
+    return id;
+}
+
+const std::vector<TaskId> &
+Dag::successors(TaskId id) const
+{
+    return successors_.at(id);
+}
+
+std::vector<TaskId>
+Dag::roots() const
+{
+    std::vector<TaskId> out;
+    for (const Task &t : tasks_) {
+        if (t.deps.empty())
+            out.push_back(t.id);
+    }
+    return out;
+}
+
+void
+Dag::validate() const
+{
+    // add() forbids forward/self dependencies, which already guarantees
+    // acyclicity; re-verify here so hand-mutated graphs are caught too.
+    (void)topoOrder();
+}
+
+std::vector<TaskId>
+Dag::topoOrder() const
+{
+    std::vector<std::size_t> indegree(tasks_.size(), 0);
+    for (const Task &t : tasks_) {
+        for (TaskId d : t.deps) {
+            if (d >= tasks_.size())
+                sim::fatal("task ", t.id, " depends on unknown task ", d);
+            ++indegree[t.id];
+        }
+    }
+    std::vector<TaskId> ready;
+    for (const Task &t : tasks_) {
+        if (indegree[t.id] == 0)
+            ready.push_back(t.id);
+    }
+    std::vector<TaskId> order;
+    order.reserve(tasks_.size());
+    while (!ready.empty()) {
+        TaskId id = ready.back();
+        ready.pop_back();
+        order.push_back(id);
+        for (TaskId s : successors_[id]) {
+            if (--indegree[s] == 0)
+                ready.push_back(s);
+        }
+    }
+    if (order.size() != tasks_.size())
+        sim::fatal("workload DAG contains a cycle");
+    return order;
+}
+
+double
+Dag::totalWork() const
+{
+    double sum = 0.0;
+    for (const Task &t : tasks_)
+        sum += t.workCycles;
+    return sum;
+}
+
+bool
+Dag::isParallel() const
+{
+    return std::all_of(tasks_.begin(), tasks_.end(),
+                       [](const Task &t) { return t.deps.empty(); });
+}
+
+} // namespace blitz::workload

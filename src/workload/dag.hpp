@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Task DAGs: the workload representation of Section V-B.
+ *
+ * A workload is a set of tasks, each bound to an accelerator tile with
+ * an amount of work expressed in accelerator clock cycles at full
+ * frequency. Dependencies form a DAG: in the Workload-Parallel (WL-Par)
+ * scenario the DAG has no edges and every accelerator runs concurrently;
+ * in Workload-Dependent (WL-Dep) tasks chain the way a real application
+ * (e.g. the connected-autonomous-vehicle pipeline) does.
+ */
+
+#ifndef BLITZ_WORKLOAD_DAG_HPP
+#define BLITZ_WORKLOAD_DAG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noc/topology.hpp"
+
+namespace blitz::workload {
+
+/** Task identifier within a DAG. */
+using TaskId = std::uint32_t;
+
+/** One accelerator invocation. */
+struct Task
+{
+    TaskId id = 0;
+    std::string name;
+    /** Tile that executes the task. */
+    noc::NodeId tile = 0;
+    /** Work in accelerator cycles at Fmax. */
+    double workCycles = 0.0;
+    /** Tasks that must complete before this one starts. */
+    std::vector<TaskId> deps;
+};
+
+/**
+ * Directed acyclic graph of tasks.
+ *
+ * Construction validates ids and acyclicity; accessors expose the
+ * successor lists the scheduler needs.
+ */
+class Dag
+{
+  public:
+    Dag() = default;
+
+    /**
+     * Add a task; its id must equal its index (enforced).
+     * @return the task id.
+     */
+    TaskId add(std::string name, noc::NodeId tile, double workCycles,
+               std::vector<TaskId> deps = {});
+
+    std::size_t size() const { return tasks_.size(); }
+    const Task &task(TaskId id) const { return tasks_.at(id); }
+    const std::vector<Task> &tasks() const { return tasks_; }
+
+    /** Tasks that depend on @p id. */
+    const std::vector<TaskId> &successors(TaskId id) const;
+
+    /** Tasks with no dependencies. */
+    std::vector<TaskId> roots() const;
+
+    /**
+     * Validate the graph: dependency ids exist and there is no cycle.
+     * fatal() on violation; call once after building.
+     */
+    void validate() const;
+
+    /** Topological order (validates implicitly). */
+    std::vector<TaskId> topoOrder() const;
+
+    /** Sum of work over all tasks (cycles). */
+    double totalWork() const;
+
+    /** True when no task depends on another (WL-Par shape). */
+    bool isParallel() const;
+
+  private:
+    std::vector<Task> tasks_;
+    std::vector<std::vector<TaskId>> successors_;
+};
+
+} // namespace blitz::workload
+
+#endif // BLITZ_WORKLOAD_DAG_HPP

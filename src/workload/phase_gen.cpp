@@ -1,0 +1,47 @@
+#include "phase_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace blitz::workload {
+
+PhaseGenerator::PhaseGenerator(std::uint32_t tiles,
+                               const PhaseGenConfig &cfg,
+                               std::uint64_t seed)
+    : tiles_(tiles), cfg_(cfg), rng_(seed), active0_(tiles, false)
+{
+    if (tiles_ == 0)
+        sim::fatal("phase generator needs at least one tile");
+    if (cfg_.meanPhaseTicks == 0)
+        sim::fatal("mean phase duration must be positive");
+    for (std::uint32_t i = 0; i < tiles_; ++i)
+        active0_[i] = rng_.chance(cfg_.initialActiveFraction);
+}
+
+std::vector<PhaseEvent>
+PhaseGenerator::generate(sim::Tick horizon)
+{
+    std::vector<PhaseEvent> events;
+    const double mean = static_cast<double>(cfg_.meanPhaseTicks);
+    for (std::uint32_t i = 0; i < tiles_; ++i) {
+        bool active = active0_[i];
+        double t = rng_.exponential(mean);
+        while (t <= static_cast<double>(horizon)) {
+            active = !active;
+            events.push_back(PhaseEvent{
+                static_cast<sim::Tick>(std::llround(t)), i, active});
+            t += rng_.exponential(mean);
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const PhaseEvent &a, const PhaseEvent &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  return a.tile < b.tile;
+              });
+    return events;
+}
+
+} // namespace blitz::workload

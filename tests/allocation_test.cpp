@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the AP/RP allocation strategies and the coin scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coin/allocation.hpp"
+
+namespace {
+
+using namespace blitz;
+using coin::AllocPolicy;
+using coin::CoinScale;
+using coin::computeMaxCoins;
+using coin::makeScale;
+
+const std::vector<double> pmax3x3{0.0, 55.0, 27.5, 55.0,
+                                  180.0, 0.0, 55.0, 27.5, 0.0};
+
+TEST(Allocation, ScaleMapsLargestTileToFullCounter)
+{
+    CoinScale s = makeScale(120.0, pmax3x3, 6);
+    // One coin = Pmax_largest / 63.
+    EXPECT_NEAR(s.mwPerCoin(), 180.0 / 63.0, 0.05);
+    EXPECT_NEAR(static_cast<double>(s.poolCoins) * s.mwPerCoin(),
+                120.0, s.mwPerCoin());
+}
+
+TEST(Allocation, PowerOfScalesLinearly)
+{
+    CoinScale s = makeScale(120.0, pmax3x3, 6);
+    EXPECT_NEAR(s.powerOf(10), 10.0 * s.mwPerCoin(), 1e-9);
+    EXPECT_DOUBLE_EQ(s.powerOf(0), 0.0);
+}
+
+TEST(Allocation, RpIsProportionalToPmax)
+{
+    CoinScale s = makeScale(120.0, pmax3x3, 6);
+    std::vector<bool> active(9, true);
+    auto max = computeMaxCoins(AllocPolicy::RelativeProportional,
+                               pmax3x3, active, s, 6);
+    EXPECT_EQ(max[4], 63); // NVDLA at full scale
+    EXPECT_NEAR(static_cast<double>(max[1]), 63.0 * 55.0 / 180.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(max[2]), 63.0 * 27.5 / 180.0, 1.0);
+    EXPECT_EQ(max[0], 0); // non-accelerator
+}
+
+TEST(Allocation, ApGivesEqualTargets)
+{
+    CoinScale s = makeScale(120.0, pmax3x3, 6);
+    std::vector<bool> active(9, true);
+    auto max = computeMaxCoins(AllocPolicy::AbsoluteProportional,
+                               pmax3x3, active, s, 6);
+    // Every active accelerator gets the same max -> equal power split.
+    EXPECT_EQ(max[1], max[2]);
+    EXPECT_EQ(max[1], max[4]);
+    EXPECT_EQ(max[0], 0);
+}
+
+TEST(Allocation, InactiveTilesGetZero)
+{
+    CoinScale s = makeScale(120.0, pmax3x3, 6);
+    std::vector<bool> active(9, false);
+    active[4] = true;
+    auto max = computeMaxCoins(AllocPolicy::RelativeProportional,
+                               pmax3x3, active, s, 6);
+    EXPECT_EQ(max[4], 63);
+    EXPECT_EQ(max[1], 0);
+}
+
+TEST(Allocation, TargetsSaturateAtCounterWidth)
+{
+    // A budget-heavy scale cannot push a target beyond 2^bits - 1.
+    CoinScale tiny = makeScale(10.0, pmax3x3, 4);
+    std::vector<bool> active(9, true);
+    auto max = computeMaxCoins(AllocPolicy::RelativeProportional,
+                               pmax3x3, active, tiny, 4);
+    for (coin::Coins m : max)
+        EXPECT_LE(m, 15);
+}
+
+TEST(Allocation, ActiveTileAlwaysGetsAtLeastOneCoinTarget)
+{
+    // A tiny tile must not round to max = 0 while active.
+    CoinScale s = makeScale(500.0, {1.0, 500.0}, 6);
+    auto max = computeMaxCoins(AllocPolicy::RelativeProportional,
+                               {1.0, 500.0}, {true, true}, s, 6);
+    EXPECT_GE(max[0], 1);
+}
+
+TEST(Allocation, PolicyNames)
+{
+    EXPECT_STREQ(coin::allocPolicyName(
+                     AllocPolicy::AbsoluteProportional), "AP");
+    EXPECT_STREQ(coin::allocPolicyName(
+                     AllocPolicy::RelativeProportional), "RP");
+}
+
+TEST(Allocation, InvalidInputsFatal)
+{
+    EXPECT_THROW(makeScale(0.0, pmax3x3, 6), sim::FatalError);
+    EXPECT_THROW(makeScale(100.0, {0.0, 0.0}, 6), sim::FatalError);
+}
+
+TEST(Allocation, MismatchedVectorsPanic)
+{
+    CoinScale s = makeScale(120.0, pmax3x3, 6);
+    std::vector<bool> wrong(3, true);
+    EXPECT_THROW(computeMaxCoins(AllocPolicy::RelativeProportional,
+                                 pmax3x3, wrong, s, 6),
+                 sim::PanicError);
+}
+
+} // namespace

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Tests for dynamic timing (exponential back-off) and partner
+ * selection (neighbor rotation + randomized pairing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coin/backoff.hpp"
+#include "coin/pairing.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace blitz;
+using coin::BackoffConfig;
+using coin::BackoffTimer;
+using coin::PairingConfig;
+using coin::PartnerSelector;
+
+// -------------------------------------------------------------- backoff
+
+TEST(Backoff, StartsAtBaseInterval)
+{
+    BackoffConfig cfg;
+    cfg.baseInterval = 32;
+    BackoffTimer t(cfg);
+    EXPECT_EQ(t.interval(), 32u);
+}
+
+TEST(Backoff, GrowsByLambdaOnIdleExchange)
+{
+    BackoffConfig cfg;
+    cfg.baseInterval = 16;
+    cfg.lambda = 2.0;
+    cfg.maxInterval = 100;
+    BackoffTimer t(cfg);
+    t.onExchange(false);
+    EXPECT_EQ(t.interval(), 32u);
+    t.onExchange(false);
+    EXPECT_EQ(t.interval(), 64u);
+    t.onExchange(false);
+    EXPECT_EQ(t.interval(), 100u); // clamped at max
+    t.onExchange(false);
+    EXPECT_EQ(t.interval(), 100u);
+}
+
+TEST(Backoff, ShrinksOnCoinMovement)
+{
+    BackoffConfig cfg;
+    cfg.baseInterval = 16;
+    cfg.k = 4;
+    cfg.minInterval = 8;
+    BackoffTimer t(cfg);
+    t.onExchange(true);
+    EXPECT_EQ(t.interval(), 12u);
+    t.onExchange(true);
+    EXPECT_EQ(t.interval(), 8u); // floor
+    t.onExchange(true);
+    EXPECT_EQ(t.interval(), 8u);
+}
+
+TEST(Backoff, MovementSnapsBackedOffTimerToBase)
+{
+    BackoffConfig cfg;
+    cfg.baseInterval = 16;
+    cfg.lambda = 2.0;
+    cfg.k = 4;
+    cfg.maxInterval = 2048;
+    BackoffTimer t(cfg);
+    for (int i = 0; i < 10; ++i)
+        t.onExchange(false);
+    EXPECT_EQ(t.interval(), 2048u);
+    t.onExchange(true);
+    EXPECT_LE(t.interval(), 16u); // snapped to (below) base
+}
+
+TEST(Backoff, ResetOnActivityRestoresBase)
+{
+    BackoffConfig cfg;
+    cfg.baseInterval = 16;
+    BackoffTimer t(cfg);
+    for (int i = 0; i < 5; ++i)
+        t.onExchange(false);
+    t.resetOnActivity();
+    EXPECT_EQ(t.interval(), 16u);
+}
+
+TEST(Backoff, DisabledTimerNeverMoves)
+{
+    BackoffConfig cfg;
+    cfg.enabled = false;
+    cfg.baseInterval = 24;
+    BackoffTimer t(cfg);
+    t.onExchange(false);
+    t.onExchange(true);
+    EXPECT_EQ(t.interval(), 24u);
+}
+
+TEST(Backoff, DiscontentCapsInterval)
+{
+    BackoffConfig cfg;
+    cfg.baseInterval = 16;
+    cfg.discontentCap = 64;
+    BackoffTimer t(cfg);
+    for (int i = 0; i < 10; ++i)
+        t.onExchange(false);
+    EXPECT_GT(t.interval(), 64u);
+    EXPECT_EQ(t.intervalFor(true), 64u);
+    EXPECT_EQ(t.intervalFor(false), t.interval());
+}
+
+TEST(Backoff, GrowthAlwaysMakesProgress)
+{
+    // Even with lambda very close to 1, the interval must strictly
+    // grow (rounding must not pin it).
+    BackoffConfig cfg;
+    cfg.baseInterval = 10;
+    cfg.lambda = 1.01;
+    BackoffTimer t(cfg);
+    sim::Tick prev = t.interval();
+    for (int i = 0; i < 20; ++i) {
+        t.onExchange(false);
+        EXPECT_GT(t.interval(), prev);
+        prev = t.interval();
+    }
+}
+
+TEST(Backoff, InvalidConfigPanics)
+{
+    BackoffConfig bad;
+    bad.minInterval = 0;
+    EXPECT_THROW(BackoffTimer{bad}, sim::PanicError);
+    BackoffConfig bad2;
+    bad2.lambda = 0.5;
+    EXPECT_THROW(BackoffTimer{bad2}, sim::PanicError);
+}
+
+// -------------------------------------------------------------- pairing
+
+TEST(Pairing, RotatesThroughAllNeighbors)
+{
+    noc::Topology topo(4, 4, true);
+    sim::Rng rng(1);
+    PairingConfig cfg;
+    cfg.randomPairing = false;
+    PartnerSelector sel(topo, 5, cfg, rng);
+
+    std::set<noc::NodeId> seen;
+    for (int i = 0; i < 4; ++i)
+        seen.insert(sel.next());
+    auto expected = topo.neighbors(5);
+    EXPECT_EQ(seen.size(), expected.size());
+    for (noc::NodeId n : expected)
+        EXPECT_TRUE(seen.count(n)) << "neighbor " << n << " skipped";
+}
+
+TEST(Pairing, RandomPairingEveryPeriod)
+{
+    noc::Topology topo(5, 5, true);
+    sim::Rng rng(2);
+    PairingConfig cfg;
+    cfg.randomPairing = true;
+    cfg.period = 16;
+    PartnerSelector sel(topo, 12, cfg, rng);
+
+    int far_count = 0;
+    for (int i = 1; i <= 160; ++i) {
+        sel.next();
+        if (sel.lastWasRandom()) {
+            ++far_count;
+            EXPECT_EQ(i % 16, 0) << "random pairing off-schedule";
+        }
+    }
+    EXPECT_EQ(far_count, 10);
+}
+
+TEST(Pairing, RandomPartnersAreNonNeighbors)
+{
+    noc::Topology topo(5, 5, true);
+    sim::Rng rng(3);
+    PairingConfig cfg;
+    cfg.period = 4;
+    PartnerSelector sel(topo, 12, cfg, rng);
+    auto neighbors = topo.neighbors(12);
+
+    for (int i = 0; i < 200; ++i) {
+        noc::NodeId p = sel.next();
+        EXPECT_NE(p, 12u);
+        if (sel.lastWasRandom()) {
+            EXPECT_EQ(std::find(neighbors.begin(), neighbors.end(), p),
+                      neighbors.end());
+        }
+    }
+}
+
+TEST(Pairing, LfsrWalkCoversAllNonNeighbors)
+{
+    // The hardware guarantee (Section III-E): the shift register pairs
+    // every non-neighbor within a fixed time.
+    noc::Topology topo(4, 4, true);
+    sim::Rng rng(4);
+    PairingConfig cfg;
+    cfg.period = 2; // every other exchange is far, for test speed
+    cfg.mode = coin::PairingMode::Lfsr;
+    PartnerSelector sel(topo, 0, cfg, rng);
+
+    const std::size_t far_total =
+        topo.size() - 1 - topo.neighbors(0).size();
+    std::set<noc::NodeId> far_seen;
+    for (std::size_t i = 0; i < 4 * far_total; ++i) {
+        noc::NodeId p = sel.next();
+        if (sel.lastWasRandom())
+            far_seen.insert(p);
+    }
+    EXPECT_EQ(far_seen.size(), far_total);
+}
+
+TEST(Pairing, UniformModeStaysLegal)
+{
+    noc::Topology topo(4, 4, true);
+    sim::Rng rng(5);
+    PairingConfig cfg;
+    cfg.period = 3;
+    cfg.mode = coin::PairingMode::Uniform;
+    PartnerSelector sel(topo, 7, cfg, rng);
+    for (int i = 0; i < 100; ++i) {
+        noc::NodeId p = sel.next();
+        EXPECT_NE(p, 7u);
+        EXPECT_LT(p, topo.size());
+    }
+}
+
+TEST(Pairing, ExplicitListsConstructor)
+{
+    sim::Rng rng(6);
+    PairingConfig cfg;
+    cfg.period = 4;
+    PartnerSelector sel({10u, 20u}, {30u, 40u}, cfg, rng);
+    std::set<noc::NodeId> near, far;
+    for (int i = 0; i < 40; ++i) {
+        noc::NodeId p = sel.next();
+        (sel.lastWasRandom() ? far : near).insert(p);
+    }
+    EXPECT_EQ(near, (std::set<noc::NodeId>{10u, 20u}));
+    EXPECT_EQ(far, (std::set<noc::NodeId>{30u, 40u}));
+}
+
+TEST(Pairing, ExplicitListsWithoutRandomPairing)
+{
+    sim::Rng rng(7);
+    PairingConfig cfg;
+    cfg.randomPairing = false;
+    PartnerSelector sel({3u}, {9u}, cfg, rng);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(sel.next(), 3u);
+        EXPECT_FALSE(sel.lastWasRandom());
+    }
+}
+
+TEST(Pairing, EmptyNeighborListPanics)
+{
+    sim::Rng rng(8);
+    PairingConfig cfg;
+    EXPECT_THROW(PartnerSelector({}, {1u}, cfg, rng), sim::PanicError);
+}
+
+TEST(Pairing, ForceFarOverridesPeriod)
+{
+    sim::Rng rng(9);
+    PairingConfig cfg;
+    cfg.period = 16;
+    PartnerSelector sel({1u, 2u}, {8u, 9u}, cfg, rng);
+    for (int i = 0; i < 10; ++i) {
+        noc::NodeId p = sel.next(/*forceFar=*/true);
+        EXPECT_TRUE(p == 8u || p == 9u);
+        EXPECT_TRUE(sel.lastWasRandom());
+    }
+}
+
+TEST(Pairing, ForceFarWithoutFarListFallsBack)
+{
+    sim::Rng rng(10);
+    PairingConfig cfg;
+    PartnerSelector sel({3u}, {}, cfg, rng);
+    EXPECT_EQ(sel.next(/*forceFar=*/true), 3u);
+    EXPECT_FALSE(sel.lastWasRandom());
+}
+
+// ---------------------------------------------------------- isolation
+
+TEST(Isolation, TriggersAfterIdleStreak)
+{
+    coin::IsolationDetector iso(4);
+    for (int i = 0; i < 3; ++i) {
+        iso.onExchange(/*moved=*/false, /*partnerMax=*/0);
+        EXPECT_FALSE(iso.isolated());
+    }
+    iso.onExchange(false, 0);
+    EXPECT_TRUE(iso.isolated());
+}
+
+TEST(Isolation, CoinMovementClearsStreak)
+{
+    coin::IsolationDetector iso(4);
+    for (int i = 0; i < 3; ++i)
+        iso.onExchange(false, 0);
+    iso.onExchange(/*moved=*/true, 0);
+    EXPECT_FALSE(iso.isolated());
+    for (int i = 0; i < 3; ++i)
+        iso.onExchange(false, 0);
+    EXPECT_FALSE(iso.isolated());
+}
+
+TEST(Isolation, ActiveBalancedPartnerClearsStreak)
+{
+    // A zero-move exchange with an *active* partner is evidence the
+    // distribution is fine, not that the tile is stranded.
+    coin::IsolationDetector iso(4);
+    for (int i = 0; i < 3; ++i)
+        iso.onExchange(false, 0);
+    iso.onExchange(false, /*partnerMax=*/16);
+    EXPECT_FALSE(iso.isolated());
+}
+
+TEST(Isolation, ResetClears)
+{
+    coin::IsolationDetector iso(2);
+    iso.onExchange(false, 0);
+    iso.onExchange(false, 0);
+    ASSERT_TRUE(iso.isolated());
+    iso.reset();
+    EXPECT_FALSE(iso.isolated());
+}
+
+} // namespace

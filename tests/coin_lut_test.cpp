@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the coin-count -> frequency-target LUT.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blitzcoin/coin_lut.hpp"
+
+namespace {
+
+using namespace blitz;
+using blitzcoin::CoinLut;
+
+coin::CoinScale
+scale400()
+{
+    // 3x3-style domain: largest tile 180 mW at 63 coins.
+    return coin::makeScale(120.0, {55.0, 27.5, 180.0}, 6);
+}
+
+TEST(CoinLut, Has64Entries)
+{
+    CoinLut lut(power::catalog::fft(), scale400(), 6);
+    EXPECT_EQ(lut.size(), 64u);
+}
+
+TEST(CoinLut, MonotoneInCoins)
+{
+    CoinLut lut(power::catalog::nvdla(), scale400(), 6);
+    double prev = -1.0;
+    for (coin::Coins c = 0; c < 64; ++c) {
+        double f = lut.freqFor(c);
+        EXPECT_GE(f, prev) << "coin " << c;
+        prev = f;
+    }
+}
+
+TEST(CoinLut, ZeroAndNegativeCoinsParkTheClock)
+{
+    CoinLut lut(power::catalog::fft(), scale400(), 6);
+    EXPECT_DOUBLE_EQ(lut.freqFor(0), 0.0);
+    EXPECT_DOUBLE_EQ(lut.freqFor(-7), 0.0); // transient underflow
+}
+
+TEST(CoinLut, SaturatesBeyondTable)
+{
+    CoinLut lut(power::catalog::fft(), scale400(), 6);
+    EXPECT_DOUBLE_EQ(lut.freqFor(100), lut.freqFor(63));
+}
+
+TEST(CoinLut, FullScaleCoinsReachFmaxOnLargestTile)
+{
+    // The scale maps 63 coins to the largest tile's Pmax.
+    CoinLut lut(power::catalog::nvdla(), scale400(), 6);
+    EXPECT_NEAR(lut.freqFor(63), power::catalog::nvdla().fMax(),
+                power::catalog::nvdla().fMax() * 0.02);
+}
+
+TEST(CoinLut, SmallTileSaturatesEarly)
+{
+    // A Viterbi (27.5 mW) hits Fmax with ~10 coins on the 3x3 scale.
+    CoinLut lut(power::catalog::viterbi(), scale400(), 6);
+    EXPECT_NEAR(lut.freqFor(10), power::catalog::viterbi().fMax(),
+                power::catalog::viterbi().fMax() * 0.05);
+    EXPECT_DOUBLE_EQ(lut.freqFor(30), lut.freqFor(63));
+}
+
+TEST(CoinLut, PowerForNeverExceedsGrant)
+{
+    CoinLut lut(power::catalog::fft(), scale400(), 6);
+    const double mw_per_coin = scale400().mwPerCoin();
+    for (coin::Coins c = 1; c < 64; ++c) {
+        EXPECT_LE(lut.powerFor(c),
+                  static_cast<double>(c) * mw_per_coin + 1e-9)
+            << "coin " << c << " over-consumes its grant";
+    }
+}
+
+TEST(CoinLut, PrecisionScalesEntries)
+{
+    CoinLut lut4(power::catalog::fft(), scale400(), 4);
+    EXPECT_EQ(lut4.size(), 16u);
+}
+
+} // namespace

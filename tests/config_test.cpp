@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the SoC configuration presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "soc/config.hpp"
+
+namespace {
+
+using namespace blitz;
+using soc::SocConfig;
+using soc::TileType;
+
+TEST(Config, Av3x3Shape)
+{
+    SocConfig cfg = soc::make3x3AvSoc();
+    EXPECT_EQ(cfg.size(), 9u);
+    EXPECT_EQ(cfg.managedAccelerators().size(), 6u); // N=6 in Fig. 17
+    EXPECT_NEAR(cfg.totalManagedPMax(), 400.0, 1e-9);
+    EXPECT_EQ(cfg.tile(cfg.cpuTile).type, TileType::Cpu);
+}
+
+TEST(Config, Vision4x4Shape)
+{
+    SocConfig cfg = soc::make4x4VisionSoc();
+    EXPECT_EQ(cfg.size(), 16u);
+    EXPECT_EQ(cfg.managedAccelerators().size(), 13u); // N=13 in Table I
+    EXPECT_NEAR(cfg.totalManagedPMax(), 1355.0, 1e-9);
+}
+
+TEST(Config, Silicon6x6Shape)
+{
+    SocConfig cfg = soc::make6x6SiliconSoc();
+    EXPECT_EQ(cfg.size(), 36u);
+    // 10-tile PM cluster (Section V-D).
+    EXPECT_EQ(cfg.managedAccelerators().size(), 10u);
+    // The FFT No-PM overhead-baseline tile exists but is unmanaged.
+    noc::NodeId nopm = cfg.findTile("FFT-NoPM");
+    EXPECT_EQ(cfg.tile(nopm).type, TileType::Accel);
+    EXPECT_FALSE(cfg.tile(nopm).pmEnabled);
+    // 4 CVA6 cores, 4 memory tiles, 4 scratchpads, 1 IO.
+    int cpus = 0, mems = 0, spms = 0, ios = 0;
+    for (noc::NodeId i = 0; i < cfg.size(); ++i) {
+        switch (cfg.tile(i).type) {
+          case TileType::Cpu: ++cpus; break;
+          case TileType::Mem: ++mems; break;
+          case TileType::Scratchpad: ++spms; break;
+          case TileType::Io: ++ios; break;
+          default: break;
+        }
+    }
+    EXPECT_EQ(cpus, 4);
+    EXPECT_EQ(mems, 4);
+    EXPECT_EQ(spms, 4);
+    EXPECT_EQ(ios, 1);
+}
+
+TEST(Config, SiliconPmClusterComposition)
+{
+    SocConfig cfg = soc::make6x6SiliconSoc();
+    int fft = 0, vit = 0, nvdla = 0;
+    for (noc::NodeId id : cfg.managedAccelerators()) {
+        const std::string &n = cfg.tile(id).curve->name();
+        if (n == "FFT")
+            ++fft;
+        else if (n == "Viterbi")
+            ++vit;
+        else if (n == "NVDLA")
+            ++nvdla;
+    }
+    EXPECT_EQ(fft, 3);
+    EXPECT_EQ(vit, 6);
+    EXPECT_EQ(nvdla, 1);
+}
+
+TEST(Config, FindTileByName)
+{
+    SocConfig cfg = soc::make3x3AvSoc();
+    EXPECT_EQ(cfg.tile(cfg.findTile("NVDLA")).curve->name(), "NVDLA");
+    EXPECT_THROW(cfg.findTile("nonexistent"), sim::FatalError);
+}
+
+TEST(Config, PMaxByNodeZeroForNonAccel)
+{
+    SocConfig cfg = soc::make3x3AvSoc();
+    auto pmax = cfg.pMaxByNode();
+    EXPECT_DOUBLE_EQ(pmax[cfg.cpuTile], 0.0);
+    EXPECT_GT(pmax[cfg.findTile("NVDLA")], 100.0);
+}
+
+TEST(Config, SyntheticSocScales)
+{
+    SocConfig cfg =
+        soc::makeSyntheticSoc(10, power::catalog::fft());
+    EXPECT_EQ(cfg.size(), 100u);
+    EXPECT_EQ(cfg.managedAccelerators().size(), 99u);
+    EXPECT_NO_THROW(cfg.validate());
+    EXPECT_THROW(soc::makeSyntheticSoc(1, power::catalog::fft()),
+                 sim::FatalError);
+}
+
+TEST(Config, ValidateCatchesBrokenConfigs)
+{
+    SocConfig cfg = soc::make3x3AvSoc();
+    cfg.tiles[1].curve = nullptr; // accel without curve
+    EXPECT_THROW(cfg.validate(), sim::FatalError);
+
+    SocConfig cfg2 = soc::make3x3AvSoc();
+    cfg2.cpuTile = 1; // not a CPU
+    EXPECT_THROW(cfg2.validate(), sim::FatalError);
+
+    SocConfig cfg3 = soc::make3x3AvSoc();
+    cfg3.tiles.pop_back();
+    EXPECT_THROW(cfg3.validate(), sim::FatalError);
+}
+
+TEST(Config, TileTypeNames)
+{
+    EXPECT_STREQ(soc::tileTypeName(TileType::Cpu), "CPU");
+    EXPECT_STREQ(soc::tileTypeName(TileType::Accel), "Accel");
+    EXPECT_STREQ(soc::tileTypeName(TileType::Scratchpad), "SPM");
+}
+
+} // namespace

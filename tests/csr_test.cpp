@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the CSR block (Fig. 11) and runtime reconfiguration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "blitzcoin/csr.hpp"
+#include "coin/neighborhood.hpp"
+
+namespace {
+
+using namespace blitz;
+using blitzcoin::BlitzCoinUnit;
+using blitzcoin::CsrBlock;
+using blitzcoin::CsrReg;
+using blitzcoin::UnitConfig;
+
+struct CsrFixture : ::testing::Test
+{
+    sim::EventQueue eq;
+    noc::Topology topo{2, 2, false};
+    noc::Network net{eq, topo};
+    std::vector<std::unique_ptr<BlitzCoinUnit>> units;
+    std::unique_ptr<CsrBlock> csr;
+
+    void
+    SetUp() override
+    {
+        std::vector<bool> managed(4, true);
+        auto hoods = coin::managedNeighborhoods(topo, managed);
+        for (noc::NodeId id = 0; id < 4; ++id) {
+            units.push_back(std::make_unique<BlitzCoinUnit>(
+                eq, net, id, UnitConfig{}, hoods[id], 50 + id));
+            net.setHandler(id, [this, id](const noc::Packet &pkt) {
+                units[id]->handlePacket(pkt);
+            });
+        }
+        csr = std::make_unique<CsrBlock>(*units[0]);
+    }
+};
+
+TEST_F(CsrFixture, StatusRegistersReflectUnitState)
+{
+    units[0]->setHas(7);
+    units[0]->setMax(20);
+    EXPECT_EQ(csr->read(CsrReg::CoinCount), 7);
+    EXPECT_EQ(csr->read(CsrReg::CoinTarget), 20);
+    EXPECT_EQ(csr->read(CsrReg::ExchangesInit), 0);
+    EXPECT_EQ(csr->read(CsrReg::Enable), 0);
+}
+
+TEST_F(CsrFixture, StatusRegistersAreReadOnly)
+{
+    units[0]->setHas(7);
+    EXPECT_FALSE(csr->write(CsrReg::CoinCount, 99));
+    EXPECT_EQ(units[0]->has(), 7);
+    EXPECT_FALSE(csr->write(CsrReg::ExchangesInit, 5));
+}
+
+TEST_F(CsrFixture, MaxCoinsWriteProgramsTarget)
+{
+    EXPECT_TRUE(csr->write(CsrReg::MaxCoins, 42));
+    EXPECT_EQ(units[0]->max(), 42);
+    EXPECT_FALSE(csr->write(CsrReg::MaxCoins, -1));
+}
+
+TEST_F(CsrFixture, ConfigurationRoundTrips)
+{
+    EXPECT_TRUE(csr->write(CsrReg::RefreshBase, 32));
+    EXPECT_EQ(csr->read(CsrReg::RefreshBase), 32);
+    EXPECT_TRUE(csr->write(CsrReg::BackoffLambda8, 24)); // lambda = 3
+    EXPECT_EQ(csr->read(CsrReg::BackoffLambda8), 24);
+    EXPECT_TRUE(csr->write(CsrReg::BackoffK, 4));
+    EXPECT_EQ(csr->read(CsrReg::BackoffK), 4);
+    EXPECT_TRUE(csr->write(CsrReg::PairingPeriod, 8));
+    EXPECT_EQ(csr->read(CsrReg::PairingPeriod), 8);
+    EXPECT_TRUE(csr->write(CsrReg::ThermalCap, 12));
+    EXPECT_EQ(csr->read(CsrReg::ThermalCap), 12);
+}
+
+TEST_F(CsrFixture, InvalidConfigurationRejected)
+{
+    EXPECT_FALSE(csr->write(CsrReg::RefreshBase, 0));
+    EXPECT_FALSE(csr->write(CsrReg::BackoffLambda8, 7)); // lambda < 1
+    EXPECT_FALSE(csr->write(CsrReg::PairingPeriod, 1));
+    EXPECT_FALSE(csr->write(CsrReg::BackoffK, -3));
+    EXPECT_FALSE(csr->write(CsrReg::Enable, 5));
+}
+
+TEST_F(CsrFixture, EnableStartsAndStopsExchanges)
+{
+    units[0]->setHas(16);
+    units[0]->setMax(8);
+    units[1]->setMax(8);
+    units[1]->start();
+    EXPECT_TRUE(csr->write(CsrReg::Enable, 1));
+    EXPECT_EQ(csr->read(CsrReg::Enable), 1);
+    eq.runUntil(2000);
+    EXPECT_GT(csr->read(CsrReg::ExchangesInit), 0);
+    EXPECT_TRUE(csr->write(CsrReg::Enable, 0));
+    auto initiated = csr->read(CsrReg::ExchangesInit);
+    eq.runUntil(4000);
+    EXPECT_EQ(csr->read(CsrReg::ExchangesInit), initiated);
+}
+
+TEST_F(CsrFixture, ThermalCapWriteTakesEffectInProtocol)
+{
+    // Cap tile 0 at 3 coins via CSR; the exchange must honor it.
+    EXPECT_TRUE(csr->write(CsrReg::ThermalCap, 3));
+    units[1]->setHas(20);
+    for (auto &u : units) {
+        u->setMax(10);
+        u->start();
+    }
+    eq.runUntil(20000);
+    EXPECT_LE(units[0]->has(), 3);
+}
+
+TEST_F(CsrFixture, NegativeThermalCapMeansUncapped)
+{
+    EXPECT_TRUE(csr->write(CsrReg::ThermalCap, -1));
+    EXPECT_EQ(csr->read(CsrReg::ThermalCap), coin::uncapped);
+}
+
+TEST_F(CsrFixture, ReconfigureSurvivesLiveTraffic)
+{
+    for (auto &u : units) {
+        u->setMax(16);
+        u->setHas(8);
+        u->start();
+    }
+    eq.runUntil(1000);
+    // Retune the back-off law mid-flight; protocol must keep running
+    // and conserving.
+    EXPECT_TRUE(csr->write(CsrReg::RefreshBase, 64));
+    EXPECT_TRUE(csr->write(CsrReg::BackoffLambda8, 32));
+    eq.runUntil(20000);
+    coin::Coins total = 0;
+    for (auto &u : units)
+        total += u->has();
+    EXPECT_EQ(total, 32);
+}
+
+TEST_F(CsrFixture, UnmappedAddressReadsZero)
+{
+    EXPECT_EQ(csr->handleRead(0x7f8), 0);
+    EXPECT_FALSE(csr->handleWrite(0x7f8, 1));
+}
+
+TEST_F(CsrFixture, PacketStyleHandlersMatchDirectAccess)
+{
+    units[0]->setHas(9);
+    EXPECT_EQ(csr->handleRead(static_cast<std::int64_t>(
+                  CsrReg::CoinCount)),
+              9);
+    EXPECT_TRUE(csr->handleWrite(
+        static_cast<std::int64_t>(CsrReg::MaxCoins), 30));
+    EXPECT_EQ(units[0]->max(), 30);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the workload DAG representation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hpp"
+#include "workload/dag.hpp"
+
+namespace {
+
+using namespace blitz;
+using workload::Dag;
+using workload::TaskId;
+
+Dag
+diamond()
+{
+    // a -> {b, c} -> d
+    Dag dag;
+    TaskId a = dag.add("a", 0, 100.0);
+    TaskId b = dag.add("b", 1, 100.0, {a});
+    TaskId c = dag.add("c", 2, 100.0, {a});
+    dag.add("d", 3, 100.0, {b, c});
+    return dag;
+}
+
+TEST(Dag, IdsAreSequential)
+{
+    Dag dag = diamond();
+    EXPECT_EQ(dag.size(), 4u);
+    for (TaskId i = 0; i < 4; ++i)
+        EXPECT_EQ(dag.task(i).id, i);
+}
+
+TEST(Dag, SuccessorsInvertDeps)
+{
+    Dag dag = diamond();
+    EXPECT_EQ(dag.successors(0), (std::vector<TaskId>{1, 2}));
+    EXPECT_EQ(dag.successors(1), (std::vector<TaskId>{3}));
+    EXPECT_TRUE(dag.successors(3).empty());
+}
+
+TEST(Dag, RootsAreDependencyFree)
+{
+    Dag dag = diamond();
+    EXPECT_EQ(dag.roots(), (std::vector<TaskId>{0}));
+}
+
+TEST(Dag, TopoOrderRespectsDeps)
+{
+    Dag dag = diamond();
+    auto order = dag.topoOrder();
+    ASSERT_EQ(order.size(), 4u);
+    std::vector<std::size_t> pos(4);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = i;
+    for (const auto &t : dag.tasks()) {
+        for (TaskId d : t.deps)
+            EXPECT_LT(pos[d], pos[t.id]);
+    }
+}
+
+TEST(Dag, ValidatePassesOnDiamond)
+{
+    EXPECT_NO_THROW(diamond().validate());
+}
+
+TEST(Dag, ForwardDependencyRejected)
+{
+    Dag dag;
+    dag.add("a", 0, 1.0);
+    EXPECT_THROW(dag.add("b", 1, 1.0, {5}), sim::FatalError);
+}
+
+TEST(Dag, SelfDependencyRejected)
+{
+    Dag dag;
+    dag.add("a", 0, 1.0);
+    EXPECT_THROW(dag.add("b", 1, 1.0, {1}), sim::FatalError);
+}
+
+TEST(Dag, NonPositiveWorkRejected)
+{
+    Dag dag;
+    EXPECT_THROW(dag.add("zero", 0, 0.0), sim::FatalError);
+    EXPECT_THROW(dag.add("neg", 0, -5.0), sim::FatalError);
+}
+
+TEST(Dag, TotalWorkSums)
+{
+    Dag dag = diamond();
+    EXPECT_DOUBLE_EQ(dag.totalWork(), 400.0);
+}
+
+TEST(Dag, IsParallelDetectsShape)
+{
+    EXPECT_FALSE(diamond().isParallel());
+    Dag par;
+    par.add("x", 0, 1.0);
+    par.add("y", 1, 1.0);
+    EXPECT_TRUE(par.isParallel());
+}
+
+TEST(Dag, ChainTopoOrder)
+{
+    Dag dag;
+    TaskId prev = dag.add("t0", 0, 1.0);
+    for (int i = 1; i < 10; ++i)
+        prev = dag.add("t" + std::to_string(i), 0, 1.0, {prev});
+    auto order = dag.topoOrder();
+    for (TaskId i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Failure-injection tests: lost packets, stale exchanges with
+ * transient negative coins, and the deadlock scenario at the
+ * hardware-unit level.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "blitzcoin/unit.hpp"
+#include "coin/neighborhood.hpp"
+
+namespace {
+
+using namespace blitz;
+using blitzcoin::BlitzCoinUnit;
+using blitzcoin::UnitConfig;
+
+/** Cluster with a packet-dropping demux between network and units. */
+struct LossyCluster
+{
+    sim::EventQueue eq;
+    noc::Topology topo;
+    noc::Network net;
+    std::vector<std::unique_ptr<BlitzCoinUnit>> units;
+    sim::Rng dropRng{424242};
+    double dropRate = 0.0;
+    std::uint64_t dropped = 0;
+
+    explicit LossyCluster(int d, UnitConfig cfg = UnitConfig{})
+        : topo(d, d, false), net(eq, topo)
+    {
+        std::vector<bool> managed(topo.size(), true);
+        auto hoods = coin::managedNeighborhoods(topo, managed);
+        for (noc::NodeId id = 0; id < topo.size(); ++id) {
+            units.push_back(std::make_unique<BlitzCoinUnit>(
+                eq, net, id, cfg, hoods[id], 77 + id));
+            net.setHandler(id, [this, id](const noc::Packet &pkt) {
+                if (dropRng.chance(dropRate)) {
+                    ++dropped;
+                    return; // packet lost at the tile boundary
+                }
+                units[id]->handlePacket(pkt);
+            });
+        }
+    }
+
+    coin::Coins
+    totalCoins() const
+    {
+        coin::Coins sum = 0;
+        for (const auto &u : units)
+            sum += u->has();
+        return sum;
+    }
+};
+
+TEST(Failure, LostUpdateDoesNotWedgeTheInitiator)
+{
+    // Drop *every* packet: initiators must time out and keep running
+    // rather than waiting forever on the missing CoinUpdate.
+    LossyCluster c(2);
+    c.dropRate = 1.0;
+    for (auto &u : c.units) {
+        u->setMax(8);
+        u->setHas(4);
+        u->start();
+    }
+    c.eq.runUntil(20000);
+    for (auto &u : c.units)
+        EXPECT_GT(u->exchangesInitiated(), 2u)
+            << "unit stopped initiating after a lost exchange";
+}
+
+TEST(Failure, ModerateLossStillConverges)
+{
+    // 10% loss at the tile boundary: the protocol must still converge
+    // (dropped CoinStatus aborts the exchange; dropped CoinUpdate is
+    // recovered by the timeout path).
+    LossyCluster c(3);
+    c.dropRate = 0.10;
+    const coin::Coins maxes[9] = {10, 20, 40, 10, 60, 20, 10, 20, 10};
+    for (std::size_t i = 0; i < 9; ++i)
+        c.units[i]->setMax(maxes[i]);
+    c.units[4]->setHas(95);
+    for (auto &u : c.units)
+        u->start();
+    c.eq.runUntil(200000);
+    // Check a roughly proportional distribution was reached.
+    double alpha = 95.0 / 200.0;
+    for (std::size_t i = 0; i < 9; ++i) {
+        EXPECT_NEAR(static_cast<double>(c.units[i]->has()),
+                    alpha * static_cast<double>(maxes[i]), 6.0)
+            << "tile " << i;
+    }
+}
+
+TEST(Failure, DroppedStatusConservesCoins)
+{
+    // A dropped CoinStatus means no exchange happened at all; a
+    // dropped CoinUpdate would lose the delta applied at the partner,
+    // so conservation holds only when updates are NOT dropped. This
+    // test drops statuses only (the realistic congestion-loss point)
+    // and verifies exact conservation.
+    LossyCluster c(2);
+    // Intercept only CoinStatus: re-wire handlers.
+    for (noc::NodeId id = 0; id < c.topo.size(); ++id) {
+        c.net.setHandler(id, [&c, id](const noc::Packet &pkt) {
+            if (pkt.type == noc::MsgType::CoinStatus &&
+                c.dropRng.chance(0.3)) {
+                ++c.dropped;
+                return;
+            }
+            c.units[id]->handlePacket(pkt);
+        });
+    }
+    for (auto &u : c.units) {
+        u->setMax(8);
+        u->setHas(4);
+        u->start();
+    }
+    c.eq.runUntil(100000);
+    EXPECT_GT(c.dropped, 0u);
+    EXPECT_EQ(c.totalCoins(), 16);
+}
+
+TEST(Failure, StaleExchangeCausesOnlyTransientNegatives)
+{
+    // Force the negative-coin artifact (Section IV-A): a tile serves
+    // a status while its own update is in flight, transiently
+    // overdrawing the counter. Steady state must be non-negative.
+    UnitConfig cfg;
+    cfg.backoff.baseInterval = 2; // aggressive overlap
+    cfg.backoff.minInterval = 2;
+    LossyCluster c(3, cfg);
+    sim::Rng rng(7);
+    for (auto &u : c.units) {
+        u->setMax(rng.range(8, 63));
+        u->setHas(rng.range(0, 10));
+        u->start();
+    }
+    bool saw_negative = false;
+    for (auto &u : c.units) {
+        u->onCoinsChanged = [&saw_negative](coin::Coins has) {
+            if (has < 0)
+                saw_negative = true;
+        };
+    }
+    const coin::Coins total = c.totalCoins();
+    // Churn activity to maximize in-flight overlap.
+    for (int round = 0; round < 50; ++round) {
+        c.eq.runUntil(c.eq.now() + 200);
+        auto i = static_cast<std::size_t>(rng.below(9));
+        c.units[i]->setMax(rng.chance(0.4) ? 0 : rng.range(8, 63));
+    }
+    c.eq.runUntil(c.eq.now() + 50000);
+    EXPECT_EQ(c.totalCoins(), total) << "conservation broken";
+    for (auto &u : c.units)
+        EXPECT_GE(u->has(), 0) << "steady-state negative count";
+    // The artifact itself is timing-dependent; do not require it, but
+    // record whether the scenario exercised it.
+    (void)saw_negative;
+}
+
+TEST(Failure, IsolatedActiveTileRescuedByRandomPairing)
+{
+    // Hardware-level checkerboard (Fig. 5): center tile active, all
+    // neighbors idle, coins parked on a far corner.
+    UnitConfig cfg;
+    cfg.pairing.randomPairing = true;
+    cfg.pairing.period = 16;
+    LossyCluster c(3, cfg);
+    c.units[4]->setMax(16);
+    c.units[0]->setHas(16);
+    for (auto &u : c.units)
+        u->start();
+    c.eq.runUntil(sim::usToTicks(100.0));
+    EXPECT_EQ(c.units[4]->has(), 16);
+    EXPECT_EQ(c.units[0]->has(), 0);
+}
+
+TEST(Failure, WithoutRandomPairingIsolationPersists)
+{
+    UnitConfig cfg;
+    cfg.pairing.randomPairing = false;
+    LossyCluster c(3, cfg);
+    c.units[4]->setMax(16);
+    c.units[0]->setHas(16);
+    for (auto &u : c.units)
+        u->start();
+    c.eq.runUntil(sim::usToTicks(100.0));
+    // Corner 0 only exchanges with neighbors 1 and 3 (idle, no use
+    // for coins)... but they in turn neighbor the center. Mesh
+    // diffusion through idle tiles is only possible via random
+    // pairing or via idle tiles themselves pushing coins; with plain
+    // rotation the idle intermediaries never *accept* coins (max=0
+    // on both sides moves nothing), so the center stays starved.
+    EXPECT_EQ(c.units[4]->has(), 0);
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Cross-module integration tests beyond the core soc_test suite:
+ * silicon workload subsets, recorded-trace replay, static
+ * provisioning, and AP/RP on the heterogeneous 4x4 mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "soc/pm_impl.hpp"
+#include "soc/scenarios.hpp"
+#include "soc/soc.hpp"
+
+namespace {
+
+using namespace blitz;
+using soc::PmConfig;
+using soc::PmKind;
+using soc::Soc;
+
+PmConfig
+pmConfig(PmKind kind, double budget)
+{
+    PmConfig pm;
+    pm.kind = kind;
+    pm.budgetMw = budget;
+    return pm;
+}
+
+/** Silicon workload subsets all complete and respect the cap. */
+class SiliconSubsets : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SiliconSubsets, CompletesUnderCap)
+{
+    Soc s(soc::make6x6SiliconSoc(),
+          pmConfig(PmKind::BlitzCoin, soc::budgets::silicon), 31);
+    auto dag = soc::siliconWorkload(s.config(), GetParam());
+    auto st = s.run(dag);
+    EXPECT_TRUE(st.completed);
+    EXPECT_LE(st.trace->averageTotalMw(), soc::budgets::silicon);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SiliconSubsets,
+                         ::testing::Values(3, 4, 5, 7));
+
+TEST(IntegrationExtra, RunRecordsActivityTrace)
+{
+    Soc s(soc::make3x3AvSoc(), pmConfig(PmKind::BlitzCoin, 120.0), 7);
+    auto dag = soc::avDependent(s.config(), 2);
+    auto st = s.run(dag);
+    ASSERT_TRUE(st.completed);
+    // One start and one end edge per task.
+    EXPECT_EQ(st.activity.size(), 2 * dag.size());
+    EXPECT_LE(st.activity.horizon(), st.execTime);
+    // Edges alternate per tile (start/end pairing).
+    std::vector<int> open(s.config().size(), 0);
+    for (const auto &e : st.activity.events()) {
+        open[e.tile] += e.startsExecution ? 1 : -1;
+        EXPECT_GE(open[e.tile], 0);
+        EXPECT_LE(open[e.tile], 1);
+    }
+}
+
+TEST(IntegrationExtra, RecordedTraceReplaysOnBehavioralEngine)
+{
+    Soc s(soc::make3x3AvSoc(), pmConfig(PmKind::BlitzCoin, 120.0), 7);
+    auto st = s.run(soc::avDependent(s.config(), 2));
+    ASSERT_GT(st.activity.size(), 0u);
+
+    coin::EngineConfig cfg;
+    coin::MeshSim mesh(noc::Topology(3, 3, true), cfg, 7);
+    mesh.randomizeHas(s.pm().scale().poolCoins);
+    auto rs = st.activity.replayOn(mesh);
+    EXPECT_GT(rs.exchanges, 0u);
+    EXPECT_EQ(mesh.ledger().totalHas(), s.pm().scale().poolCoins);
+    EXPECT_LE(rs.finalMaxError, 2.5);
+}
+
+TEST(IntegrationExtra, StaticParticipantsNarrowTheSplit)
+{
+    // Provisioning for fewer tiles gives each a larger share, so the
+    // workload's tiles run faster than under an all-tiles split.
+    auto cfg = soc::make6x6SiliconSoc();
+    auto dag = soc::siliconWorkload(cfg, 3);
+
+    PmConfig narrow = pmConfig(PmKind::StaticAlloc,
+                               soc::budgets::silicon);
+    for (const auto &t : dag.tasks())
+        narrow.staticParticipants.push_back(t.tile);
+    Soc s1(cfg, narrow, 5);
+    auto fast = s1.run(dag);
+
+    Soc s2(cfg, pmConfig(PmKind::StaticAlloc, soc::budgets::silicon),
+           5);
+    auto slow = s2.run(dag);
+
+    ASSERT_TRUE(fast.completed);
+    ASSERT_TRUE(slow.completed);
+    EXPECT_LT(fast.execTime, slow.execTime);
+}
+
+TEST(IntegrationExtra, RpBeatsApOnHeterogeneousParallelMix)
+{
+    auto run = [](coin::AllocPolicy alloc) {
+        PmConfig pm = pmConfig(PmKind::BlitzCoin,
+                               soc::budgets::vision33Percent);
+        pm.alloc = alloc;
+        Soc s(soc::make4x4VisionSoc(), pm, 21);
+        return s.run(soc::visionParallel(s.config())).execTime;
+    };
+    EXPECT_LT(run(coin::AllocPolicy::RelativeProportional),
+              run(coin::AllocPolicy::AbsoluteProportional));
+}
+
+TEST(IntegrationExtra, ResponseSummariesPopulatedForAdaptiveKinds)
+{
+    for (PmKind kind : {PmKind::BlitzCoin, PmKind::BlitzCoinCentral,
+                        PmKind::CentralRoundRobin}) {
+        Soc s(soc::make3x3AvSoc(), pmConfig(kind, 120.0), 9);
+        auto st = s.run(soc::avParallel(s.config()));
+        EXPECT_GT(st.responseTicks.count(), 0u)
+            << soc::pmKindName(kind);
+        EXPECT_GT(st.responseTicks.mean(), 0.0);
+    }
+}
+
+TEST(IntegrationExtra, BlitzCoinScalesToSyntheticSoc)
+{
+    // A 5x5 synthetic SoC (24 managed accelerators) end to end.
+    auto cfg = soc::makeSyntheticSoc(5, power::catalog::fft());
+    PmConfig pm = pmConfig(PmKind::BlitzCoin, 300.0);
+    Soc s(cfg, pm, 3);
+    workload::Dag dag;
+    double us = 200.0;
+    for (noc::NodeId id : cfg.managedAccelerators()) {
+        dag.add(cfg.tile(id).name, id,
+                us * cfg.tile(id).curve->fMax());
+        us += 10.0;
+    }
+    auto st = s.run(dag);
+    EXPECT_TRUE(st.completed);
+    EXPECT_LE(st.trace->averageTotalMw(), 300.0 * 1.02);
+    auto &bc = dynamic_cast<soc::BlitzCoinPm &>(s.pm());
+    EXPECT_EQ(bc.clusterCoins(), bc.scale().poolCoins);
+}
+
+TEST(IntegrationExtra, HigherCoinPrecisionTightensAllocation)
+{
+    // 8-bit coins quantize power 4x finer than 6-bit; the equilibrium
+    // allocation error (in mW) shrinks accordingly.
+    auto quantum = [](int bits) {
+        PmConfig pm = pmConfig(PmKind::BlitzCoin, 120.0);
+        pm.coinBits = bits;
+        Soc s(soc::make3x3AvSoc(), pm, 5);
+        return s.pm().scale().mwPerCoin();
+    };
+    EXPECT_NEAR(quantum(6) / quantum(8), 4.0, 0.1);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the analytical scaling model (Equations 5.1-5.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/scaling.hpp"
+#include "sim/logging.hpp"
+
+namespace {
+
+using namespace blitz;
+using analytic::fitLaw;
+using analytic::ScalingLaw;
+using analytic::Scheme;
+
+TEST(Scaling, ExponentsMatchPaper)
+{
+    EXPECT_DOUBLE_EQ(analytic::schemeExponent(Scheme::BC), 0.5);
+    EXPECT_DOUBLE_EQ(analytic::schemeExponent(Scheme::BCC), 1.0);
+    EXPECT_DOUBLE_EQ(analytic::schemeExponent(Scheme::CRR), 1.0);
+    EXPECT_DOUBLE_EQ(analytic::schemeExponent(Scheme::TS), 1.0);
+}
+
+TEST(Scaling, FitRecoversExactLaw)
+{
+    // Samples generated from T = 0.2 sqrt(N) must fit tau = 0.2.
+    std::vector<std::pair<double, double>> samples;
+    for (double n : {4.0, 16.0, 64.0, 256.0})
+        samples.emplace_back(n, 0.2 * std::sqrt(n));
+    ScalingLaw law = fitLaw(Scheme::BC, samples);
+    EXPECT_NEAR(law.tauUs, 0.2, 1e-12);
+}
+
+TEST(Scaling, FitIsLeastSquaresOnNoisyData)
+{
+    std::vector<std::pair<double, double>> samples{
+        {10.0, 9.0}, {10.0, 11.0}}; // symmetric noise around 10
+    ScalingLaw law = fitLaw(Scheme::CRR, samples);
+    EXPECT_NEAR(law.tauUs, 1.0, 1e-12);
+}
+
+TEST(Scaling, ResponseGrowsWithN)
+{
+    ScalingLaw bc{Scheme::BC, 0.2, 0.5};
+    EXPECT_NEAR(bc.responseUs(100.0), 2.0, 1e-12);
+    EXPECT_NEAR(bc.responseUs(400.0), 4.0, 1e-12);
+}
+
+TEST(Scaling, NmaxClosedFormEq51to53)
+{
+    // Eq 5.3: N_max = (Tw/tau)^(2/3) for BC.
+    ScalingLaw bc{Scheme::BC, 0.2, 0.5};
+    double tw = 7000.0; // 7 ms in us
+    EXPECT_NEAR(bc.nMax(tw), std::pow(tw / 0.2, 2.0 / 3.0), 1e-9);
+    // Eq 5.1: N_max = (Tw/tau)^(1/2) for C-RR.
+    ScalingLaw crr{Scheme::CRR, 0.96, 1.0};
+    EXPECT_NEAR(crr.nMax(tw), std::sqrt(tw / 0.96), 1e-9);
+}
+
+TEST(Scaling, NmaxIsSelfConsistent)
+{
+    // At N = N_max the response time equals Tw / N by definition.
+    for (Scheme s : {Scheme::BC, Scheme::BCC, Scheme::TS}) {
+        ScalingLaw law{s, 0.5, analytic::schemeExponent(s)};
+        double tw = 10000.0;
+        double n = law.nMax(tw);
+        EXPECT_NEAR(law.responseUs(n), tw / n, 1e-6);
+    }
+}
+
+TEST(Scaling, BlitzCoinSupportsMoreAccelerators)
+{
+    // Fitted ballpark constants from the paper: tau_BC=0.20,
+    // tau_BCC=0.66, tau_CRR=0.96 us. BC must support several times
+    // more accelerators at any Tw.
+    ScalingLaw bc{Scheme::BC, 0.20, 0.5};
+    ScalingLaw bcc{Scheme::BCC, 0.66, 1.0};
+    ScalingLaw crr{Scheme::CRR, 0.96, 1.0};
+    for (double tw_ms : {0.2, 1.0, 7.0, 20.0}) {
+        double tw = tw_ms * 1000.0;
+        EXPECT_GT(bc.nMax(tw) / bcc.nMax(tw), 3.0) << tw_ms;
+        EXPECT_GT(bc.nMax(tw) / crr.nMax(tw), 3.0) << tw_ms;
+    }
+    // And around 1000 accelerators at Tw >= 7 ms (Section VI-D).
+    EXPECT_GT(bc.nMax(7000.0), 700.0);
+}
+
+TEST(Scaling, PmTimeFractionMatchesPaperExample)
+{
+    // Section VI-D: N=100, Tw=10ms -> C-RR 96%, BC-C 66%, BC 2.0%.
+    ScalingLaw bc{Scheme::BC, 0.20, 0.5};
+    ScalingLaw bcc{Scheme::BCC, 0.66, 1.0};
+    ScalingLaw crr{Scheme::CRR, 0.96, 1.0};
+    EXPECT_NEAR(crr.pmTimeFraction(100.0, 10000.0), 0.96, 1e-9);
+    EXPECT_NEAR(bcc.pmTimeFraction(100.0, 10000.0), 0.66, 1e-9);
+    EXPECT_NEAR(bc.pmTimeFraction(100.0, 10000.0), 0.02, 1e-9);
+}
+
+TEST(Scaling, PriceTheoryLawIsSlowestHardwareScheme)
+{
+    ScalingLaw pt = analytic::priceTheoryLaw();
+    ScalingLaw bc{Scheme::BC, 0.20, 0.5};
+    // PT response at N=256 after HW scaling ~ 28 us.
+    EXPECT_NEAR(pt.responseUs(256.0), 9000.0 / std::pow(10.0, 2.5),
+                1.0);
+    EXPECT_GT(pt.responseUs(256.0), bc.responseUs(256.0));
+}
+
+TEST(Scaling, FitRejectsBadInput)
+{
+    EXPECT_THROW(fitLaw(Scheme::BC, {}), sim::FatalError);
+    EXPECT_THROW(fitLaw(Scheme::BC, {{0.0, 1.0}}), sim::FatalError);
+}
+
+TEST(Scaling, SchemeNames)
+{
+    EXPECT_STREQ(analytic::schemeName(Scheme::BC), "BC");
+    EXPECT_STREQ(analytic::schemeName(Scheme::BCC), "BC-C");
+    EXPECT_STREQ(analytic::schemeName(Scheme::CRR), "C-RR");
+    EXPECT_STREQ(analytic::schemeName(Scheme::TS), "TS");
+    EXPECT_STREQ(analytic::schemeName(Scheme::PT), "PT");
+}
+
+} // namespace

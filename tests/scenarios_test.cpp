@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the workload scenario builders (Section V-B shapes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "soc/scenarios.hpp"
+
+namespace {
+
+using namespace blitz;
+
+TEST(Scenarios, AvParallelShape)
+{
+    auto cfg = soc::make3x3AvSoc();
+    auto dag = soc::avParallel(cfg);
+    EXPECT_EQ(dag.size(), 6u); // one task per accelerator
+    EXPECT_TRUE(dag.isParallel());
+    EXPECT_NO_THROW(dag.validate());
+    // Staggered lengths: all durations-at-Fmax distinct per tile type.
+    EXPECT_GT(dag.totalWork(), 0.0);
+}
+
+TEST(Scenarios, AvParallelTargetsDistinctTiles)
+{
+    auto cfg = soc::make3x3AvSoc();
+    auto dag = soc::avParallel(cfg);
+    std::set<noc::NodeId> tiles;
+    for (const auto &t : dag.tasks())
+        tiles.insert(t.tile);
+    EXPECT_EQ(tiles.size(), 6u);
+}
+
+TEST(Scenarios, AvDependentPipelines)
+{
+    auto cfg = soc::make3x3AvSoc();
+    auto dag = soc::avDependent(cfg, 3);
+    EXPECT_EQ(dag.size(), 18u); // 6 tasks per frame x 3 frames
+    EXPECT_FALSE(dag.isParallel());
+    EXPECT_NO_THROW(dag.validate());
+    // Frame 0 has 5 roots (FFTs + Viterbis); later frames depend on
+    // the previous NVDLA.
+    EXPECT_EQ(dag.roots().size(), 5u);
+    // Each NVDLA task depends on its frame's full stage.
+    int nvdla_tasks = 0;
+    for (const auto &t : dag.tasks()) {
+        if (t.name.rfind("nvdla", 0) == 0) {
+            ++nvdla_tasks;
+            EXPECT_EQ(t.deps.size(), 5u);
+        }
+    }
+    EXPECT_EQ(nvdla_tasks, 3);
+}
+
+TEST(Scenarios, AvDependentFrameCountScales)
+{
+    auto cfg = soc::make3x3AvSoc();
+    EXPECT_EQ(soc::avDependent(cfg, 1).size(), 6u);
+    EXPECT_EQ(soc::avDependent(cfg, 5).size(), 30u);
+}
+
+TEST(Scenarios, VisionParallelCoversAllThirteen)
+{
+    auto cfg = soc::make4x4VisionSoc();
+    auto dag = soc::visionParallel(cfg);
+    EXPECT_EQ(dag.size(), 13u);
+    EXPECT_TRUE(dag.isParallel());
+    std::set<noc::NodeId> tiles;
+    for (const auto &t : dag.tasks())
+        tiles.insert(t.tile);
+    EXPECT_EQ(tiles.size(), 13u);
+}
+
+TEST(Scenarios, VisionDependentStages)
+{
+    auto cfg = soc::make4x4VisionSoc();
+    auto dag = soc::visionDependent(cfg, 2);
+    EXPECT_EQ(dag.size(), 26u); // 13 per frame
+    EXPECT_NO_THROW(dag.validate());
+    // Conv stages depend on all four Vision front-ends.
+    for (const auto &t : dag.tasks()) {
+        if (t.name.rfind("conv", 0) == 0) {
+            EXPECT_EQ(t.deps.size(), 4u);
+        }
+        if (t.name.rfind("gemm", 0) == 0) {
+            EXPECT_EQ(t.deps.size(), 5u);
+        }
+    }
+}
+
+TEST(Scenarios, SiliconWorkloadSizes)
+{
+    auto cfg = soc::make6x6SiliconSoc();
+    for (int n : {3, 4, 5, 7})
+        EXPECT_EQ(soc::siliconWorkload(cfg, n).size(),
+                  static_cast<std::size_t>(n));
+    EXPECT_THROW(soc::siliconWorkload(cfg, 6), sim::FatalError);
+}
+
+TEST(Scenarios, SiliconNvdlaEndsFirst)
+{
+    // Fig. 20 captures the end of the NVDLA task; it must be the
+    // shortest at Fmax.
+    auto cfg = soc::make6x6SiliconSoc();
+    auto dag = soc::siliconWorkload(cfg, 7);
+    double nvdla_duration = 0.0;
+    double shortest_other = 1e30;
+    for (const auto &t : dag.tasks()) {
+        double us = t.workCycles / cfg.tile(t.tile).curve->fMax();
+        if (t.name == "NVDLA0")
+            nvdla_duration = us;
+        else
+            shortest_other = std::min(shortest_other, us);
+    }
+    EXPECT_GT(nvdla_duration, 0.0);
+    EXPECT_LT(nvdla_duration, shortest_other);
+}
+
+TEST(Scenarios, WorkMatchesDurationTimesFmax)
+{
+    auto cfg = soc::make3x3AvSoc();
+    auto dag = soc::avParallel(cfg);
+    // The NVDLA task is 600 us at Fmax = 900 MHz -> 540000 cycles.
+    for (const auto &t : dag.tasks()) {
+        if (t.name == "nvdla") {
+            EXPECT_NEAR(t.workCycles, 600.0 * 900.0, 1.0);
+        }
+    }
+}
+
+TEST(Scenarios, BudgetsMatchPaperFractions)
+{
+    auto av = soc::make3x3AvSoc();
+    EXPECT_NEAR(soc::budgets::av30Percent / av.totalManagedPMax(),
+                0.30, 1e-9);
+    EXPECT_NEAR(soc::budgets::av15Percent / av.totalManagedPMax(),
+                0.15, 1e-9);
+    auto vis = soc::make4x4VisionSoc();
+    EXPECT_NEAR(soc::budgets::vision33Percent /
+                    vis.totalManagedPMax(),
+                0.33, 0.01);
+    EXPECT_NEAR(soc::budgets::vision66Percent /
+                    vis.totalManagedPMax(),
+                0.66, 0.02);
+}
+
+} // namespace

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue, RNG, statistics,
+ * logging, and time conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/logging.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace {
+
+using namespace blitz;
+
+// ---------------------------------------------------------------- time
+
+TEST(Types, TickNanosecondRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(sim::ticksToNs(1), 1.25);
+    EXPECT_DOUBLE_EQ(sim::ticksToNs(800), 1000.0);
+    EXPECT_EQ(sim::nsToTicks(1000.0), 800u);
+    EXPECT_EQ(sim::usToTicks(1.0), 800u);
+    EXPECT_EQ(sim::msToTicks(1.0), 800000u);
+}
+
+TEST(Types, NsToTicksRoundsUp)
+{
+    // 1 ns is less than a cycle; it must not round down to zero.
+    EXPECT_EQ(sim::nsToTicks(1.0), 1u);
+    EXPECT_EQ(sim::nsToTicks(1.25), 1u);
+    EXPECT_EQ(sim::nsToTicks(1.26), 2u);
+}
+
+TEST(Types, TicksToUsScales)
+{
+    EXPECT_DOUBLE_EQ(sim::ticksToUs(800), 1.0);
+    EXPECT_DOUBLE_EQ(sim::ticksToMs(800000), 1.0);
+}
+
+// --------------------------------------------------------------- events
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickPriorityOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); },
+                sim::Priority::Controller);
+    eq.schedule(5, [&] { order.push_back(1); },
+                sim::Priority::NocTransfer);
+    eq.schedule(5, [&] { order.push_back(3); }, sim::Priority::Stats);
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickSamePriorityFifo)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.runUntil();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent)
+{
+    sim::EventQueue eq;
+    bool ran = false;
+    auto id = eq.schedule(10, [&] { ran = true; });
+    eq.cancel(id);
+    eq.runUntil();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoOp)
+{
+    sim::EventQueue eq;
+    eq.cancel(12345);
+    bool ran = false;
+    eq.schedule(1, [&] { ran = true; });
+    eq.runUntil();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, RunUntilHonorsLimit)
+{
+    sim::EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(30, [&] { ++count; });
+    EXPECT_EQ(eq.runUntil(20), 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.runUntil(100), 1u);
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesNowToLimit)
+{
+    sim::EventQueue eq;
+    eq.runUntil(500);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    sim::EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.runUntil();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    sim::EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runUntil();
+    EXPECT_THROW(eq.schedule(50, [] {}), sim::PanicError);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    sim::EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, PendingCountsScheduled)
+{
+    sim::EventQueue eq;
+    eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.runUntil();
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+// ----------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    sim::Rng a(99), b(99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    sim::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b()) ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    sim::Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    sim::Rng rng(3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    sim::Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    sim::Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    sim::Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(50.0);
+    EXPECT_NEAR(sum / n, 50.0, 2.0);
+}
+
+TEST(Rng, NormalMoments)
+{
+    sim::Rng rng(19);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    sim::Rng rng(23);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIsIndependentStream)
+{
+    sim::Rng a(29);
+    sim::Rng child = a.fork();
+    EXPECT_NE(a(), child());
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    sim::Rng rng(31);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(Summary, BasicMoments)
+{
+    sim::Summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, EmptyIsZero)
+{
+    sim::Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MergeMatchesCombined)
+{
+    sim::Summary a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        double x = i * 0.7;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty)
+{
+    sim::Summary a, b;
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Histogram, BinsAndOverflow)
+{
+    sim::Histogram h(0.0, 10.0, 5);
+    h.add(-1.0); // underflow
+    h.add(0.0);  // bin 0
+    h.add(1.9);  // bin 0
+    h.add(2.0);  // bin 1
+    h.add(9.99); // bin 4
+    h.add(10.0); // overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(1), 4.0);
+}
+
+TEST(Histogram, FormatMentionsCounts)
+{
+    sim::Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    std::string text = h.format();
+    EXPECT_NE(text.find("1"), std::string::npos);
+    EXPECT_NE(text.find("2"), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstructionFails)
+{
+    EXPECT_THROW(sim::Histogram(1.0, 1.0, 4), sim::PanicError);
+    EXPECT_THROW(sim::Histogram(0.0, 1.0, 0), sim::PanicError);
+}
+
+TEST(Percentiles, ExactQuantiles)
+{
+    sim::Percentiles p;
+    for (int i = 1; i <= 100; ++i)
+        p.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(p.minimum(), 1.0);
+    EXPECT_DOUBLE_EQ(p.maximum(), 100.0);
+    EXPECT_NEAR(p.median(), 50.5, 1e-9);
+    EXPECT_NEAR(p.p95(), 95.05, 1e-9);
+    EXPECT_NEAR(p.mean(), 50.5, 1e-9);
+}
+
+TEST(Percentiles, SingleSample)
+{
+    sim::Percentiles p;
+    p.add(42.0);
+    EXPECT_DOUBLE_EQ(p.median(), 42.0);
+    EXPECT_DOUBLE_EQ(p.p99(), 42.0);
+}
+
+TEST(Percentiles, EmptyQuantilePanics)
+{
+    sim::Percentiles p;
+    EXPECT_THROW(p.median(), sim::PanicError);
+}
+
+// -------------------------------------------------------------- logging
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(sim::fatal("bad config: ", 42), sim::FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(sim::panic("invariant ", "broken"), sim::PanicError);
+}
+
+TEST(Logging, MessagesCarryContent)
+{
+    try {
+        sim::fatal("value was ", 7);
+        FAIL() << "fatal did not throw";
+    } catch (const sim::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value was 7"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, AssertMacro)
+{
+    EXPECT_NO_THROW(BLITZ_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(BLITZ_ASSERT(1 + 1 == 3, "broken"), sim::PanicError);
+}
+
+} // namespace

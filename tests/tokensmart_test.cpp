@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the TokenSmart ring baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/tokensmart.hpp"
+#include "coin/engine.hpp"
+
+namespace {
+
+using namespace blitz;
+using baselines::TokenSmartConfig;
+using baselines::TokenSmartSim;
+using baselines::TsMode;
+
+TEST(TokenSmart, ConvergesHomogeneous)
+{
+    TokenSmartSim ts(16, TokenSmartConfig{}, 1);
+    for (std::size_t i = 0; i < 16; ++i)
+        ts.setMax(i, 16);
+    ts.randomizeHas(128); // half demand
+    auto r = ts.runUntilConverged(1.0, sim::msToTicks(10.0));
+    EXPECT_TRUE(r.converged);
+    // Convergence is on the *mean* error at first crossing; single
+    // tiles can still sit several tokens off because the greedy/fair
+    // oscillation keeps TS noisier than BlitzCoin (the Fig. 4
+    // observation).
+    EXPECT_LT(ts.ledger().globalError(), 1.0);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_NEAR(static_cast<double>(ts.ledger().has(i)), 8.0, 7.0);
+}
+
+TEST(TokenSmart, ConservesTokensWithCarrier)
+{
+    TokenSmartSim ts(9, TokenSmartConfig{}, 2);
+    for (std::size_t i = 0; i < 9; ++i)
+        ts.setMax(i, 10);
+    ts.randomizeHas(50);
+    // ledger + carrier pool must always hold exactly 50.
+    ts.runUntilConverged(1.0, sim::msToTicks(5.0));
+    coin::Coins on_tiles = ts.ledger().totalHas();
+    EXPECT_LE(on_tiles, 50);
+    // Demand exceeds supply, so tiles absorb (nearly) everything; the
+    // integer fair-share floor can strand up to one token per tile
+    // with the carrier.
+    EXPECT_GE(on_tiles, 50 - 9);
+}
+
+TEST(TokenSmart, GreedyHoardingTriggersFairMode)
+{
+    // Demand far exceeds supply: greedy starves the tail tiles and
+    // the policy must flip to fair within a few loops.
+    TokenSmartSim ts(8, TokenSmartConfig{}, 3);
+    for (std::size_t i = 0; i < 8; ++i)
+        ts.setMax(i, 60);
+    ts.setHas(0, 100); // all tokens parked at the ring head
+    auto r = ts.runUntilConverged(2.0, sim::msToTicks(10.0));
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(ts.mode(), TsMode::Fair);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_NEAR(static_cast<double>(ts.ledger().has(i)), 12.5, 2.0);
+}
+
+TEST(TokenSmart, SupplyMeetsDemandStaysGreedy)
+{
+    TokenSmartSim ts(6, TokenSmartConfig{}, 4);
+    for (std::size_t i = 0; i < 6; ++i)
+        ts.setMax(i, 10);
+    ts.setHas(0, 60); // exactly enough for everyone
+    auto r = ts.runUntilConverged(0.5, sim::msToTicks(5.0));
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(ts.mode(), TsMode::Greedy);
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(ts.ledger().has(i), 10);
+}
+
+TEST(TokenSmart, ActivityChangeResetsPolicy)
+{
+    TokenSmartSim ts(8, TokenSmartConfig{}, 5);
+    for (std::size_t i = 0; i < 8; ++i)
+        ts.setMax(i, 60);
+    ts.setHas(0, 100);
+    ts.runUntilConverged(2.0, sim::msToTicks(10.0));
+    ASSERT_EQ(ts.mode(), TsMode::Fair);
+    ts.setMax(3, 0);
+    EXPECT_EQ(ts.mode(), TsMode::Greedy);
+}
+
+TEST(TokenSmart, LinearScalingVsBlitzCoinSqrt)
+{
+    // The Fig. 4 headline: TS convergence grows ~linearly in N while
+    // BlitzCoin grows ~sqrt(N); at N=400 the paper reports ~11x.
+    auto ts_time = [](std::size_t n, std::uint64_t seed) {
+        TokenSmartSim ts(n, TokenSmartConfig{}, seed);
+        for (std::size_t i = 0; i < n; ++i)
+            ts.setMax(i, 16);
+        ts.randomizeHas(static_cast<coin::Coins>(8 * n));
+        auto r = ts.runUntilConverged(1.5, sim::msToTicks(100.0));
+        EXPECT_TRUE(r.converged);
+        return static_cast<double>(r.time);
+    };
+    auto bc_time = [](int d, std::uint64_t seed) {
+        coin::EngineConfig cfg;
+        cfg.wrap = true;
+        coin::MeshSim bc(noc::Topology::square(d), cfg, seed);
+        for (std::size_t i = 0; i < bc.ledger().size(); ++i)
+            bc.setMax(i, 16);
+        bc.randomizeHas(static_cast<coin::Coins>(8 * d * d));
+        auto r = bc.runUntilConverged(1.5, sim::msToTicks(100.0));
+        EXPECT_TRUE(r.converged);
+        return static_cast<double>(r.time);
+    };
+
+    double ts400 = 0, bc400 = 0;
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+        ts400 += ts_time(400, s);
+        bc400 += bc_time(20, s);
+    }
+    // BlitzCoin should converge several times faster at N = 400.
+    EXPECT_GT(ts400 / bc400, 3.0);
+}
+
+TEST(TokenSmart, InvalidConfigPanics)
+{
+    TokenSmartConfig bad;
+    bad.visitCycles = 0;
+    EXPECT_THROW(TokenSmartSim(4, bad, 1), sim::PanicError);
+}
+
+} // namespace

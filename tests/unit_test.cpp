@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the BlitzCoin hardware unit: the packet-driven 1-way
+ * exchange protocol over the routed NoC.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "blitzcoin/unit.hpp"
+#include "coin/neighborhood.hpp"
+
+namespace {
+
+using namespace blitz;
+using blitzcoin::BlitzCoinUnit;
+using blitzcoin::UnitConfig;
+
+/** A d x d SoC where every tile runs a unit. */
+struct Cluster
+{
+    sim::EventQueue eq;
+    noc::Topology topo;
+    noc::Network net;
+    std::vector<std::unique_ptr<BlitzCoinUnit>> units;
+
+    explicit Cluster(int d, UnitConfig cfg = UnitConfig{})
+        : topo(d, d, false), net(eq, topo)
+    {
+        std::vector<bool> managed(topo.size(), true);
+        auto hoods = coin::managedNeighborhoods(topo, managed);
+        for (noc::NodeId id = 0; id < topo.size(); ++id) {
+            units.push_back(std::make_unique<BlitzCoinUnit>(
+                eq, net, id, cfg, hoods[id], 1000 + id));
+            net.setHandler(id, [this, id](const noc::Packet &pkt) {
+                units[id]->handlePacket(pkt);
+            });
+        }
+    }
+
+    coin::Coins
+    totalCoins() const
+    {
+        coin::Coins sum = 0;
+        for (const auto &u : units)
+            sum += u->has();
+        return sum;
+    }
+
+    double
+    clusterError() const
+    {
+        coin::Coins th = 0, tm = 0;
+        for (const auto &u : units) {
+            th += u->has();
+            tm += u->max();
+        }
+        if (tm == 0)
+            return 0.0;
+        double alpha = static_cast<double>(th) /
+                       static_cast<double>(tm);
+        double sum = 0.0;
+        for (const auto &u : units) {
+            sum += std::abs(static_cast<double>(u->has()) -
+                            alpha * static_cast<double>(u->max()));
+        }
+        return sum / static_cast<double>(units.size());
+    }
+
+    void
+    startAll()
+    {
+        for (auto &u : units)
+            u->start();
+    }
+};
+
+TEST(Unit, TwoTilesEqualize)
+{
+    Cluster c(2);
+    c.units[0]->setHas(16);
+    c.units[0]->setMax(8);
+    c.units[1]->setMax(8);
+    c.startAll();
+    c.eq.runUntil(2000);
+    EXPECT_EQ(c.units[0]->has(), 8);
+    EXPECT_EQ(c.units[1]->has(), 8);
+    EXPECT_EQ(c.totalCoins(), 16);
+}
+
+TEST(Unit, ConservationAcrossHeavyChurn)
+{
+    Cluster c(4);
+    sim::Rng rng(5);
+    for (auto &u : c.units) {
+        u->setHas(rng.range(0, 20));
+        u->setMax(rng.range(0, 63));
+    }
+    const coin::Coins total = c.totalCoins();
+    c.startAll();
+    // Interleave activity changes with running time.
+    for (int round = 0; round < 20; ++round) {
+        c.eq.runUntil(c.eq.now() + 500);
+        auto tile = static_cast<std::size_t>(rng.below(16));
+        c.units[tile]->setMax(rng.chance(0.5) ? 0
+                                              : rng.range(1, 63));
+        ASSERT_EQ(c.totalCoins(), total) << "round " << round;
+    }
+    c.eq.runUntil(c.eq.now() + 5000);
+    EXPECT_EQ(c.totalCoins(), total);
+}
+
+TEST(Unit, ConvergesToProportionalShares)
+{
+    Cluster c(3);
+    // Heterogeneous targets; pool = half of demand.
+    const coin::Coins maxes[9] = {10, 20, 40, 10, 60, 20, 10, 20, 10};
+    coin::Coins demand = 0;
+    for (std::size_t i = 0; i < 9; ++i) {
+        c.units[i]->setMax(maxes[i]);
+        demand += maxes[i];
+    }
+    c.units[4]->setHas(demand / 2); // all coins start on one tile
+    c.startAll();
+    c.eq.runUntil(20000);
+    EXPECT_LT(c.clusterError(), 1.0);
+    const double alpha = 0.5;
+    for (std::size_t i = 0; i < 9; ++i) {
+        EXPECT_NEAR(static_cast<double>(c.units[i]->has()),
+                    alpha * static_cast<double>(maxes[i]), 2.0)
+            << "tile " << i;
+    }
+}
+
+TEST(Unit, InactiveTileDrainsOnTaskEnd)
+{
+    Cluster c(2);
+    c.units[0]->setMax(8);
+    c.units[1]->setMax(8);
+    c.units[0]->setHas(8);
+    c.units[1]->setHas(8);
+    c.startAll();
+    c.eq.runUntil(1000);
+    c.units[0]->setMax(0); // task ends: relinquish
+    c.eq.runUntil(5000);
+    EXPECT_EQ(c.units[0]->has(), 0);
+    EXPECT_EQ(c.units[1]->has(), 16);
+}
+
+TEST(Unit, SteadyStateCoinsAreNonNegative)
+{
+    Cluster c(3);
+    for (auto &u : c.units) {
+        u->setMax(16);
+        u->setHas(8);
+    }
+    c.startAll();
+    c.eq.runUntil(50000);
+    for (auto &u : c.units)
+        EXPECT_GE(u->has(), 0);
+}
+
+TEST(Unit, CoinsChangedCallbackFires)
+{
+    Cluster c(2);
+    int callbacks = 0;
+    c.units[1]->onCoinsChanged = [&](coin::Coins) { ++callbacks; };
+    c.units[0]->setHas(10);
+    c.units[0]->setMax(5);
+    c.units[1]->setMax(5);
+    c.startAll();
+    c.eq.runUntil(2000);
+    EXPECT_GT(callbacks, 0);
+    EXPECT_EQ(c.units[1]->has(), 5);
+}
+
+TEST(Unit, StopHaltsInitiation)
+{
+    Cluster c(2);
+    c.units[0]->setHas(10);
+    c.units[0]->setMax(5);
+    c.units[1]->setMax(5);
+    c.units[0]->stop();
+    c.units[1]->stop();
+    c.eq.runUntil(5000);
+    // No exchanges: coins sit where they were.
+    EXPECT_EQ(c.units[0]->has(), 10);
+    EXPECT_EQ(c.units[0]->exchangesInitiated(), 0u);
+}
+
+TEST(Unit, ServesIncomingEvenWhenStopped)
+{
+    Cluster c(2);
+    c.units[0]->setHas(10);
+    c.units[0]->setMax(5);
+    c.units[1]->setMax(5);
+    c.units[1]->stop(); // passive partner
+    c.units[0]->start();
+    c.eq.runUntil(5000);
+    // Unit 0 initiated; unit 1 served the status and took its share.
+    EXPECT_EQ(c.units[1]->has(), 5);
+    EXPECT_EQ(c.totalCoins(), 10);
+}
+
+TEST(Unit, ThermalCapGatesInflow)
+{
+    UnitConfig cfg;
+    cfg.thermalCap = 3;
+    Cluster c(2, cfg);
+    c.units[0]->setHas(20);
+    c.units[0]->setMax(10);
+    c.units[1]->setMax(10);
+    c.startAll();
+    c.eq.runUntil(10000);
+    EXPECT_LE(c.units[1]->has(), 3);
+    EXPECT_EQ(c.totalCoins(), 20);
+}
+
+TEST(Unit, TracksExchangeCounters)
+{
+    Cluster c(2);
+    c.units[0]->setHas(16);
+    c.units[0]->setMax(8);
+    c.units[1]->setMax(8);
+    c.startAll();
+    c.eq.runUntil(3000);
+    EXPECT_GT(c.units[0]->exchangesInitiated(), 0u);
+    EXPECT_GT(c.units[0]->exchangesMoved() +
+                  c.units[1]->exchangesMoved(),
+              0u);
+}
+
+} // namespace

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the unified voltage/frequency regulator loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/pf_curve.hpp"
+#include "power/uvfr.hpp"
+
+namespace {
+
+using namespace blitz;
+using power::Uvfr;
+using power::UvfrConfig;
+
+UvfrConfig
+defaultCfg()
+{
+    UvfrConfig cfg;
+    cfg.ro.fMaxMhz = 800.0;
+    cfg.ro.vNominal = 1.0;
+    cfg.ldo.vMax = 1.0;
+    return cfg;
+}
+
+/** Step the loop until settled or the iteration budget runs out. */
+int
+settle(Uvfr &u, int maxSteps = 500)
+{
+    for (int i = 1; i <= maxSteps; ++i) {
+        u.step();
+        if (u.settled())
+            return i;
+    }
+    return maxSteps + 1;
+}
+
+TEST(Uvfr, SettlesToTargetWithinTdcResolution)
+{
+    Uvfr u(defaultCfg());
+    u.setTargetMhz(600.0);
+    int steps = settle(u);
+    EXPECT_LE(steps, 200);
+    EXPECT_NEAR(u.freqMhz(), 600.0, u.tdc().resolutionMhz() * 2.0);
+}
+
+TEST(Uvfr, SettlingIsReasonablyFast)
+{
+    // The regulator must settle well before the coin exchange does:
+    // a couple hundred control periods at most (~ a few us).
+    Uvfr u(defaultCfg());
+    for (double target : {200.0, 400.0, 650.0, 800.0}) {
+        u.setTargetMhz(target);
+        EXPECT_LE(settle(u), 300) << "target " << target;
+    }
+}
+
+TEST(Uvfr, TracksDownwardRetarget)
+{
+    Uvfr u(defaultCfg());
+    u.setTargetMhz(700.0);
+    settle(u);
+    u.setTargetMhz(300.0);
+    settle(u);
+    EXPECT_NEAR(u.freqMhz(), 300.0, u.tdc().resolutionMhz() * 2.0);
+}
+
+TEST(Uvfr, DividerSuppliesSubFloorFrequencies)
+{
+    // Below the minimum-voltage oscillator frequency the supply cannot
+    // follow; the clock divider must deliver the low target anyway.
+    UvfrConfig cfg = defaultCfg();
+    Uvfr u(cfg);
+    const double floor_mhz =
+        power::RingOscillator(cfg.ro).freqAt(cfg.ldo.vMin);
+    const double target = floor_mhz / 4.0;
+    u.setTargetMhz(target);
+    settle(u);
+    EXPECT_LE(u.freqMhz(), target + 1e-9);
+    EXPECT_TRUE(u.settled());
+    // The oscillator itself still runs at the voltage floor.
+    EXPECT_GE(u.oscFreqMhz(), floor_mhz - 1e-9);
+}
+
+TEST(Uvfr, ZeroTargetParksTheClock)
+{
+    Uvfr u(defaultCfg());
+    u.setTargetMhz(500.0);
+    settle(u);
+    u.setTargetMhz(0.0);
+    settle(u);
+    EXPECT_DOUBLE_EQ(u.freqMhz(), 0.0);
+}
+
+TEST(Uvfr, UnreachableTargetSaturatesSettled)
+{
+    UvfrConfig cfg = defaultCfg();
+    cfg.ldo.vMax = 0.8; // supply cannot reach the voltage for Fmax
+    Uvfr u(cfg);
+    u.setTargetMhz(800.0);
+    int steps = settle(u);
+    EXPECT_LE(steps, 500);
+    EXPECT_TRUE(u.settled());
+    EXPECT_LT(u.freqMhz(), 800.0);
+}
+
+TEST(Uvfr, VoltageTracksOperatingPoint)
+{
+    Uvfr u(defaultCfg());
+    u.setTargetMhz(800.0);
+    settle(u);
+    double v_high = u.voltage();
+    u.setTargetMhz(300.0);
+    settle(u);
+    EXPECT_LT(u.voltage(), v_high); // lower F -> lower V: no guardband
+}
+
+TEST(Uvfr, SettledIsStableUnderFurtherStepping)
+{
+    Uvfr u(defaultCfg());
+    u.setTargetMhz(450.0);
+    settle(u);
+    double f = u.freqMhz();
+    for (int i = 0; i < 100; ++i)
+        u.step();
+    EXPECT_NEAR(u.freqMhz(), f, u.tdc().resolutionMhz() * 2.0);
+}
+
+TEST(Uvfr, TargetQuantizedToTdcResolution)
+{
+    Uvfr u(defaultCfg());
+    u.setTargetMhz(603.0); // not a multiple of 12.5 MHz
+    double q = u.targetMhz();
+    EXPECT_NEAR(q, 603.0, u.tdc().resolutionMhz());
+    EXPECT_DOUBLE_EQ(q / u.tdc().resolutionMhz(),
+                     std::round(q / u.tdc().resolutionMhz()));
+}
+
+TEST(Uvfr, DroopStretchesTheClockImmediately)
+{
+    // The guardband argument (Fig. 9): when the supply dips, the
+    // replica oscillator slows the clock *in the same instant*, so the
+    // logic never sees a cycle shorter than the voltage supports. A
+    // fixed-clock design would keep running at the target frequency —
+    // above what the drooped voltage can sustain.
+    Uvfr u(defaultCfg());
+    u.setTargetMhz(600.0);
+    settle(u);
+    const double before = u.freqMhz();
+    u.injectDroopV(0.1);
+    EXPECT_LT(u.freqMhz(), before * 0.9);
+    // Safety invariant: delivered clock never exceeds what the
+    // present voltage sustains...
+    EXPECT_LE(u.freqMhz(), u.oscFreqMhz() + 1e-9);
+    // ...while the fixed-clock design would be violating timing.
+    EXPECT_GT(u.fixedClockMhz(), u.oscFreqMhz());
+}
+
+TEST(Uvfr, LoopRecoversFromDroop)
+{
+    Uvfr u(defaultCfg());
+    u.setTargetMhz(600.0);
+    settle(u);
+    u.injectDroopV(0.15);
+    int steps = settle(u);
+    EXPECT_LE(steps, 300);
+    EXPECT_NEAR(u.freqMhz(), 600.0, u.tdc().resolutionMhz() * 2.0);
+}
+
+TEST(Uvfr, RepeatedDroopsNeverViolateTiming)
+{
+    // Property sweep: droops of any depth at any operating point keep
+    // the delivered clock within the voltage's capability.
+    Uvfr u(defaultCfg());
+    for (double target : {200.0, 500.0, 800.0}) {
+        u.setTargetMhz(target);
+        settle(u);
+        for (double droop : {0.02, 0.05, 0.1, 0.2}) {
+            u.injectDroopV(droop);
+            EXPECT_LE(u.freqMhz(), u.oscFreqMhz() + 1e-9)
+                << "target " << target << " droop " << droop;
+            settle(u);
+        }
+    }
+}
+
+/** Parameterized settling sweep: every catalog tile, several targets. */
+class UvfrCatalogSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{};
+
+TEST_P(UvfrCatalogSweep, SettlesOnEveryTileCurve)
+{
+    auto [curve_idx, frac] = GetParam();
+    const power::PfCurve &curve =
+        *power::catalog::all()[static_cast<std::size_t>(curve_idx)];
+    UvfrConfig cfg;
+    cfg.ro.fMaxMhz = curve.fMax();
+    cfg.ro.vNominal = curve.points().back().voltage;
+    cfg.ldo.vMax = curve.points().back().voltage;
+    Uvfr u(cfg);
+    u.setTargetMhz(curve.fMax() * frac);
+    int steps = settle(u);
+    EXPECT_LE(steps, 400) << curve.name();
+    EXPECT_TRUE(u.settled()) << curve.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTiles, UvfrCatalogSweep,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(0.1, 0.3, 0.5, 0.8, 1.0)));
+
+TEST(Uvfr, InvalidConfigFatal)
+{
+    UvfrConfig bad = defaultCfg();
+    bad.controlPeriod = 0;
+    EXPECT_THROW(Uvfr{bad}, sim::FatalError);
+}
+
+} // namespace
