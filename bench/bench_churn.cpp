@@ -11,7 +11,10 @@
  * equilibrium (Err above threshold = a reallocation in flight).
  */
 
+#include <array>
+
 #include "bench_common.hpp"
+#include "sweep/sweep.hpp"
 #include "workload/phase_gen.hpp"
 
 using namespace blitz;
@@ -74,15 +77,26 @@ main()
                   "measured PM-time fraction under per-tile phase "
                   "churn");
 
+    constexpr std::array<int, 5> ds{4, 8, 12, 16, 20};
+    constexpr std::size_t seedsPerPoint = 5;
+
     for (double tw_us : {250.0, 1000.0}) {
         const sim::Tick tw = sim::usToTicks(tw_us);
         std::printf("\nT_w = %.0f us:\n", tw_us);
         std::printf("%4s %6s | %12s | %14s\n", "d", "N",
                     "measured PM%", "analytic PM%");
-        for (int d : {4, 8, 12, 16, 20}) {
+        // All (d, seed) replications fan out over the sweep harness;
+        // per-d summaries are folded in replication order.
+        auto fracs = sweep::runSweep(
+            ds.size() * seedsPerPoint, /*rootSeed=*/tw,
+            [&](std::size_t i, std::uint64_t seed) {
+                return churnFraction(ds[i / seedsPerPoint], tw, seed);
+            });
+        for (std::size_t k = 0; k < ds.size(); ++k) {
+            int d = ds[k];
             sim::Summary frac;
-            for (std::uint64_t seed = 1; seed <= 5; ++seed)
-                frac.add(churnFraction(d, tw, seed));
+            for (std::size_t s = 0; s < seedsPerPoint; ++s)
+                frac.add(fracs[k * seedsPerPoint + s]);
             // Analytic prediction with the repo's fitted tau_BC
             // (bench_fig21): T(N) = 0.08 us sqrt(N).
             double n = static_cast<double>(d) * d;

@@ -19,6 +19,7 @@
 
 #include "coin/engine.hpp"
 #include "sim/stats.hpp"
+#include "sweep/sweep.hpp"
 
 namespace blitz::bench {
 
@@ -41,6 +42,17 @@ struct TrialStats
     sim::Summary startError;
     sim::Summary finalMaxError;
     int failures = 0;
+
+    /** Fold another design point's aggregate into this one. */
+    void
+    merge(const TrialStats &other)
+    {
+        timeCycles.merge(other.timeCycles);
+        packets.merge(other.packets);
+        startError.merge(other.startError);
+        finalMaxError.merge(other.finalMaxError);
+        failures += other.failures;
+    }
 };
 
 /** Mesh trial configuration. */
@@ -104,6 +116,41 @@ sweep(const TrialSetup &setup, const coin::EngineConfig &cfg,
         out.finalMaxError.add(final_max);
     }
     return out;
+}
+
+/**
+ * Parallel Monte-Carlo sweep at one design point.
+ *
+ * Trial t runs with seed sweep::streamSeed(rootSeed, t) on the sweep
+ * harness's thread pool; the per-trial aggregates are folded in index
+ * order, so the result is bit-identical for any thread count (and to
+ * a 1-thread run with the same root seed).
+ */
+inline TrialStats
+sweepParallel(const TrialSetup &setup, const coin::EngineConfig &cfg,
+              int trials, std::uint64_t rootSeed = 1,
+              const sweep::SweepOptions &opts = {})
+{
+    auto one = [&setup, &cfg](std::size_t, std::uint64_t seed) {
+        TrialStats s;
+        double start_err = 0.0, final_max = 0.0;
+        auto r = runTrial(setup, cfg, seed, &start_err, &final_max);
+        if (!r.converged) {
+            ++s.failures;
+            return s;
+        }
+        s.timeCycles.add(static_cast<double>(r.time));
+        s.packets.add(static_cast<double>(r.packets));
+        s.startError.add(start_err);
+        s.finalMaxError.add(final_max);
+        return s;
+    };
+    return sweep::runSweepFold<TrialStats>(
+        static_cast<std::size_t>(trials), rootSeed, one,
+        [](TrialStats &acc, const TrialStats &s, std::size_t) {
+            acc.merge(s);
+        },
+        TrialStats{}, opts);
 }
 
 } // namespace blitz::bench

@@ -16,56 +16,118 @@
 #include "analytic/scaling.hpp"
 #include "baselines/tokensmart.hpp"
 #include "bench_soc_common.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace blitz;
 
 namespace {
 
-/** Measured (N, response us) samples for one strategy. */
-std::vector<std::pair<double, double>>
-measure(soc::PmKind kind)
+/**
+ * One (strategy, design point) full-SoC run. The three design points
+ * are 3x3 (N=6, dependent AV workload), 6x6 cluster (N=10), and 4x4
+ * (N=13, dependent vision workload) — the same three the paper fits
+ * from.
+ */
+std::pair<double, double>
+measurePoint(soc::PmKind kind, std::size_t point)
 {
-    std::vector<std::pair<double, double>> samples;
-    // 3x3 (N=6): dependent AV workload; 6x6 cluster (N=10); 4x4
-    // (N=13): dependent vision workload — the same three design
-    // points the paper fits from.
-    {
+    switch (point) {
+    case 0: {
         soc::Soc s(soc::make3x3AvSoc(),
                    bench::pm(kind, soc::budgets::av15Percent), 11);
         auto st = s.run(soc::avDependent(s.config(), 2));
-        samples.emplace_back(6.0, st.meanResponseUs());
+        return {6.0, st.meanResponseUs()};
     }
-    {
+    case 1: {
         soc::Soc s(soc::make6x6SiliconSoc(),
                    bench::pm(kind, soc::budgets::silicon), 11);
         auto st = s.run(soc::siliconWorkload(s.config(), 7));
-        samples.emplace_back(10.0, st.meanResponseUs());
+        return {10.0, st.meanResponseUs()};
     }
-    {
+    default: {
         soc::Soc s(soc::make4x4VisionSoc(),
                    bench::pm(kind, soc::budgets::vision33Percent), 11);
         auto st = s.run(soc::visionDependent(s.config(), 1));
-        samples.emplace_back(13.0, st.meanResponseUs());
+        return {13.0, st.meanResponseUs()};
+    }
+    }
+}
+
+/** One TS convergence trial on the behavioral ring. */
+double
+tokenSmartUs(std::size_t n, std::uint64_t seed)
+{
+    baselines::TokenSmartSim ts(n, baselines::TokenSmartConfig{}, seed);
+    for (std::size_t i = 0; i < n; ++i)
+        ts.setMax(i, 16);
+    ts.randomizeHas(static_cast<coin::Coins>(8 * n));
+    auto r = ts.runUntilConverged(1.5, 50'000'000);
+    return r.converged ? sim::ticksToUs(r.time) : -1.0;
+}
+
+/** One entry of the flattened measurement grid. */
+struct Measurement
+{
+    int series; ///< 0..2: hardware-model strategies; 3: TS ring
+    double n;
+    double value; ///< response us, or < 0 for a non-converged trial
+};
+
+constexpr std::array<soc::PmKind, 3> hwKinds{
+    soc::PmKind::BlitzCoin, soc::PmKind::BlitzCoinCentral,
+    soc::PmKind::CentralRoundRobin};
+constexpr std::array<std::size_t, 5> tsSizes{6, 10, 13, 36, 100};
+constexpr std::size_t tsSeeds = 20;
+constexpr std::size_t hwTasks = hwKinds.size() * 3;
+constexpr std::size_t tsTasks = tsSizes.size() * tsSeeds;
+
+/**
+ * All measurements — 9 full-SoC runs and 100 TS trials — fanned out
+ * over the sweep harness as one task grid so the slow SoC runs overlap
+ * the TS Monte-Carlo. Results come back in index order; the fold below
+ * is therefore thread-count independent.
+ */
+std::vector<Measurement>
+measureAll()
+{
+    return sweep::runSweep(
+        hwTasks + tsTasks, /*rootSeed=*/11,
+        [](std::size_t i, std::uint64_t) -> Measurement {
+            if (i < hwTasks) {
+                auto kind = hwKinds[i / 3];
+                auto [n, us] = measurePoint(kind, i % 3);
+                return {static_cast<int>(i / 3), n, us};
+            }
+            std::size_t t = i - hwTasks;
+            std::size_t n = tsSizes[t / tsSeeds];
+            return {3, static_cast<double>(n),
+                    tokenSmartUs(n, t % tsSeeds + 1)};
+        });
+}
+
+/** (N, response us) samples of one hardware-model strategy. */
+std::vector<std::pair<double, double>>
+samplesFor(const std::vector<Measurement> &all, int series)
+{
+    std::vector<std::pair<double, double>> samples;
+    for (const auto &m : all) {
+        if (m.series == series)
+            samples.emplace_back(m.n, m.value);
     }
     return samples;
 }
 
-/** TS response from the behavioral ring at matching sizes. */
+/** TS response per ring size, averaged over the converged trials. */
 std::vector<std::pair<double, double>>
-measureTokenSmart()
+tokenSmartSamples(const std::vector<Measurement> &all)
 {
     std::vector<std::pair<double, double>> samples;
-    for (std::size_t n : {6u, 10u, 13u, 36u, 100u}) {
+    for (std::size_t n : tsSizes) {
         sim::Summary t;
-        for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-            baselines::TokenSmartSim ts(
-                n, baselines::TokenSmartConfig{}, seed);
-            for (std::size_t i = 0; i < n; ++i)
-                ts.setMax(i, 16);
-            ts.randomizeHas(static_cast<coin::Coins>(8 * n));
-            auto r = ts.runUntilConverged(1.5, 50'000'000);
-            if (r.converged)
-                t.add(sim::ticksToUs(r.time));
+        for (const auto &m : all) {
+            if (m.series == 3 &&
+                m.n == static_cast<double>(n) && m.value >= 0.0)
+                t.add(m.value);
         }
         samples.emplace_back(static_cast<double>(n), t.mean());
     }
@@ -83,20 +145,24 @@ main()
     using analytic::ScalingLaw;
     using analytic::Scheme;
 
+    auto measurements = measureAll();
+
     std::vector<ScalingLaw> laws;
     std::printf("\nfitted constants (tau, us):\n");
-    for (auto [scheme, kind] :
-         {std::pair{Scheme::BC, soc::PmKind::BlitzCoin},
-          {Scheme::BCC, soc::PmKind::BlitzCoinCentral},
-          {Scheme::CRR, soc::PmKind::CentralRoundRobin}}) {
-        auto law = analytic::fitLaw(scheme, measure(kind));
+    const std::array<Scheme, 3> schemes{Scheme::BC, Scheme::BCC,
+                                        Scheme::CRR};
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        auto law = analytic::fitLaw(
+            schemes[s],
+            samplesFor(measurements, static_cast<int>(s)));
         std::printf("  tau_%-5s = %.3f us (T ~ N^%.1f)   "
                     "[paper: BC 0.20, BC-C 0.66, C-RR 0.96]\n",
-                    analytic::schemeName(scheme), law.tauUs,
+                    analytic::schemeName(schemes[s]), law.tauUs,
                     law.exponent);
         laws.push_back(law);
     }
-    laws.push_back(analytic::fitLaw(Scheme::TS, measureTokenSmart()));
+    laws.push_back(analytic::fitLaw(
+        Scheme::TS, tokenSmartSamples(measurements)));
     std::printf("  tau_%-5s = %.3f us (T ~ N^%.1f)   [paper: 0.22]\n",
                 "TS", laws.back().tauUs, laws.back().exponent);
     laws.push_back(analytic::priceTheoryLaw());

@@ -16,9 +16,12 @@
 #include <memory>
 #include <vector>
 
+#include <array>
+
 #include "bench_soc_common.hpp"
 #include "blitzcoin/unit.hpp"
 #include "coin/neighborhood.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace blitz;
 
@@ -101,11 +104,22 @@ main()
 
     std::printf("\n%4s %6s | %12s | %10s\n", "d", "N", "settle (us)",
                 "us/sqrt(N)");
+    // Each (d, seed) settle run is independent; fan the whole grid
+    // out over the sweep harness and fold per d in seed order.
+    constexpr std::array<int, 5> ds{3, 4, 6, 8, 10};
+    constexpr std::size_t seedsPerPoint = 10;
+    auto settles = sweep::runSweep(
+        ds.size() * seedsPerPoint, /*rootSeed=*/1,
+        [&](std::size_t i, std::uint64_t) {
+            return settleUs(ds[i / seedsPerPoint],
+                            i % seedsPerPoint + 1);
+        });
     std::vector<std::pair<double, double>> samples;
-    for (int d : {3, 4, 6, 8, 10}) {
+    for (std::size_t k = 0; k < ds.size(); ++k) {
+        int d = ds[k];
         sim::Summary s;
-        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-            double us = settleUs(d, seed);
+        for (std::size_t i = 0; i < seedsPerPoint; ++i) {
+            double us = settles[k * seedsPerPoint + i];
             if (us >= 0.0)
                 s.add(us);
         }
@@ -126,16 +140,23 @@ main()
     // contended reallocation — the paper's argument for 1-way, shown
     // on real packets.
     std::printf("\n1-way vs 4-way at packet level (d = 6):\n");
-    for (auto mode : {coin::ExchangeMode::OneWay,
-                      coin::ExchangeMode::FourWay}) {
+    constexpr std::array<coin::ExchangeMode, 2> modes{
+        coin::ExchangeMode::OneWay, coin::ExchangeMode::FourWay};
+    auto modeSettles = sweep::runSweep(
+        modes.size() * seedsPerPoint, /*rootSeed=*/2,
+        [&](std::size_t i, std::uint64_t) {
+            return settleUs(6, i % seedsPerPoint + 1,
+                            modes[i / seedsPerPoint]);
+        });
+    for (std::size_t k = 0; k < modes.size(); ++k) {
         sim::Summary s;
-        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-            double us = settleUs(6, seed, mode);
+        for (std::size_t i = 0; i < seedsPerPoint; ++i) {
+            double us = modeSettles[k * seedsPerPoint + i];
             if (us >= 0.0)
                 s.add(us);
         }
         std::printf("  %-6s settle %.3f us\n",
-                    coin::exchangeModeName(mode), s.mean());
+                    coin::exchangeModeName(modes[k]), s.mean());
     }
     return 0;
 }

@@ -18,8 +18,30 @@
 #include "coin/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace blitz;
+
+namespace {
+
+/** One behavioral convergence trial; < 0 when it did not converge. */
+double
+convergeCycles(int d, std::uint64_t seed)
+{
+    coin::EngineConfig cfg; // paper defaults
+    coin::MeshSim sim(noc::Topology::square(d), cfg, seed);
+    coin::Coins demand = 0;
+    for (std::size_t i = 0; i < sim.ledger().size(); ++i) {
+        coin::Coins m = 8 << (i % 3); // 8/16/32 mix
+        sim.setMax(i, m);
+        demand += m;
+    }
+    sim.clusterHas(demand / 2);
+    auto r = sim.runUntilConverged(1.0, sim::msToTicks(20.0));
+    return r.converged ? static_cast<double>(r.time) : -1.0;
+}
+
+} // namespace
 
 int
 main()
@@ -29,22 +51,27 @@ main()
     std::printf("%4s %6s %14s %14s %12s\n", "d", "N", "cycles (mean)",
                 "us @ 800MHz", "cycles/d");
 
+    // Sweep harness: all (d, seed) replications run in parallel with
+    // seeds derived from the root, and the per-size means fold in
+    // replication order — same numbers at any thread count.
+    std::vector<int> ds;
+    for (int d = 4; d <= 20; d += 2)
+        ds.push_back(d);
+    constexpr std::size_t seedsPerPoint = 30;
+    auto cyclesPerTrial = sweep::runSweep(
+        ds.size() * seedsPerPoint, /*rootSeed=*/1,
+        [&](std::size_t i, std::uint64_t seed) {
+            return convergeCycles(ds[i / seedsPerPoint], seed);
+        });
+
     std::vector<std::pair<double, double>> samples;
-    for (int d = 4; d <= 20; d += 2) {
+    for (std::size_t k = 0; k < ds.size(); ++k) {
+        int d = ds[k];
         sim::Summary cycles;
-        for (std::uint64_t seed = 1; seed <= 30; ++seed) {
-            coin::EngineConfig cfg; // paper defaults
-            coin::MeshSim sim(noc::Topology::square(d), cfg, seed);
-            coin::Coins demand = 0;
-            for (std::size_t i = 0; i < sim.ledger().size(); ++i) {
-                coin::Coins m = 8 << (i % 3); // 8/16/32 mix
-                sim.setMax(i, m);
-                demand += m;
-            }
-            sim.clusterHas(demand / 2);
-            auto r = sim.runUntilConverged(1.0, sim::msToTicks(20.0));
-            if (r.converged)
-                cycles.add(static_cast<double>(r.time));
+        for (std::size_t i = 0; i < seedsPerPoint; ++i) {
+            double c = cyclesPerTrial[k * seedsPerPoint + i];
+            if (c >= 0.0)
+                cycles.add(c);
         }
         samples.emplace_back(static_cast<double>(d) * d,
                              sim::ticksToUs(static_cast<sim::Tick>(

@@ -70,9 +70,28 @@ groupSplit(std::span<const TileCoins> group, std::span<const Coins> caps)
     BLITZ_ASSERT(total >= 0, "group exchange with negative coin total");
 
     std::vector<Coins> out(n);
+
+    // Acceptance limit of a tile: its cap, but never less than what it
+    // already holds (caps bound what a tile accepts, not what it has).
+    auto limit_of = [&](std::size_t k) {
+        Coins cap = caps.empty() ? uncapped : caps[k];
+        return cap == uncapped ? uncapped : std::max(group[k].has, cap);
+    };
+#ifndef NDEBUG
+    auto conserved = [&] {
+        return std::accumulate(out.begin(), out.end(), Coins{0}) ==
+               total;
+    };
+#define BLITZ_CHECK_CONSERVED()                                        \
+    BLITZ_ASSERT(conserved(), "groupSplit lost or minted coins")
+#else
+#define BLITZ_CHECK_CONSERVED() ((void)0)
+#endif
+
     if (m == 0) {
         for (std::size_t k = 0; k < n; ++k)
             out[k] = group[k].has;
+        BLITZ_CHECK_CONSERVED();
         return out;
     }
 
@@ -114,15 +133,32 @@ groupSplit(std::span<const TileCoins> group, std::span<const Coins> caps)
         if (!frozen[k])
             active.push_back(k);
     }
-    if (active.empty())
+    if (active.empty()) {
+        BLITZ_CHECK_CONSERVED();
         return out;
+    }
 
     if (mActive == 0) {
         // Only inactive tiles remain unfrozen; park leftover coins on
-        // the first of them to conserve the total.
+        // them first-fit in index order, honoring each tile's
+        // acceptance limit so a capped-but-idle tile never ends the
+        // exchange above its cap. Only if every parking spot is full
+        // does conservation win and the residue stay with the first.
         for (std::size_t k : active)
             out[k] = 0;
-        out[active.front()] += remaining;
+        Coins residue = remaining;
+        for (std::size_t k : active) {
+            if (residue <= 0)
+                break;
+            Coins lim = limit_of(k);
+            Coins take = lim == uncapped ? residue
+                                         : std::min(residue, lim);
+            out[k] = take;
+            residue -= take;
+        }
+        if (residue > 0)
+            out[active.front()] += residue;
+        BLITZ_CHECK_CONSERVED();
         return out;
     }
 
@@ -143,10 +179,6 @@ groupSplit(std::span<const TileCoins> group, std::span<const Coins> caps)
                       return a.first > b.first;
                   return a.second < b.second;
               });
-    auto limit_of = [&](std::size_t k) {
-        Coins cap = caps.empty() ? uncapped : caps[k];
-        return cap == uncapped ? uncapped : std::max(group[k].has, cap);
-    };
     // Largest-remainder distribution, skipping tiles already at their
     // acceptance limit so the +1 never breaches a cap.
     std::size_t stuck = 0;
@@ -164,7 +196,9 @@ groupSplit(std::span<const TileCoins> group, std::span<const Coins> caps)
         }
     }
 
+    BLITZ_CHECK_CONSERVED();
     return out;
 }
+#undef BLITZ_CHECK_CONSERVED
 
 } // namespace blitz::coin

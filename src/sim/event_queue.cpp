@@ -1,29 +1,25 @@
 #include "event_queue.hpp"
 
-#include <algorithm>
-
 namespace blitz::sim {
 
 bool
-EventQueue::isCancelled(EventId id)
-{
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-    if (it == cancelled_.end())
-        return false;
-    // Each cancellation token is consumed exactly once.
-    cancelled_.erase(it);
-    return true;
-}
-
-bool
-EventQueue::runOne()
+EventQueue::runOne(Tick limit)
 {
     while (!queue_.empty()) {
+        if (cancelled_.erase(queue_.top().id) > 0) {
+            // Tombstoned entry: drop it without executing or advancing
+            // time, then look at the next candidate.
+            live_.erase(queue_.top().id);
+            queue_.pop();
+            --pending_;
+            continue;
+        }
+        if (queue_.top().when > limit)
+            return false;
         Entry e = queue_.top();
         queue_.pop();
         --pending_;
-        if (isCancelled(e.id))
-            continue;
+        live_.erase(e.id);
         BLITZ_ASSERT(e.when >= now_, "event queue went backwards");
         now_ = e.when;
         e.fn();
@@ -35,11 +31,13 @@ EventQueue::runOne()
 std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
+    // runOne(limit) re-inspects the queue top after every pop, so a
+    // cancelled front event can never unlock execution of a later
+    // event beyond the horizon, and the count reflects exactly the
+    // callbacks that ran.
     std::uint64_t executed = 0;
-    while (!queue_.empty() && queue_.top().when <= limit) {
-        if (runOne())
-            ++executed;
-    }
+    while (runOne(limit))
+        ++executed;
     // Advance time to the limit when asked to run to a horizon so that
     // repeated runUntil() calls observe monotonically increasing now().
     if (limit != maxTick && limit > now_)

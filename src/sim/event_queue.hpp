@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "logging.hpp"
@@ -67,8 +68,9 @@ class EventQueue
         BLITZ_ASSERT(when >= now_, "scheduling event in the past (",
                      when, " < ", now_, ")");
         EventId id = nextId_++;
-        queue_.push(Entry{when, static_cast<int>(prio), id, std::move(fn),
-                          false});
+        queue_.push(Entry{when, static_cast<int>(prio), id,
+                          std::move(fn)});
+        live_.insert(id);
         ++pending_;
         return id;
     }
@@ -85,29 +87,48 @@ class EventQueue
      * Cancel a previously scheduled event.
      *
      * O(1): the event is tombstoned and skipped on pop. Cancelling an
-     * already-executed or unknown id is a harmless no-op.
+     * already-executed or unknown id is a harmless no-op — such ids
+     * are dropped on the spot, so the tombstone set only ever holds
+     * tokens for events still in the queue and cannot grow without
+     * bound across long runs.
      */
     void
     cancel(EventId id)
     {
-        cancelled_.push_back(id);
+        if (live_.count(id))
+            cancelled_.insert(id);
     }
 
     /** Number of events still scheduled (including cancelled ones). */
     std::size_t pending() const { return pending_; }
+
+    /**
+     * Number of unconsumed cancellation tokens. Bounded by pending():
+     * a token is dropped when its entry pops, and cancel() refuses
+     * ids that are no longer scheduled.
+     */
+    std::size_t cancelledTokens() const { return cancelled_.size(); }
 
     /** True when no runnable events remain. */
     bool empty() const { return queue_.empty(); }
 
     /**
      * Run events until the queue drains or @p limit is passed.
+     *
+     * No event with when > limit ever executes — cancelled entries at
+     * the front are discarded without unlocking later events beyond
+     * the horizon.
      * @param limit stop before executing events scheduled after this tick.
-     * @return number of events executed.
+     * @return number of events executed (cancelled entries don't count).
      */
     std::uint64_t runUntil(Tick limit = maxTick);
 
-    /** Execute a single event; @return false if the queue was empty. */
-    bool runOne();
+    /**
+     * Execute the next runnable event at or before @p limit.
+     * Cancelled entries encountered on the way are discarded.
+     * @return false if no runnable event exists within the horizon.
+     */
+    bool runOne(Tick limit = maxTick);
 
   private:
     struct Entry
@@ -116,7 +137,6 @@ class EventQueue
         int prio;
         EventId id;
         std::function<void()> fn;
-        bool cancelled;
     };
 
     struct Later
@@ -132,10 +152,9 @@ class EventQueue
         }
     };
 
-    bool isCancelled(EventId id);
-
     std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-    std::vector<EventId> cancelled_;
+    std::unordered_set<EventId> live_;      ///< scheduled, not yet popped
+    std::unordered_set<EventId> cancelled_; ///< subset of live_
     Tick now_ = 0;
     EventId nextId_ = 1;
     std::size_t pending_ = 0;

@@ -84,6 +84,28 @@ Histogram::format(std::size_t barWidth) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    BLITZ_ASSERT(lo_ == other.lo_ && hi_ == other.hi_ &&
+                     counts_.size() == other.counts_.size(),
+                 "merging histograms with different binning");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
+void
+Percentiles::merge(const Percentiles &other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    if (!other.samples_.empty())
+        sorted_ = false;
+}
+
+void
 Percentiles::ensureSorted()
 {
     if (!sorted_) {

@@ -88,6 +88,12 @@ class Histogram
     /** Render as "low-high: count" lines, for the bench reports. */
     std::string format(std::size_t barWidth = 40) const;
 
+    /**
+     * Merge another histogram into this one.
+     * @pre identical range and bin count.
+     */
+    void merge(const Histogram &other);
+
   private:
     double lo_;
     double hi_;
@@ -123,6 +129,14 @@ class Percentiles
     double minimum() { return quantile(0.0); }
     double maximum() { return quantile(1.0); }
     double mean() const;
+
+    /**
+     * Merge another accumulator's samples into this one (parallel
+     * sweep fold). Appends in the other's insertion order, so folding
+     * per-replication accumulators in index order reproduces the
+     * serial sample sequence exactly.
+     */
+    void merge(const Percentiles &other);
 
   private:
     void ensureSorted();

@@ -87,27 +87,34 @@ PowerManager::tilesSettled() const
     return true;
 }
 
+namespace {
+constexpr sim::Tick kProbePeriod = 16;
+} // namespace
+
+void
+PowerManager::probeTick()
+{
+    if (!awaitingSettle()) {
+        probeArmed_ = false;
+        return;
+    }
+    if (settleCondition() && tilesSettled()) {
+        noteSettled();
+        probeArmed_ = false;
+        return;
+    }
+    ctx_.eq.scheduleIn(kProbePeriod, [this] { probeTick(); },
+                       sim::Priority::Stats);
+}
+
 void
 PowerManager::armSettleProbe()
 {
     if (probeArmed_)
         return;
     probeArmed_ = true;
-    constexpr sim::Tick probe_period = 16;
-    auto probe = std::make_shared<std::function<void()>>();
-    *probe = [this, probe] {
-        if (!awaitingSettle()) {
-            probeArmed_ = false;
-            return;
-        }
-        if (settleCondition() && tilesSettled()) {
-            noteSettled();
-            probeArmed_ = false;
-            return;
-        }
-        ctx_.eq.scheduleIn(probe_period, *probe, sim::Priority::Stats);
-    };
-    ctx_.eq.scheduleIn(probe_period, *probe, sim::Priority::Stats);
+    ctx_.eq.scheduleIn(kProbePeriod, [this] { probeTick(); },
+                       sim::Priority::Stats);
 }
 
 std::unique_ptr<PowerManager>

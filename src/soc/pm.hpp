@@ -163,6 +163,9 @@ class PowerManager
      */
     void armSettleProbe();
 
+    /** One firing of the settle probe; reschedules itself while armed. */
+    void probeTick();
+
     PmContext ctx_;
     PmConfig cfg_;
     coin::CoinScale scale_;

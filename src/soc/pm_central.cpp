@@ -41,21 +41,22 @@ CentralPm::start()
     if (roundRobin_) {
         // Fairness rotation: periodically advance the grant order so
         // tiles starved by the greedy pass get their turn.
-        auto rotate = std::make_shared<std::function<void()>>();
-        *rotate = [this, rotate] {
-            rotation_ = (rotation_ + 1) % std::max<std::size_t>(
-                managed_.size(), 1);
-            bool any_active = false;
-            for (noc::NodeId id : managed_)
-                any_active = any_active || active_[id];
-            if (any_active && !roundActive_)
-                startRound(/*fromActivity=*/false);
-            ctx_.eq.scheduleIn(cfg_.crrRotationPeriod, *rotate,
-                              sim::Priority::Controller);
-        };
-        ctx_.eq.scheduleIn(cfg_.crrRotationPeriod, *rotate,
+        ctx_.eq.scheduleIn(cfg_.crrRotationPeriod, [this] { rotateTick(); },
                           sim::Priority::Controller);
     }
+}
+
+void
+CentralPm::rotateTick()
+{
+    rotation_ = (rotation_ + 1) % std::max<std::size_t>(managed_.size(), 1);
+    bool any_active = false;
+    for (noc::NodeId id : managed_)
+        any_active = any_active || active_[id];
+    if (any_active && !roundActive_)
+        startRound(/*fromActivity=*/false);
+    ctx_.eq.scheduleIn(cfg_.crrRotationPeriod, [this] { rotateTick(); },
+                      sim::Priority::Controller);
 }
 
 void

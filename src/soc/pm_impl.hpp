@@ -90,6 +90,7 @@ class CentralPm : public PowerManager
 
   private:
     void activityChanged(noc::NodeId tile, bool nowActive);
+    void rotateTick();
     void startRound(bool fromActivity);
     void pollNext();
     void computeAndWrite();

@@ -139,9 +139,14 @@ Soc::run(const workload::Dag &dag, const SocRunOptions &opts)
 
     // Periodic power sampling (the paper reconstructs traces the same
     // way: per-tile frequency -> Fig. 13 curve -> power).
+    // The stored closure keeps only a weak reference to itself so the
+    // self-rescheduling chain cannot form an ownership cycle; the strong
+    // reference below outlives the event loop, and once run() drops it
+    // the `sampling` flag retires any copies still sitting in the queue.
     auto sampler = std::make_shared<std::function<void()>>();
     auto sampling = std::make_shared<bool>(true);
-    *sampler = [this, sampler, sampling, &stats, accels, opts] {
+    std::weak_ptr<std::function<void()>> weakSampler = sampler;
+    *sampler = [this, weakSampler, sampling, &stats, accels, opts] {
         if (!*sampling)
             return;
         std::vector<double> row;
@@ -149,8 +154,8 @@ Soc::run(const workload::Dag &dag, const SocRunOptions &opts)
         for (noc::NodeId id : accels)
             row.push_back(tilesByNode_[id]->powerMw());
         stats.trace->record(eq_.now(), std::move(row));
-        eq_.scheduleIn(opts.sampleInterval, *sampler,
-                       sim::Priority::Stats);
+        if (auto s = weakSampler.lock())
+            eq_.scheduleIn(opts.sampleInterval, *s, sim::Priority::Stats);
     };
     eq_.schedule(0, *sampler, sim::Priority::Stats);
 

@@ -1,0 +1,22 @@
+#include "sweep.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace blitz::sweep {
+
+std::size_t
+defaultThreads()
+{
+    if (const char *env = std::getenv("BLITZ_SWEEP_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<std::size_t>(v);
+        sim::warn("ignoring invalid BLITZ_SWEEP_THREADS='", env, "'");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace blitz::sweep

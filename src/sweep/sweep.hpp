@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Deterministic parallel experiment runner.
+ *
+ * Every figure in the reproduction is a Monte-Carlo sweep: the same
+ * scenario re-run over many (seed, config) replications whose results
+ * are folded into sim::Stats accumulators. The replications are
+ * embarrassingly parallel, but naive parallelization breaks the
+ * repo's determinism contract (a seed fully determines a run). This
+ * harness restores it with two rules:
+ *
+ *  1. **Stream derivation.** Replication i of a sweep rooted at seed
+ *     R draws from its own RNG stream seeded with
+ *     `streamSeed(R, i) = splitmix64(R + (i+1) * 0x9e3779b97f4a7c15)`.
+ *     The stream depends only on (R, i) — never on which thread runs
+ *     the replication or in what order.
+ *
+ *  2. **Ordered fold.** runSweep() returns per-replication results in
+ *     index order; callers fold them serially, so floating-point
+ *     accumulation order is fixed.
+ *
+ * Together these make the aggregate statistics of a sweep bit-identical
+ * for any thread count, including 1 (the serial reference).
+ *
+ * Thread count: explicit via SweepOptions::threads, else the
+ * BLITZ_SWEEP_THREADS environment variable, else the hardware
+ * concurrency.
+ */
+
+#ifndef BLITZ_SWEEP_SWEEP_HPP
+#define BLITZ_SWEEP_SWEEP_HPP
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hpp"
+#include "thread_pool.hpp"
+
+namespace blitz::sweep {
+
+/** splitmix64 finalizer — the same mix Rng uses for seed expansion. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Seed of replication @p index in a sweep rooted at @p rootSeed.
+ *
+ * This is the determinism anchor: the per-replication stream is a pure
+ * function of (rootSeed, index), so scheduling cannot perturb results.
+ */
+constexpr std::uint64_t
+streamSeed(std::uint64_t rootSeed, std::uint64_t index)
+{
+    return splitmix64(rootSeed + (index + 1) * 0x9e3779b97f4a7c15ull);
+}
+
+/**
+ * Worker count used when SweepOptions::threads is 0: the
+ * BLITZ_SWEEP_THREADS environment variable if set and positive, else
+ * std::thread::hardware_concurrency(), else 1.
+ */
+std::size_t defaultThreads();
+
+/** Sweep execution knobs. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = defaultThreads(). */
+    std::size_t threads = 0;
+};
+
+/**
+ * Run @p replications of @p fn across a fixed-size thread pool.
+ *
+ * @param fn invoked as fn(index, streamSeed(rootSeed, index)) for each
+ *        index in [0, replications); must not share mutable state
+ *        between invocations.
+ * @return the results in index order — identical for any thread
+ *         count. The first exception thrown by any replication is
+ *         rethrown after the pool drains.
+ */
+template <typename Fn>
+auto
+runSweep(std::size_t replications, std::uint64_t rootSeed, Fn &&fn,
+         const SweepOptions &opts = {})
+    -> std::vector<
+        std::invoke_result_t<Fn &, std::size_t, std::uint64_t>>
+{
+    using R = std::invoke_result_t<Fn &, std::size_t, std::uint64_t>;
+    static_assert(!std::is_void_v<R>,
+                  "sweep replications must return a value");
+
+    std::vector<std::optional<R>> slots(replications);
+    if (replications > 0) {
+        std::size_t threads = opts.threads ? opts.threads
+                                           : defaultThreads();
+        threads = std::min(threads, replications);
+
+        std::atomic<std::size_t> next{0};
+        std::mutex errMu;
+        std::exception_ptr firstError;
+        auto drain = [&] {
+            for (;;) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= replications)
+                    return;
+                try {
+                    slots[i].emplace(fn(i, streamSeed(rootSeed, i)));
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errMu);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                }
+            }
+        };
+
+        if (threads == 1) {
+            // Serial reference path: same work, same order, no pool.
+            drain();
+        } else {
+            ThreadPool pool(threads);
+            for (std::size_t t = 0; t < threads; ++t)
+                pool.submit(drain);
+            pool.wait();
+        }
+        if (firstError)
+            std::rethrow_exception(firstError);
+    }
+
+    std::vector<R> out;
+    out.reserve(replications);
+    for (auto &slot : slots) {
+        BLITZ_ASSERT(slot.has_value(), "sweep replication missing");
+        out.push_back(std::move(*slot));
+    }
+    return out;
+}
+
+/**
+ * Convenience fold: run the sweep and merge results in index order.
+ * @param merge invoked as merge(acc, result, index), serially, for
+ *        index 0, 1, ... — the fixed order that keeps floating-point
+ *        accumulation deterministic.
+ */
+template <typename Acc, typename Fn, typename Merge>
+Acc
+runSweepFold(std::size_t replications, std::uint64_t rootSeed, Fn &&fn,
+             Merge &&merge, Acc acc = {}, const SweepOptions &opts = {})
+{
+    auto results =
+        runSweep(replications, rootSeed, std::forward<Fn>(fn), opts);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        merge(acc, results[i], i);
+    return acc;
+}
+
+} // namespace blitz::sweep
+
+#endif // BLITZ_SWEEP_SWEEP_HPP

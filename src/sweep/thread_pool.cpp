@@ -1,0 +1,70 @@
+#include "thread_pool.hpp"
+
+#include "sim/logging.hpp"
+
+namespace blitz::sweep {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    BLITZ_ASSERT(threads > 0, "thread pool needs at least one worker");
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        jobs_.push_back(std::move(job));
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idleCv_.wait(lock,
+                 [this] { return jobs_.empty() && inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workCv_.wait(lock,
+                         [this] { return stop_ || !jobs_.empty(); });
+            if (jobs_.empty())
+                return; // stop_ set and nothing left to do
+            job = std::move(jobs_.front());
+            jobs_.pop_front();
+            ++inFlight_;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inFlight_;
+            if (jobs_.empty() && inFlight_ == 0)
+                idleCv_.notify_all();
+        }
+    }
+}
+
+} // namespace blitz::sweep

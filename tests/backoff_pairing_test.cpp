@@ -112,6 +112,110 @@ TEST(Backoff, DiscontentCapsInterval)
     EXPECT_EQ(t.intervalFor(false), t.interval());
 }
 
+TEST(Backoff, DiscontentCapIsInactiveBelowTheCeiling)
+{
+    // The cap is a ceiling, not a target: while the interval is still
+    // short, a discontent tile keeps its own cadence.
+    BackoffConfig cfg;
+    cfg.baseInterval = 16;
+    cfg.discontentCap = 64;
+    BackoffTimer t(cfg);
+    EXPECT_EQ(t.intervalFor(true), 16u);
+    t.onExchange(false); // 32, still under the cap
+    EXPECT_EQ(t.intervalFor(true), 32u);
+    EXPECT_EQ(t.intervalFor(false), 32u);
+}
+
+TEST(Backoff, DiscontentCapDoesNotMutateTheInterval)
+{
+    // intervalFor() is a read-side clamp; the stored interval keeps
+    // its backed-off value so a content tile resumes where it was.
+    BackoffConfig cfg;
+    cfg.baseInterval = 16;
+    cfg.discontentCap = 64;
+    cfg.maxInterval = 2048;
+    BackoffTimer t(cfg);
+    for (int i = 0; i < 10; ++i)
+        t.onExchange(false);
+    ASSERT_EQ(t.interval(), 2048u);
+    EXPECT_EQ(t.intervalFor(true), 64u);
+    EXPECT_EQ(t.interval(), 2048u); // unchanged by the query
+    EXPECT_EQ(t.intervalFor(false), 2048u);
+}
+
+TEST(Backoff, SnapFromMaxIntervalLandsAtBaseMinusShrink)
+{
+    // From a fully backed-off state, one coin movement must snap the
+    // timer to the base cadence and then apply the k shrink — not
+    // walk down from maxInterval k at a time.
+    BackoffConfig cfg;
+    cfg.baseInterval = 32;
+    cfg.lambda = 2.0;
+    cfg.k = 8;
+    cfg.minInterval = 8;
+    cfg.maxInterval = 2048;
+    BackoffTimer t(cfg);
+    for (int i = 0; i < 12; ++i)
+        t.onExchange(false);
+    ASSERT_EQ(t.interval(), 2048u);
+    t.onExchange(true);
+    // snap to base (32), then 32 > k + min = 16, so shrink to 24.
+    EXPECT_EQ(t.interval(), 24u);
+}
+
+TEST(Backoff, SnapShortCircuitsToMinWhenBaseIsWithinShrink)
+{
+    // With base <= k + min the snapped interval cannot shed a full k
+    // without breaching the floor; it must land exactly on min.
+    BackoffConfig cfg;
+    cfg.baseInterval = 16;
+    cfg.k = 8;
+    cfg.minInterval = 8;
+    cfg.maxInterval = 2048;
+    BackoffTimer t(cfg);
+    for (int i = 0; i < 10; ++i)
+        t.onExchange(false);
+    ASSERT_EQ(t.interval(), 2048u);
+    t.onExchange(true);
+    EXPECT_EQ(t.interval(), 8u);
+}
+
+TEST(Backoff, SnapDoesNotLiftAShortInterval)
+{
+    // A timer already below base stays below base on movement; the
+    // snap is min(interval, base), never a raise.
+    BackoffConfig cfg;
+    cfg.baseInterval = 32;
+    cfg.k = 4;
+    cfg.minInterval = 8;
+    BackoffTimer t(cfg);
+    t.onExchange(true); // 32 -> 28
+    t.onExchange(true); // 28 -> 24
+    ASSERT_EQ(t.interval(), 24u);
+    t.onExchange(true);
+    EXPECT_EQ(t.interval(), 20u); // not re-snapped up to 32
+}
+
+TEST(Backoff, UnitLambdaStillGrowsByTheFloor)
+{
+    // The interval_ + 1 floor guarantees progress even when the
+    // multiplicative growth rounds to no change at all (lambda = 1).
+    BackoffConfig cfg;
+    cfg.baseInterval = 10;
+    cfg.lambda = 1.0;
+    cfg.maxInterval = 14;
+    BackoffTimer t(cfg);
+    t.onExchange(false);
+    EXPECT_EQ(t.interval(), 11u);
+    t.onExchange(false);
+    EXPECT_EQ(t.interval(), 12u);
+    t.onExchange(false);
+    t.onExchange(false);
+    EXPECT_EQ(t.interval(), 14u); // clamped at max
+    t.onExchange(false);
+    EXPECT_EQ(t.interval(), 14u);
+}
+
 TEST(Backoff, GrowthAlwaysMakesProgress)
 {
     // Even with lambda very close to 1, the interval must strictly

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <vector>
@@ -204,6 +205,38 @@ TEST(GroupSplit, CapsFreezeAndRedistribute)
     EXPECT_LE(out[1], 2);
     // The frozen tile's share spills to the others.
     EXPECT_GT(out[0] + out[2], 13);
+}
+
+// Regression: when every active tile freezes at its cap and only
+// inactive tiles remain, the residual coins must be parked without
+// breaching the parking tiles' own thermal caps.
+TEST(GroupSplit, ResidualParkingRespectsCaps)
+{
+    // Tile 0 is active but capped at 3; tiles 1 and 2 are inactive.
+    // Tile 1 is thermally capped at 2, tile 2 is uncapped. The 9
+    // residual coins must overflow past tile 1's cap into tile 2.
+    std::vector<TileCoins> g{{0, 10}, {1, 0}, {11, 0}};
+    std::vector<Coins> caps{3, 2, coin::uncapped};
+    auto out = coin::groupSplit(g, caps);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), Coins{0}), 12);
+    EXPECT_EQ(out[0], 3);
+    EXPECT_LE(out[1], 2) << "capped idle tile ended above its cap";
+    EXPECT_EQ(out, (std::vector<Coins>{3, 2, 7}));
+}
+
+TEST(GroupSplit, ResidualParkingNeverExceedsAcceptanceLimits)
+{
+    // The overfull active tile freezes at what it already holds (caps
+    // bound acceptance, not retention); the residue lands on the idle
+    // tiles without lifting any of them past max(has, cap).
+    std::vector<TileCoins> g{{12, 10}, {3, 0}, {0, 0}};
+    std::vector<Coins> caps{4, 0, 0};
+    auto out = coin::groupSplit(g, caps);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), Coins{0}), 15);
+    for (std::size_t k = 0; k < g.size(); ++k)
+        EXPECT_LE(out[k], std::max(g[k].has, caps[k]))
+            << "tile " << k << " lifted past its acceptance limit";
+    EXPECT_EQ(out, (std::vector<Coins>{12, 3, 0}));
 }
 
 TEST(GroupSplit, EmptyGroupPanics)

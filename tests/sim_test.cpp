@@ -152,6 +152,116 @@ TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
     EXPECT_FALSE(eq.runOne());
 }
 
+// Regression: a cancelled event at the front of the queue must not
+// unlock execution of a later event beyond the runUntil horizon.
+TEST(EventQueue, CancelledFrontDoesNotBreachHorizon)
+{
+    sim::EventQueue eq;
+    bool late_ran = false;
+    auto id = eq.schedule(10, [] {});
+    eq.schedule(30, [&] { late_ran = true; });
+    eq.cancel(id);
+    EXPECT_EQ(eq.runUntil(20), 0u);
+    EXPECT_FALSE(late_ran) << "event fired past the requested horizon";
+    EXPECT_EQ(eq.now(), 20u);
+    // The late event is still intact and fires on the next window.
+    EXPECT_EQ(eq.runUntil(40), 1u);
+    EXPECT_TRUE(late_ran);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, NoEventExecutesPastLimit)
+{
+    sim::EventQueue eq;
+    std::vector<sim::Tick> fired;
+    std::vector<sim::EventQueue::EventId> ids;
+    for (sim::Tick t = 5; t <= 50; t += 5)
+        ids.push_back(eq.schedule(t, [&fired, &eq] {
+            fired.push_back(eq.now());
+        }));
+    // Cancel a scattering of them, including ones at the boundary.
+    eq.cancel(ids[0]); // t=5
+    eq.cancel(ids[3]); // t=20
+    eq.cancel(ids[4]); // t=25
+    eq.runUntil(25);
+    for (sim::Tick t : fired)
+        EXPECT_LE(t, 25u);
+    EXPECT_EQ(fired, (std::vector<sim::Tick>{10, 15}));
+}
+
+// Regression: the executed count must track callbacks actually run,
+// with cancelled entries neither counted nor miscounted.
+TEST(EventQueue, RunUntilCountsOnlyExecutedCallbacks)
+{
+    sim::EventQueue eq;
+    int ran = 0;
+    auto a = eq.schedule(5, [&] { ++ran; });
+    auto b = eq.schedule(5, [&] { ++ran; });
+    eq.schedule(8, [&] { ++ran; });
+    auto d = eq.schedule(9, [&] { ++ran; });
+    eq.schedule(25, [&] { ++ran; });
+    eq.cancel(a);
+    eq.cancel(b);
+    eq.cancel(d);
+    EXPECT_EQ(eq.runUntil(10), 1u);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, RunUntilOnAllCancelledQueueExecutesNothing)
+{
+    sim::EventQueue eq;
+    int ran = 0;
+    auto a = eq.schedule(3, [&] { ++ran; });
+    auto b = eq.schedule(7, [&] { ++ran; });
+    eq.cancel(a);
+    eq.cancel(b);
+    EXPECT_EQ(eq.runUntil(10), 0u);
+    EXPECT_EQ(ran, 0);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, RunOneHonorsHorizon)
+{
+    sim::EventQueue eq;
+    bool ran = false;
+    eq.schedule(10, [&] { ran = true; });
+    EXPECT_FALSE(eq.runOne(5));
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.runOne(10));
+    EXPECT_TRUE(ran);
+}
+
+// Cancellation tokens must not accumulate for ids that already
+// executed (or never existed) — the token set stays bounded by the
+// queue contents across arbitrarily long runs.
+TEST(EventQueue, CancelTokensArePurged)
+{
+    sim::EventQueue eq;
+    auto id = eq.schedule(1, [] {});
+    eq.cancel(id);
+    EXPECT_EQ(eq.cancelledTokens(), 1u);
+    eq.cancel(id); // double-cancel folds into the same token
+    EXPECT_EQ(eq.cancelledTokens(), 1u);
+    eq.runUntil(5);
+    EXPECT_EQ(eq.cancelledTokens(), 0u);
+
+    auto id2 = eq.schedule(10, [] {});
+    eq.runUntil(20);
+    eq.cancel(id2); // already executed: must not leave a token
+    eq.cancel(987654321); // unknown id: must not leave a token
+    EXPECT_EQ(eq.cancelledTokens(), 0u);
+
+    for (int round = 0; round < 100; ++round) {
+        auto e = eq.scheduleIn(1, [] {});
+        eq.runUntil(eq.now() + 2);
+        eq.cancel(e); // always post-execution
+    }
+    EXPECT_EQ(eq.cancelledTokens(), 0u);
+}
+
 TEST(EventQueue, PendingCountsScheduled)
 {
     sim::EventQueue eq;
