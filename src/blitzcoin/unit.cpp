@@ -1,14 +1,50 @@
 #include "unit.hpp"
 
+#include <algorithm>
+
 namespace blitz::blitzcoin {
 
 namespace {
 
-/** Guard interval after which a lost exchange is abandoned (cycles). */
+/** Guard interval for 4-way rounds and snapshot locks (cycles). */
 constexpr sim::Tick exchangeTimeout = 512;
 
 /** Re-poll delay when the FSM is busy with an in-flight exchange. */
 constexpr sim::Tick busyRetry = 4;
+
+/** Unresolved-exchange backlog bound (initiator side). */
+constexpr std::size_t maxUnresolved = 32;
+
+/**
+ * payload[3] wire encoding shared by CoinStatus and CoinUpdate:
+ * the low byte is a flag, the rest is a message tag — the exchange
+ * stamp (xid) for 1-way traffic, the round generation for 4-way.
+ */
+enum WireFlag : int
+{
+    FlagOneWay = 0,  ///< 1-way exchange; tag is the initiator's xid
+    FlagGroup = 1,   ///< 4-way reply / group update; tag is the round
+    FlagUnknown = 2, ///< recover reply: outcome evicted from the log
+};
+
+constexpr std::int64_t
+packTag(std::uint64_t tag, int flag)
+{
+    return static_cast<std::int64_t>((tag << 8) |
+                                     static_cast<std::uint64_t>(flag));
+}
+
+constexpr int
+tagFlag(std::int64_t word)
+{
+    return static_cast<int>(word & 0xff);
+}
+
+constexpr std::uint64_t
+tagValue(std::int64_t word)
+{
+    return static_cast<std::uint64_t>(word) >> 8;
+}
 
 } // namespace
 
@@ -69,7 +105,7 @@ BlitzCoinUnit::setMax(coin::Coins max)
 void
 BlitzCoinUnit::start()
 {
-    if (running_)
+    if (running_ || crashed_)
         return;
     running_ = true;
     scheduleNext(1 + rng_.below(cfg_.backoff.baseInterval));
@@ -80,6 +116,41 @@ BlitzCoinUnit::stop()
 {
     running_ = false;
     ++timerGen_; // invalidate any scheduled wakeup
+}
+
+void
+BlitzCoinUnit::crash()
+{
+    stop();
+    crashed_ = true;
+    // Architectural registers and all protocol tracking are lost. The
+    // coins held here vanish from the cluster total; the audit watchdog
+    // is the only mechanism that can restore them.
+    state_ = coin::TileCoins{};
+    awaitingUpdate_ = false;
+    pending_.reset();
+    unresolved_.clear();
+    servedLog_.clear();
+    groupSeen_.clear();
+    gathered_.clear();
+    awaitedStatuses_ = 0;
+    snapshotHeld_ = false;
+    ++snapshotGen_;
+    ++fourWayGen_;
+    iso_ = coin::IsolationDetector{};
+    coinsChanged();
+}
+
+void
+BlitzCoinUnit::restart()
+{
+    if (!crashed_)
+        return;
+    crashed_ = false;
+    timer_ = coin::BackoffTimer(cfg_.backoff);
+    // nextXid_ deliberately keeps counting across the crash: a partner
+    // still holding pre-crash entries in its served log must never
+    // mistake a fresh exchange for a replay of an old one.
 }
 
 void
@@ -105,6 +176,7 @@ BlitzCoinUnit::initiate()
         return;
     }
     noc::NodeId partner = selector_.next(isolated());
+    const std::uint64_t xid = nextXid_++;
     noc::Packet pkt;
     pkt.src = self_;
     pkt.dst = partner;
@@ -113,34 +185,87 @@ BlitzCoinUnit::initiate()
     pkt.payload[0] = state_.has;
     pkt.payload[1] = state_.max;
     pkt.payload[2] = cfg_.thermalCap;
-    pkt.payload[3] = 0; // 1-way opening, not a request reply
+    pkt.payload[3] = packTag(xid, FlagOneWay);
     net_.send(pkt);
     ++initiated_;
     awaitingUpdate_ = true;
+    pending_ = PendingExchange{xid, partner, 0};
 
-    // Abandon the exchange if the update never lands (packet dropped by
-    // a fault-injection harness); the partner's half, if it happened,
-    // still conserves coins because the delta is applied on both ends
-    // from the same arithmetic.
-    const std::uint64_t gen = timerGen_;
-    eq_.scheduleIn(exchangeTimeout, [this, gen] {
-        if (!awaitingUpdate_ || gen != timerGen_)
-            return;
-        awaitingUpdate_ = false;
-        if (running_)
-            scheduleNext(timer_.intervalFor(discontent() || isolated()));
+    // If the update never lands, free the FSM and hand the exchange to
+    // the background reconciliation machinery — initiation must keep
+    // flowing even on a fully dead link.
+    eq_.scheduleIn(cfg_.recoverTimeout, [this, xid] {
+        onExchangeTimeout(xid);
     });
+}
+
+void
+BlitzCoinUnit::onExchangeTimeout(std::uint64_t xid)
+{
+    if (crashed_ || !pending_ || pending_->xid != xid)
+        return; // resolved in time (or superseded by a crash)
+    ++timedOut_;
+    timer_.onExchange(false); // failures back the cadence off too
+    if (unresolved_.size() >= maxUnresolved) {
+        // Backlog full (the network is effectively down): the oldest
+        // loss is handed to the audit watchdog.
+        ++abandoned_;
+        unresolved_.erase(unresolved_.begin());
+    }
+    unresolved_.push_back(*pending_);
+    pending_.reset();
+    awaitingUpdate_ = false;
+    pumpRecovery(xid);
+    if (running_)
+        scheduleNext(timer_.intervalFor(discontent() || isolated()));
+}
+
+void
+BlitzCoinUnit::pumpRecovery(std::uint64_t xid)
+{
+    auto it = std::find_if(unresolved_.begin(), unresolved_.end(),
+                           [xid](const PendingExchange &p) {
+                               return p.xid == xid;
+                           });
+    if (it == unresolved_.end() || crashed_)
+        return; // resolved (or wiped by a crash) in the meantime
+    if (it->recoverTries >= cfg_.maxRecoverAttempts) {
+        ++abandoned_;
+        unresolved_.erase(it);
+        return;
+    }
+    const int tries = ++it->recoverTries;
+    noc::Packet probe;
+    probe.src = self_;
+    probe.dst = it->partner;
+    probe.plane = noc::Plane::Service;
+    probe.type = noc::MsgType::CoinRecover;
+    probe.payload[0] = static_cast<std::int64_t>(xid);
+    net_.send(probe);
+    ++recoversSent_;
+    // Probe cadence doubles like the refresh back-off: lost probes on a
+    // congested mesh must not add to the congestion.
+    const sim::Tick wait = cfg_.recoverTimeout
+                           << std::min(tries, 4);
+    eq_.scheduleIn(wait, [this, xid] { pumpRecovery(xid); });
 }
 
 void
 BlitzCoinUnit::handlePacket(const noc::Packet &pkt)
 {
+    if (crashed_)
+        return; // powered off: deaf to the service plane
+    if (pkt.corrupted) {
+        // Link CRC flagged the flit as damaged; detected corruption is
+        // a loss and rides the same recovery path.
+        ++corruptedDropped_;
+        return;
+    }
     switch (pkt.type) {
       case noc::MsgType::CoinStatus:
-        // payload[3] != 0 marks a status sent in *reply* to our
-        // CoinRequest (it carries the round tag); 0 is a 1-way
-        // opening.
-        if (pkt.payload[3] != 0) {
+        // The flag byte distinguishes a 1-way opening from a status
+        // sent in *reply* to our CoinRequest (4-way gathering).
+        if (tagFlag(pkt.payload[3]) == FlagGroup) {
             collectStatus(pkt);
         } else {
             serveStatus(pkt);
@@ -148,6 +273,9 @@ BlitzCoinUnit::handlePacket(const noc::Packet &pkt)
         break;
       case noc::MsgType::CoinRequest:
         serveRequest(pkt);
+        break;
+      case noc::MsgType::CoinRecover:
+        serveRecover(pkt);
         break;
       case noc::MsgType::CoinUpdate:
         applyUpdate(pkt);
@@ -158,10 +286,43 @@ BlitzCoinUnit::handlePacket(const noc::Packet &pkt)
 }
 
 void
+BlitzCoinUnit::sendOneWayUpdate(noc::NodeId dst, std::uint64_t xid,
+                                coin::Coins delta, int flag)
+{
+    noc::Packet reply;
+    reply.src = self_;
+    reply.dst = dst;
+    reply.plane = noc::Plane::Service;
+    reply.type = noc::MsgType::CoinUpdate;
+    reply.payload[0] = delta;
+    // Echo this tile's registers so the initiator sees its partner's
+    // state too (needed by the isolation detector).
+    reply.payload[1] = state_.has;
+    reply.payload[2] = state_.max;
+    reply.payload[3] = packTag(xid, flag);
+    net_.send(reply);
+}
+
+void
 BlitzCoinUnit::serveStatus(const noc::Packet &pkt)
 {
     // One FSM cycle to compute the rebalance (Section IV-A).
     eq_.scheduleIn(cfg_.fsmCycles, [this, pkt] {
+        if (crashed_)
+            return;
+        const std::uint64_t xid = tagValue(pkt.payload[3]);
+        auto &log = servedLog_[pkt.src];
+        for (const ServedExchange &e : log) {
+            if (e.xid == xid) {
+                // Duplicated CoinStatus: the rebalance already ran.
+                // Replay the recorded update instead of applying the
+                // exchange a second time.
+                ++duplicatesIgnored_;
+                sendOneWayUpdate(pkt.src, xid, e.delta, FlagOneWay);
+                return;
+            }
+        }
+
         coin::TileCoins remote{pkt.payload[0], pkt.payload[1]};
         coin::Coins remote_cap = pkt.payload[2];
         coin::Coins delta = coin::pairwiseDelta(
@@ -179,23 +340,118 @@ BlitzCoinUnit::serveStatus(const noc::Packet &pkt)
         if (delta != 0 && running_ && !awaitingUpdate_)
             scheduleNext(timer_.intervalFor(discontent() || isolated()));
 
-        noc::Packet reply;
-        reply.src = self_;
-        reply.dst = pkt.src;
-        reply.plane = noc::Plane::Service;
-        reply.type = noc::MsgType::CoinUpdate;
-        reply.payload[0] = -delta;
-        // Echo this tile's registers so the initiator sees its
-        // partner's state too (needed by the isolation detector).
-        reply.payload[1] = state_.has;
-        reply.payload[2] = state_.max;
-        net_.send(reply);
+        // Remember the outcome so a duplicated status or a CoinRecover
+        // probe can replay it without moving coins again.
+        log.push_back(ServedExchange{xid, -delta});
+        while (log.size() > cfg_.servedLogDepth)
+            log.pop_front();
+        sendOneWayUpdate(pkt.src, xid, -delta, FlagOneWay);
     });
+}
+
+void
+BlitzCoinUnit::serveRecover(const noc::Packet &pkt)
+{
+    eq_.scheduleIn(cfg_.fsmCycles, [this, pkt] {
+        if (crashed_)
+            return;
+        const std::uint64_t xid =
+            static_cast<std::uint64_t>(pkt.payload[0]);
+        auto it = servedLog_.find(pkt.src);
+        if (it != servedLog_.end()) {
+            for (const ServedExchange &e : it->second) {
+                if (e.xid == xid) {
+                    // The exchange ran here; replay its recorded delta.
+                    sendOneWayUpdate(pkt.src, xid, e.delta, FlagOneWay);
+                    return;
+                }
+            }
+            if (!it->second.empty() && xid < it->second.back().xid) {
+                // Older than the log's horizon: the outcome was served
+                // and since evicted. Only the audit can close this.
+                sendOneWayUpdate(pkt.src, xid, 0, FlagUnknown);
+                return;
+            }
+        }
+        // Never served: the CoinStatus itself was lost in transit, so
+        // no coins moved on either side — a clean null resolution.
+        sendOneWayUpdate(pkt.src, xid, 0, FlagOneWay);
+    });
+}
+
+void
+BlitzCoinUnit::applyResolvedDelta(coin::Coins delta,
+                                  coin::Coins partnerMax)
+{
+    if (delta != 0) {
+        state_.has += delta;
+        ++moved_;
+        coinsChanged();
+    }
+    timer_.onExchange(delta != 0);
+    iso_.onExchange(delta != 0, partnerMax);
 }
 
 void
 BlitzCoinUnit::applyUpdate(const noc::Packet &pkt)
 {
+    if (tagFlag(pkt.payload[3]) == FlagGroup) {
+        applyGroupUpdate(pkt);
+        return;
+    }
+    const std::uint64_t xid = tagValue(pkt.payload[3]);
+    if (pending_ && pending_->xid == xid) {
+        // The normal path: the update resolves the in-flight exchange.
+        pending_.reset();
+        awaitingUpdate_ = false;
+        applyResolvedDelta(pkt.payload[0], pkt.payload[2]);
+        if (running_)
+            scheduleNext(timer_.intervalFor(discontent() || isolated()));
+        return;
+    }
+    auto it = std::find_if(unresolved_.begin(), unresolved_.end(),
+                           [xid](const PendingExchange &p) {
+                               return p.xid == xid;
+                           });
+    if (it == unresolved_.end()) {
+        // No exchange waits on this stamp: a duplicated delivery, a
+        // replayed recover answer for an already-resolved exchange, or
+        // a stamp retired by a crash. Applying it would double-count.
+        ++duplicatesIgnored_;
+        return;
+    }
+    unresolved_.erase(it);
+    if (tagFlag(pkt.payload[3]) == FlagUnknown) {
+        // The partner evicted the outcome; its half (if any) stands
+        // unmatched until the audit watchdog reconciles.
+        ++abandoned_;
+        return;
+    }
+    // A late or recovered update: the exchange concludes off the
+    // critical path, conserving the pair's coins.
+    ++recovered_;
+    applyResolvedDelta(pkt.payload[0], pkt.payload[2]);
+    if (running_ && !awaitingUpdate_)
+        scheduleNext(timer_.intervalFor(discontent() || isolated()));
+}
+
+void
+BlitzCoinUnit::applyGroupUpdate(const noc::Packet &pkt)
+{
+    // Group (4-way) update from a center tile: apply-only. It must not
+    // clear this tile's own in-flight exchange state, but it does
+    // release the snapshot lock it corresponds to.
+    const std::uint64_t tag = tagValue(pkt.payload[3]);
+    std::uint64_t &last = groupSeen_[pkt.src];
+    if (tag <= last) {
+        ++duplicatesIgnored_; // duplicated delivery of this round
+        return;
+    }
+    last = tag;
+    if (snapshotHeld_ && pkt.src == snapshotHolder_) {
+        snapshotHeld_ = false;
+        ++snapshotGen_; // retire the pending release timeout
+    }
     coin::Coins delta = pkt.payload[0];
     if (delta != 0) {
         state_.has += delta;
@@ -204,20 +460,7 @@ BlitzCoinUnit::applyUpdate(const noc::Packet &pkt)
     }
     timer_.onExchange(delta != 0);
     iso_.onExchange(delta != 0, pkt.payload[2]);
-    if (pkt.payload[3] == 1) {
-        // Group (4-way) update from a center tile: apply-only. It
-        // must not clear this tile's own in-flight exchange state,
-        // but it does release the snapshot lock it corresponds to.
-        if (snapshotHeld_ && pkt.src == snapshotHolder_) {
-            snapshotHeld_ = false;
-            ++snapshotGen_; // retire the pending release timeout
-        }
-        if (delta != 0 && running_ && !awaitingUpdate_)
-            scheduleNext(timer_.intervalFor(discontent() || isolated()));
-        return;
-    }
-    awaitingUpdate_ = false;
-    if (running_)
+    if (delta != 0 && running_ && !awaitingUpdate_)
         scheduleNext(timer_.intervalFor(discontent() || isolated()));
 }
 
@@ -255,6 +498,8 @@ void
 BlitzCoinUnit::serveRequest(const noc::Packet &pkt)
 {
     eq_.scheduleIn(cfg_.fsmCycles, [this, pkt] {
+        if (crashed_)
+            return;
         // The conflict the paper describes (tile C requests B while
         // A-B is in flight): a busy tile does NOT reply. The center
         // completes with the members it could lock; the requester's
@@ -279,7 +524,9 @@ BlitzCoinUnit::serveRequest(const noc::Packet &pkt)
         reply.payload[0] = state_.has;
         reply.payload[1] = state_.max;
         reply.payload[2] = cfg_.thermalCap;
-        reply.payload[3] = pkt.payload[0]; // echo the round tag
+        // Echo the round tag, marked as a 4-way reply.
+        reply.payload[3] = packTag(
+            static_cast<std::uint64_t>(pkt.payload[0]), FlagGroup);
         net_.send(reply);
     });
 }
@@ -289,7 +536,7 @@ BlitzCoinUnit::collectStatus(const noc::Packet &pkt)
 {
     if (!awaitingUpdate_ || cfg_.mode != coin::ExchangeMode::FourWay)
         return; // stale reply from a timed-out round
-    if (pkt.payload[3] != static_cast<std::int64_t>(fourWayGen_))
+    if (tagValue(pkt.payload[3]) != fourWayGen_)
         return; // reply belongs to an earlier, abandoned round
     for (const auto &[node, tc] : gathered_) {
         if (node == pkt.src)
@@ -305,6 +552,7 @@ BlitzCoinUnit::collectStatus(const noc::Packet &pkt)
 void
 BlitzCoinUnit::completeFourWay()
 {
+    const std::uint64_t roundTag = fourWayGen_;
     ++fourWayGen_; // invalidate the timeout guard
     awaitingUpdate_ = false;
     // Concurrent rounds can leave the gathered snapshots inconsistent
@@ -338,7 +586,9 @@ BlitzCoinUnit::completeFourWay()
             upd.payload[0] = delta;
             upd.payload[1] = state_.has;
             upd.payload[2] = state_.max;
-            upd.payload[3] = 1; // group update (apply-only)
+            // Group update (apply-only), stamped with the round so a
+            // duplicated delivery cannot apply twice.
+            upd.payload[3] = packTag(roundTag, FlagGroup);
             net_.send(upd);
         }
         // Conservation: the center absorbs the negated sum, applied

@@ -12,6 +12,16 @@
  * interleave on the NoC, a tile's count can transiently go negative;
  * the sign bit absorbs it and steady state is always non-negative.
  *
+ * Loss recovery (beyond the paper's text, see DESIGN.md "Fault model &
+ * recovery"): every 1-way exchange carries a per-initiator sequence
+ * stamp. The partner logs the last few (stamp, delta) pairs it served;
+ * if the CoinUpdate never lands, the initiator times out, frees its FSM,
+ * and reconciles in the background with CoinRecover probes — the partner
+ * replays the logged delta (or reports that the exchange never
+ * happened), so a dropped, delayed, or duplicated packet degrades
+ * convergence instead of leaking coins. Only an unrecoverable loss (a
+ * crashed partner) leaves a gap, which the ClusterAudit watchdog remints.
+ *
  * There is deliberately no shared state between units: the only
  * communication is NoC packets, which is what makes the model a faithful
  * stand-in for the RTL.
@@ -20,8 +30,11 @@
 #ifndef BLITZ_BLITZCOIN_UNIT_HPP
 #define BLITZ_BLITZCOIN_UNIT_HPP
 
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 
 #include "coin/backoff.hpp"
 #include "coin/engine.hpp"
@@ -54,6 +67,19 @@ struct UnitConfig
     sim::Tick fsmCycles = 1;
     /** Thermal cap on this tile's holdings (::coin::uncapped if none). */
     coin::Coins thermalCap = coin::uncapped;
+    /**
+     * 1-way exchange timeout: ticks without the CoinUpdate before the
+     * FSM is freed and background reconciliation begins.
+     */
+    sim::Tick recoverTimeout = 512;
+    /**
+     * CoinRecover probes per lost exchange (exponential backoff,
+     * mirroring the BackoffTimer growth law) before the loss is left
+     * to the audit/remint watchdog.
+     */
+    int maxRecoverAttempts = 6;
+    /** Per-initiator depth of the partner's served-exchange log. */
+    std::size_t servedLogDepth = 8;
 };
 
 /**
@@ -99,7 +125,7 @@ class BlitzCoinUnit
      */
     void reconfigure(const UnitConfig &cfg);
 
-    /** Initialize holdings (before start()). */
+    /** Initialize holdings (before start(), or when reminting). */
     void setHas(coin::Coins has);
 
     /**
@@ -114,6 +140,25 @@ class BlitzCoinUnit
     /** Stop initiating (incoming exchanges are still served). */
     void stop();
 
+    /**
+     * Power-fail the tile: all architectural state — coins, target,
+     * in-flight exchange tracking, served-exchange log — is lost and
+     * the unit goes deaf until restart(). Coins held here at the crash
+     * are destroyed; the ClusterAudit watchdog remints them.
+     */
+    void crash();
+
+    /**
+     * Bring a crashed unit back up with empty registers. The exchange
+     * sequence counter deliberately survives the crash so stale
+     * partner logs can never alias a post-restart exchange. Call
+     * start() (and setMax/setHas) afterwards as at first boot.
+     */
+    void restart();
+
+    /** True while crashed (deaf to packets, no initiation). */
+    bool crashed() const { return crashed_; }
+
     /** Service-plane packet delivery from the tile's demux. */
     void handlePacket(const noc::Packet &pkt);
 
@@ -126,7 +171,47 @@ class BlitzCoinUnit
     /** Exchanges that moved at least one coin. */
     std::uint64_t exchangesMoved() const { return moved_; }
 
+    /** 1-way exchanges whose update timed out at least once. */
+    std::uint64_t exchangesTimedOut() const { return timedOut_; }
+
+    /** CoinRecover probes sent. */
+    std::uint64_t recoveriesSent() const { return recoversSent_; }
+
+    /** Lost updates whose delta was recovered via reconciliation. */
+    std::uint64_t updatesRecovered() const { return recovered_; }
+
+    /** Duplicate/stale packets discarded by the sequence stamps. */
+    std::uint64_t duplicatesIgnored() const { return duplicatesIgnored_; }
+
+    /** Corrupted (CRC-flagged) packets discarded at the demux. */
+    std::uint64_t corruptedDropped() const { return corruptedDropped_; }
+
+    /**
+     * Exchanges abandoned with their outcome unknown after all
+     * CoinRecover attempts — the cases only the audit watchdog can
+     * close (a crashed or partitioned partner).
+     */
+    std::uint64_t exchangesAbandoned() const { return abandoned_; }
+
+    /** Lost exchanges still being reconciled in the background. */
+    std::size_t recoveriesInFlight() const { return unresolved_.size(); }
+
   private:
+    /** One 1-way exchange this initiator has not yet resolved. */
+    struct PendingExchange
+    {
+        std::uint64_t xid = 0;
+        noc::NodeId partner = 0;
+        int recoverTries = 0;
+    };
+
+    /** (stamp, delta-for-initiator) pair remembered per initiator. */
+    struct ServedExchange
+    {
+        std::uint64_t xid = 0;
+        coin::Coins delta = 0;
+    };
+
     /**
      * Locally computable imbalance: holding coins with no need, or
      * active with none — either keeps the refresh cadence capped so
@@ -151,10 +236,25 @@ class BlitzCoinUnit
     void initiateFourWay();
     void serveStatus(const noc::Packet &pkt);
     void serveRequest(const noc::Packet &pkt);
+    void serveRecover(const noc::Packet &pkt);
     void collectStatus(const noc::Packet &pkt);
     void completeFourWay();
     void applyUpdate(const noc::Packet &pkt);
+    void applyGroupUpdate(const noc::Packet &pkt);
     void coinsChanged();
+
+    /** Send the 1-way CoinUpdate reply carrying @p delta for @p xid. */
+    void sendOneWayUpdate(noc::NodeId dst, std::uint64_t xid,
+                          coin::Coins delta, int flag);
+
+    /** Timeout of the in-flight exchange @p xid. */
+    void onExchangeTimeout(std::uint64_t xid);
+
+    /** Background reconciliation driver for an unresolved exchange. */
+    void pumpRecovery(std::uint64_t xid);
+
+    /** Conclude a resolved 1-way exchange (normal or recovered). */
+    void applyResolvedDelta(coin::Coins delta, coin::Coins partnerMax);
 
     sim::EventQueue &eq_;
     noc::Network &net_;
@@ -166,7 +266,18 @@ class BlitzCoinUnit
     coin::PartnerSelector selector_;
     coin::IsolationDetector iso_;
     bool running_ = false;
+    bool crashed_ = false;
     bool awaitingUpdate_ = false;
+    /** Current in-flight 1-way exchange (at most one). */
+    std::optional<PendingExchange> pending_;
+    /** Timed-out exchanges being reconciled in the background. */
+    std::vector<PendingExchange> unresolved_;
+    /** Per-initiator log of recently served exchanges (partner side). */
+    std::map<noc::NodeId, std::deque<ServedExchange>> servedLog_;
+    /** Per-center stamp of the last applied group update (dedup). */
+    std::map<noc::NodeId, std::uint64_t> groupSeen_;
+    /** Monotonic exchange stamp; survives crash/restart (see restart). */
+    std::uint64_t nextXid_ = 1;
     /** In-flight 4-way exchange: statuses gathered so far. */
     std::vector<std::pair<noc::NodeId, coin::TileCoins>> gathered_;
     std::size_t awaitedStatuses_ = 0;
@@ -184,6 +295,12 @@ class BlitzCoinUnit
     std::uint64_t timerGen_ = 0; ///< invalidates superseded wakeups
     std::uint64_t initiated_ = 0;
     std::uint64_t moved_ = 0;
+    std::uint64_t timedOut_ = 0;
+    std::uint64_t recoversSent_ = 0;
+    std::uint64_t recovered_ = 0;
+    std::uint64_t duplicatesIgnored_ = 0;
+    std::uint64_t corruptedDropped_ = 0;
+    std::uint64_t abandoned_ = 0;
 };
 
 } // namespace blitz::blitzcoin

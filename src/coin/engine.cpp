@@ -167,9 +167,9 @@ MeshSim::doPairwise(std::uint32_t i, std::uint32_t j)
 }
 
 Coins
-MeshSim::doFourWay(std::uint32_t center)
+MeshSim::doFourWay(std::uint32_t center,
+                   const std::vector<noc::NodeId> &members)
 {
-    const auto &members = selectors_[center].neighbors();
     std::vector<TileCoins> group;
     std::vector<Coins> caps;
     group.reserve(members.size() + 1);
@@ -210,6 +210,31 @@ MeshSim::fire(std::uint32_t tile)
         // status hop(s) + FSM compute + update hop(s)
         completion = now_ + dist * cfg_.hopCycles + cfg_.fsmCycles +
                      dist * cfg_.hopCycles;
+        if (cfg_.lossRate > 0.0 && rng_.chance(cfg_.lossRate)) {
+            // The status leg was lost: no rebalance ran anywhere. The
+            // initiator times out, backs off, and refires later.
+            ++losses_;
+            packets_ += 1;
+            timers_[tile].onExchange(false);
+            completion = now_ + cfg_.lossRecoveryCycles;
+            scheduleTile(tile,
+                         completion +
+                             timers_[tile].intervalFor(
+                                 discontent(tile) || isolated(tile)));
+            return completion;
+        }
+        bool updateLost =
+            cfg_.lossRate > 0.0 && rng_.chance(cfg_.lossRate);
+        if (updateLost) {
+            // The update leg was lost: the partner's half already ran
+            // and reconciliation replays the delta to the initiator —
+            // same arithmetic, so the atomic ledger transfer below is
+            // exactly the recovered outcome; only time and packets are
+            // spent (timeout + probe + replayed update).
+            ++losses_;
+            packets_ += 2;
+            completion += cfg_.lossRecoveryCycles;
+        }
         packets_ += 2;
         moved = doPairwise(tile, partner);
         timers_[partner].onExchange(moved != 0);
@@ -227,13 +252,28 @@ MeshSim::fire(std::uint32_t tile)
     } else {
         // request + status + update to each of the (up to) 4 neighbors;
         // neighbor hops are distance 1 by construction.
-        const auto fan = static_cast<sim::Tick>(
-            selectors_[tile].neighbors().size());
+        const auto &all = selectors_[tile].neighbors();
+        std::vector<noc::NodeId> survivors;
+        const std::vector<noc::NodeId> *members = &all;
+        if (cfg_.lossRate > 0.0) {
+            // A lost request or status leg excludes that member from
+            // the round (the center completes with whoever replied,
+            // exactly as the packet model does).
+            survivors.reserve(all.size());
+            for (noc::NodeId n : all) {
+                if (rng_.chance(cfg_.lossRate))
+                    ++losses_;
+                else
+                    survivors.push_back(n);
+            }
+            members = &survivors;
+        }
+        const auto fan = static_cast<sim::Tick>(all.size());
         completion = now_ + 3 * cfg_.hopCycles + cfg_.fsmCycles +
                      cfg_.fourWayExtraCycles;
         packets_ += 3 * fan;
-        moved = doFourWay(tile);
-        for (noc::NodeId n : selectors_[tile].neighbors()) {
+        moved = doFourWay(tile, *members);
+        for (noc::NodeId n : *members) {
             timers_[n].onExchange(moved != 0);
             if (moved != 0)
                 scheduleTile(n, completion +

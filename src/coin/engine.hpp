@@ -66,6 +66,21 @@ struct EngineConfig
      * density of any 5-tile cross on the die. ::uncapped disables it.
      */
     Coins neighborhoodCap = uncapped;
+    /**
+     * Behavioral packet-loss model, mirroring the packet-accurate
+     * recovery protocol's *outcome* (see blitzcoin/unit.hpp): each leg
+     * of an exchange is lost with this probability. A lost status leg
+     * makes the firing a no-op (the initiator times out); a lost
+     * update leg still applies the rebalance — reconciliation replays
+     * the delta — but completion is delayed by lossRecoveryCycles and
+     * the probe/replay packets are accounted. Coins stay conserved
+     * structurally (the ledger moves both halves atomically). The RNG
+     * is only consulted when the rate is non-zero, so existing seeded
+     * trials replay bit-identically.
+     */
+    double lossRate = 0.0;
+    /** Added completion latency when an update leg must be recovered. */
+    sim::Tick lossRecoveryCycles = 512;
 };
 
 /** Outcome of a convergence run. */
@@ -144,6 +159,9 @@ class MeshSim
     /** Total exchanges since construction. */
     std::uint64_t totalExchanges() const { return exchanges_; }
 
+    /** Exchange legs lost to the behavioral loss model. */
+    std::uint64_t totalLosses() const { return losses_; }
+
     /**
      * Coins held by a tile's cross neighborhood (itself included) —
      * the quantity the neighborhood thermal cap bounds.
@@ -175,8 +193,9 @@ class MeshSim
     /** Perform a pairwise exchange; returns coins moved (absolute). */
     Coins doPairwise(std::uint32_t i, std::uint32_t j);
 
-    /** Perform a 4-way group exchange; returns coins moved (absolute). */
-    Coins doFourWay(std::uint32_t center);
+    /** 4-way group exchange over @p members; returns coins moved. */
+    Coins doFourWay(std::uint32_t center,
+                    const std::vector<noc::NodeId> &members);
 
     void scheduleTile(std::uint32_t tile, sim::Tick when);
 
@@ -216,6 +235,7 @@ class MeshSim
     sim::Tick now_ = 0;
     std::uint64_t packets_ = 0;
     std::uint64_t exchanges_ = 0;
+    std::uint64_t losses_ = 0;
     // Cached error state: alpha_ changes only on setMax/setHas.
     double alpha_ = 0.0;
     double errSum_ = 0.0;

@@ -1,0 +1,153 @@
+#include "chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coin/neighborhood.hpp"
+#include "sim/logging.hpp"
+
+namespace blitz::fault {
+
+ChaosCluster::ChaosCluster(const ChaosConfig &cfg)
+    : cfg_(cfg), topo_(cfg.width, cfg.height, cfg.wrap),
+      net_(eq_, topo_), plane_(cfg.fault), audit_(0),
+      maxAtCrash_(topo_.size(), 0)
+{
+    plane_.attach(net_);
+    std::vector<bool> managed(topo_.size(), true);
+    auto hoods = coin::managedNeighborhoods(topo_, managed);
+    for (noc::NodeId id = 0; id < topo_.size(); ++id) {
+        units_.push_back(std::make_unique<blitzcoin::BlitzCoinUnit>(
+            eq_, net_, id, cfg_.unit, hoods[id], cfg_.seedBase + id));
+        net_.setHandler(id, [this, id](const noc::Packet &pkt) {
+            units_[id]->handlePacket(pkt);
+        });
+        audit_.track(*units_.back());
+    }
+    plane_.onNodeDown = [this](noc::NodeId n) { onCrash(n); };
+    plane_.onNodeUp = [this](noc::NodeId n) { onRestart(n); };
+    // A freeze is a clock-gated stall: the unit keeps its registers but
+    // stops initiating; the fault plane already blackholes its traffic.
+    plane_.onNodeFrozen = [this](noc::NodeId n) { units_[n]->stop(); };
+    plane_.onNodeThawed = [this](noc::NodeId n) { units_[n]->start(); };
+    if (!cfg_.fault.outages.empty())
+        plane_.armOutageSchedule(eq_);
+    if (cfg_.auditPeriod > 0)
+        scheduleAudit();
+}
+
+void
+ChaosCluster::scheduleAudit()
+{
+    eq_.scheduleIn(cfg_.auditPeriod, [this] {
+        audit_.reconcile();
+        scheduleAudit();
+    }, sim::Priority::Stats);
+}
+
+void
+ChaosCluster::onCrash(noc::NodeId node)
+{
+    maxAtCrash_[node] = units_[node]->max();
+    units_[node]->crash();
+}
+
+void
+ChaosCluster::onRestart(noc::NodeId node)
+{
+    units_[node]->restart();
+    if (cfg_.restoreMaxOnRestart && maxAtCrash_[node] > 0)
+        units_[node]->setMax(maxAtCrash_[node]);
+    units_[node]->start();
+}
+
+void
+ChaosCluster::setHas(std::size_t i, coin::Coins has)
+{
+    units_[i]->setHas(has);
+}
+
+void
+ChaosCluster::setMax(std::size_t i, coin::Coins max)
+{
+    units_[i]->setMax(max);
+}
+
+void
+ChaosCluster::sealProvision()
+{
+    audit_.setExpected(totalCoins());
+}
+
+void
+ChaosCluster::startAll()
+{
+    for (auto &u : units_)
+        u->start();
+}
+
+coin::Coins
+ChaosCluster::totalCoins() const
+{
+    coin::Coins sum = 0;
+    for (const auto &u : units_) {
+        if (!u->crashed())
+            sum += u->has();
+    }
+    return sum;
+}
+
+double
+ChaosCluster::clusterError() const
+{
+    coin::Coins th = 0, tm = 0;
+    std::size_t alive = 0;
+    for (const auto &u : units_) {
+        if (u->crashed())
+            continue;
+        th += u->has();
+        tm += u->max();
+        ++alive;
+    }
+    if (tm == 0 || alive == 0)
+        return 0.0;
+    const double alpha =
+        static_cast<double>(th) / static_cast<double>(tm);
+    double sum = 0.0;
+    for (const auto &u : units_) {
+        if (u->crashed())
+            continue;
+        sum += std::abs(static_cast<double>(u->has()) -
+                        alpha * static_cast<double>(u->max()));
+    }
+    return sum / static_cast<double>(alive);
+}
+
+std::optional<sim::Tick>
+ChaosCluster::runUntilConverged(double tol, sim::Tick checkEvery,
+                                sim::Tick deadline)
+{
+    BLITZ_ASSERT(checkEvery >= 1, "convergence check period is empty");
+    while (eq_.now() < deadline) {
+        eq_.runUntil(std::min(eq_.now() + checkEvery, deadline));
+        if (clusterError() <= tol)
+            return eq_.now();
+    }
+    return std::nullopt;
+}
+
+blitzcoin::AuditReport
+ChaosCluster::quiesce(sim::Tick drainTicks)
+{
+    eq_.runUntil(eq_.now() + drainTicks);
+    blitzcoin::AuditReport before = audit_.reconcile();
+    // Conservation invariant: whatever the faults destroyed, one
+    // watchdog sweep over a quiesced cluster restores the provisioned
+    // total exactly.
+    blitzcoin::AuditReport after = audit_.audit();
+    BLITZ_ASSERT(after.gap == 0,
+                 "audit failed to restore the provisioned coin total");
+    return before;
+}
+
+} // namespace blitz::fault

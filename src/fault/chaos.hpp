@@ -1,0 +1,139 @@
+/**
+ * @file
+ * ChaosCluster: a fault-injected BlitzCoin mesh in a box.
+ *
+ * The harness the chaos bench and the fault/recovery tests share: a
+ * w x h mesh where every tile runs a BlitzCoinUnit, a FaultPlane wired
+ * into the NoC, crash/freeze windows wired into the units, and a
+ * ClusterAudit watchdog tracking the provisioned coin total. Tests get
+ * a one-line lossy cluster; the bench gets convergence and conservation
+ * metrics that are deterministic in (config, seed).
+ */
+
+#ifndef BLITZ_FAULT_CHAOS_HPP
+#define BLITZ_FAULT_CHAOS_HPP
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "blitzcoin/audit.hpp"
+#include "blitzcoin/unit.hpp"
+#include "fault_plane.hpp"
+#include "noc/network.hpp"
+#include "sim/event_queue.hpp"
+
+namespace blitz::fault {
+
+/** ChaosCluster construction parameters. */
+struct ChaosConfig
+{
+    int width = 4;
+    int height = 4;
+    bool wrap = false;
+    blitzcoin::UnitConfig unit{};
+    FaultConfig fault{};
+    /** Per-tile unit seeds are seedBase + node id. */
+    std::uint64_t seedBase = 1000;
+    /**
+     * When a crash window ends, re-program the tile's pre-crash max
+     * target and restart it (the workload resumes); coins come back
+     * through the audit watchdog. Disable to leave restarted tiles
+     * idle until the harness programs them.
+     */
+    bool restoreMaxOnRestart = true;
+    /**
+     * Period of the background audit/remint watchdog sweep; 0 leaves
+     * the audit manual (reconcile()/quiesce() only). A periodic sweep
+     * can momentarily mis-read in-flight exchanges as a gap — the next
+     * sweep corrects it — so it is meant for runs with crash windows,
+     * where waiting for quiesce would leave the pool depleted.
+     */
+    sim::Tick auditPeriod = 0;
+};
+
+/**
+ * A fault-injected all-tiles BlitzCoin cluster.
+ *
+ * Lifecycle: construct, seed coins/targets with setHas()/setMax(),
+ * sealProvision(), startAll(), then drive eq() (or use
+ * runUntilConverged()). Crash and freeze windows from the fault
+ * schedule are applied to the units automatically. reconcile() runs
+ * the audit watchdog; quiesce() drains, reconciles, and asserts the
+ * seeded total is exactly restored.
+ */
+class ChaosCluster
+{
+  public:
+    explicit ChaosCluster(const ChaosConfig &cfg);
+
+    sim::EventQueue &eq() { return eq_; }
+    const noc::Topology &topology() const { return topo_; }
+    noc::Network &net() { return net_; }
+    FaultPlane &plane() { return plane_; }
+    blitzcoin::ClusterAudit &audit() { return audit_; }
+    std::size_t size() const { return units_.size(); }
+    blitzcoin::BlitzCoinUnit &unit(std::size_t i) { return *units_[i]; }
+    const blitzcoin::BlitzCoinUnit &
+    unit(std::size_t i) const
+    {
+        return *units_[i];
+    }
+
+    void setHas(std::size_t i, coin::Coins has);
+    void setMax(std::size_t i, coin::Coins max);
+
+    /**
+     * Record the current cluster total as the provisioned amount the
+     * audit watchdog defends. Call once, after seeding coins.
+     */
+    void sealProvision();
+
+    void startAll();
+
+    /** Coins held across alive (non-crashed) units. */
+    coin::Coins totalCoins() const;
+
+    /** Mean |has - alpha*max| over alive units (0 if cluster idle). */
+    double clusterError() const;
+
+    /**
+     * Advance until clusterError() <= @p tol (checked every
+     * @p checkEvery ticks) or @p deadline passes. Returns the tick at
+     * which convergence was observed, or nullopt on deadline.
+     */
+    std::optional<sim::Tick> runUntilConverged(double tol,
+                                               sim::Tick checkEvery,
+                                               sim::Tick deadline);
+
+    /** One audit watchdog sweep (mint/burn any gap). */
+    blitzcoin::AuditReport reconcile() { return audit_.reconcile(); }
+
+    /**
+     * Drain in-flight traffic for @p drainTicks, run the audit
+     * watchdog, and assert the conservation invariant: after the
+     * sweep, the alive units hold exactly the provisioned total.
+     * Returns the pre-sweep report (its gap is what the watchdog had
+     * to close).
+     */
+    blitzcoin::AuditReport quiesce(sim::Tick drainTicks = 4096);
+
+  private:
+    void onCrash(noc::NodeId node);
+    void onRestart(noc::NodeId node);
+    void scheduleAudit();
+
+    ChaosConfig cfg_;
+    sim::EventQueue eq_;
+    noc::Topology topo_;
+    noc::Network net_;
+    FaultPlane plane_;
+    std::vector<std::unique_ptr<blitzcoin::BlitzCoinUnit>> units_;
+    blitzcoin::ClusterAudit audit_;
+    /** Max target at crash time, restored on restart. */
+    std::vector<coin::Coins> maxAtCrash_;
+};
+
+} // namespace blitz::fault
+
+#endif // BLITZ_FAULT_CHAOS_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fault-injection interception points of the NoC.
+ *
+ * The network consults an optional FaultHook at two stages of a
+ * packet's life: once per router-to-router link traversal and once at
+ * the ejection port. The hook decides whether the packet is dropped,
+ * delayed, duplicated, or corrupted at that stage; the network applies
+ * the verdict mechanically. Keeping the decision logic behind this
+ * interface lets the concrete fault model (src/fault/) stay out of the
+ * noc layer while every consumer of Network — benches, tests, the full
+ * SoC — gets fault injection through configuration instead of by
+ * wrapping delivery handlers.
+ */
+
+#ifndef BLITZ_NOC_FAULT_HOOK_HPP
+#define BLITZ_NOC_FAULT_HOOK_HPP
+
+#include "packet.hpp"
+#include "sim/types.hpp"
+
+namespace blitz::noc {
+
+/** Verdict for one packet at one interception stage. */
+struct FaultDecision
+{
+    /** Discard the packet at this stage (it consumed the link slot). */
+    bool drop = false;
+    /** Extra ticks added to this stage's traversal. */
+    sim::Tick delay = 0;
+    /** Deliver/forward the packet twice (retransmission artifact). */
+    bool duplicate = false;
+};
+
+/**
+ * Fault-injection callback interface (implemented by fault::FaultPlane).
+ *
+ * Both hooks may mutate the packet to model payload corruption; a
+ * corrupting hook must also set Packet::corrupted so endpoints can
+ * model link-level CRC detection.
+ */
+class FaultHook
+{
+  public:
+    virtual ~FaultHook() = default;
+
+    /** Consulted once per link traversal @p from -> @p to. */
+    virtual FaultDecision onLink(Packet &pkt, NodeId from, NodeId to,
+                                 sim::Tick now) = 0;
+
+    /** Consulted once at the ejection port of @p at. */
+    virtual FaultDecision onDeliver(Packet &pkt, NodeId at,
+                                    sim::Tick now) = 0;
+};
+
+} // namespace blitz::noc
+
+#endif // BLITZ_NOC_FAULT_HOOK_HPP

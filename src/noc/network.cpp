@@ -16,6 +16,7 @@ msgTypeName(MsgType t)
       case MsgType::RegWrite:    return "RegWrite";
       case MsgType::Interrupt:   return "Interrupt";
       case MsgType::Generic:     return "Generic";
+      case MsgType::CoinRecover: return "CoinRecover";
     }
     return "?";
 }
@@ -64,33 +65,64 @@ Network::send(Packet pkt)
 }
 
 void
+Network::scheduleDelivery(const Packet &pkt, NodeId at,
+                          sim::Tick extraDelay)
+{
+    // Ejection port: serializes deliveries into the endpoint.
+    auto &free = ejectFree_[ejectIndex(at, pkt.plane)];
+    sim::Tick depart = std::max(eq_.now() + extraDelay, free);
+    free = depart + hopLatency_;
+    eq_.schedule(depart + hopLatency_, [this, pkt, at] {
+        ++packetsDelivered_;
+        latency_.add(static_cast<double>(eq_.now() - pkt.injectTick));
+        // Copy before invoking: a handler replacing itself (or being
+        // replaced reentrantly) must not destroy the executing closure.
+        Handler h = handlers_[at];
+        if (h)
+            h(pkt);
+    }, sim::Priority::NocTransfer);
+}
+
+void
 Network::hop(Packet pkt, NodeId at)
 {
     const sim::Tick now = eq_.now();
 
     if (at == pkt.dst) {
-        // Ejection port: serializes deliveries into the endpoint.
-        auto &free = ejectFree_[ejectIndex(at, pkt.plane)];
-        sim::Tick depart = std::max(now, free);
-        free = depart + hopLatency_;
-        eq_.schedule(depart + hopLatency_, [this, pkt, at] {
-            ++packetsDelivered_;
-            latency_.add(static_cast<double>(eq_.now() - pkt.injectTick));
-            if (handlers_[at])
-                handlers_[at](pkt);
-        }, sim::Priority::NocTransfer);
+        FaultDecision fd;
+        if (fault_)
+            fd = fault_->onDeliver(pkt, at, now);
+        if (fd.drop) {
+            ++packetsDropped_;
+            return;
+        }
+        scheduleDelivery(pkt, at, fd.delay);
+        if (fd.duplicate)
+            scheduleDelivery(pkt, at, fd.delay);
         return;
     }
 
     Dir d = topo_.nextHopDir(at, pkt.dst);
     NodeId next = topo_.nextHop(at, pkt.dst);
+    FaultDecision fd;
+    if (fault_)
+        fd = fault_->onLink(pkt, at, next, now);
     auto &free = linkFree_[linkIndex(at, d, pkt.plane)];
     sim::Tick depart = std::max(now, free);
     free = depart + hopLatency_;
     ++totalHops_;
-    eq_.schedule(depart + hopLatency_, [this, pkt, next] {
-        hop(pkt, next);
-    }, sim::Priority::NocTransfer);
+    if (fd.drop) {
+        // The flit crossed the link (the slot is consumed) but never
+        // arrives at the next router.
+        ++packetsDropped_;
+        return;
+    }
+    const int copies = fd.duplicate ? 2 : 1;
+    for (int k = 0; k < copies; ++k) {
+        eq_.schedule(depart + hopLatency_ + fd.delay, [this, pkt, next] {
+            hop(pkt, next);
+        }, sim::Priority::NocTransfer);
+    }
 }
 
 void
@@ -98,6 +130,7 @@ Network::resetStats()
 {
     packetsSent_ = 0;
     packetsDelivered_ = 0;
+    packetsDropped_ = 0;
     totalHops_ = 0;
     latency_ = sim::Summary{};
 }

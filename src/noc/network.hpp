@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "fault_hook.hpp"
 #include "packet.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
@@ -45,8 +46,20 @@ class Network
 
     const Topology &topology() const { return topo_; }
 
-    /** Install the delivery callback for a node (replaces any previous). */
+    /**
+     * Install the delivery callback for a node (replaces any previous).
+     * Deliveries always route through the handler installed at delivery
+     * time — packets already in flight land in the new handler, and a
+     * handler may safely replace itself from inside its own invocation.
+     */
     void setHandler(NodeId node, Handler handler);
+
+    /**
+     * Install (or clear, with nullptr) the fault-injection hook.
+     * The hook is consulted on every link traversal and every ejection;
+     * it must outlive the network or be cleared first.
+     */
+    void setFaultHook(FaultHook *hook) { fault_ = hook; }
 
     /**
      * Inject a packet at the current tick.
@@ -61,6 +74,9 @@ class Network
 
     /** Total packets delivered to handlers. */
     std::uint64_t packetsDelivered() const { return packetsDelivered_; }
+
+    /** Packets discarded by the fault hook (link + ejection stages). */
+    std::uint64_t packetsDropped() const { return packetsDropped_; }
 
     /** Total router-to-router hops traversed. */
     std::uint64_t totalHops() const { return totalHops_; }
@@ -81,10 +97,14 @@ class Network
     /** Move a packet one hop; schedules the next hop or delivery. */
     void hop(Packet pkt, NodeId at);
 
+    /** Reserve the ejection port and schedule one handler invocation. */
+    void scheduleDelivery(const Packet &pkt, NodeId at, sim::Tick extraDelay);
+
     sim::EventQueue &eq_;
     Topology topo_;
     sim::Tick hopLatency_;
     std::vector<Handler> handlers_;
+    FaultHook *fault_ = nullptr;
     /** Earliest tick each output link is free, per (node, dir, plane). */
     std::vector<sim::Tick> linkFree_;
     /** Earliest tick each ejection port is free, per (node, plane). */
@@ -92,6 +112,7 @@ class Network
     std::uint64_t nextSeq_ = 1;
     std::uint64_t packetsSent_ = 0;
     std::uint64_t packetsDelivered_ = 0;
+    std::uint64_t packetsDropped_ = 0;
     std::uint64_t totalHops_ = 0;
     sim::Summary latency_;
 };

@@ -51,6 +51,7 @@ enum class MsgType : std::uint8_t
     RegWrite = 5,     ///< centralized controller sets a tile V/F state
     Interrupt = 6,    ///< activity-change notification to a controller
     Generic = 7,      ///< background traffic for contention experiments
+    CoinRecover = 8,  ///< initiator asks for a lost CoinUpdate's outcome
 };
 
 /** Printable message-type name. */
@@ -69,6 +70,13 @@ struct Packet
     sim::Tick injectTick = 0;
     /** Monotonic per-network sequence number, set on send. */
     std::uint64_t seq = 0;
+    /**
+     * Set by a fault hook that mutated the payload, modeling the
+     * link-level CRC flagging the flit as damaged. Endpoints drop
+     * corrupted packets at the demux (detected corruption behaves as a
+     * loss and rides the same recovery path).
+     */
+    bool corrupted = false;
 };
 
 } // namespace blitz::noc

@@ -66,6 +66,12 @@ struct PmConfig
     /** BC: mean coin error below which a change counts as settled. */
     double settleErr = 1.0;
     /**
+     * BC: cadence of the audit/remint sweep armed after the first tile
+     * restart (ticks). The periodic re-run self-corrects a sweep that
+     * misread in-flight deltas as destroyed coins.
+     */
+    sim::Tick auditPeriod = 8192;
+    /**
      * Static baseline: tiles sharing the fixed split. A real static
      * configuration is provisioned for the workload it will run, so
      * benches pass the DAG's tile set; empty means all managed tiles.
@@ -111,6 +117,19 @@ class PowerManager
 
     /** The task on a managed tile finished. */
     virtual void onTaskEnd(noc::NodeId tile) = 0;
+
+    /**
+     * Fault-plane notifications (see Soc::installFaultPlane). A crash
+     * destroys the tile's PM state — for BlitzCoin that includes the
+     * coins in its registers; a restart brings the tile back with
+     * cleared registers; freeze/thaw is a clock-gated stall with state
+     * retained. Managers that keep no per-tile hardware state (the
+     * centralized schemes re-poll every round) can ignore them.
+     */
+    virtual void onNodeCrash(noc::NodeId tile) { (void)tile; }
+    virtual void onNodeRestart(noc::NodeId tile) { (void)tile; }
+    virtual void onNodeFrozen(noc::NodeId tile) { (void)tile; }
+    virtual void onNodeThawed(noc::NodeId tile) { (void)tile; }
 
     /** Service-plane packet delivered at @p at. */
     virtual void

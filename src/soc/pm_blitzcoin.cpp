@@ -36,6 +36,8 @@ BlitzCoinPm::BlitzCoinPm(const PmContext &ctx, const PmConfig &cfg)
         };
         units_.emplace(id, std::move(pt));
     }
+    for (auto &[id, pt] : units_)
+        audit_.track(*pt.unit);
 }
 
 blitzcoin::BlitzCoinUnit &
@@ -51,6 +53,7 @@ BlitzCoinPm::start()
 {
     // Spread the pool evenly; the exchange redistributes from any
     // starting point (the Monte-Carlo studies use random spreads).
+    audit_.setExpected(scale_.poolCoins);
     const auto n = static_cast<coin::Coins>(units_.size());
     const coin::Coins base = scale_.poolCoins / n;
     coin::Coins leftover = scale_.poolCoins - base * n;
@@ -136,6 +139,69 @@ BlitzCoinPm::clusterCoins() const
     for (const auto &[id, pt] : units_)
         total += pt.unit->has();
     return total;
+}
+
+void
+BlitzCoinPm::onNodeCrash(noc::NodeId tile)
+{
+    auto it = units_.find(tile);
+    if (it == units_.end())
+        return; // outage on an unmanaged node: packets drop, no PM state
+    it->second.unit->crash();
+}
+
+void
+BlitzCoinPm::onNodeRestart(noc::NodeId tile)
+{
+    auto it = units_.find(tile);
+    if (it == units_.end())
+        return;
+    blitzcoin::BlitzCoinUnit &u = *it->second.unit;
+    u.restart();
+    // The max target is architectural configuration re-applied by the
+    // scheduler side at power-up; the coins the tile held are gone and
+    // only the audit sweep can remint them.
+    u.setMax(active_[tile] ? maxCoins()[tile] : 0);
+    u.start();
+    armAuditSweep();
+}
+
+void
+BlitzCoinPm::onNodeFrozen(noc::NodeId tile)
+{
+    auto it = units_.find(tile);
+    if (it != units_.end())
+        it->second.unit->stop();
+}
+
+void
+BlitzCoinPm::onNodeThawed(noc::NodeId tile)
+{
+    auto it = units_.find(tile);
+    if (it != units_.end())
+        it->second.unit->start();
+}
+
+void
+BlitzCoinPm::armAuditSweep()
+{
+    if (auditArmed_)
+        return;
+    auditArmed_ = true;
+    auditTick();
+}
+
+void
+BlitzCoinPm::auditTick()
+{
+    // Recurring for the rest of the run: one sweep can misattribute
+    // in-flight deltas to the crash and over-mint, but the next sweep
+    // observes the landed coins and burns the excess back.
+    ctx_.eq.scheduleIn(cfg_.auditPeriod, [this] {
+        audit_.reconcile();
+        coinsMoved();
+        auditTick();
+    }, sim::Priority::Stats);
 }
 
 void

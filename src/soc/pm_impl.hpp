@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "blitzcoin/audit.hpp"
 #include "blitzcoin/coin_lut.hpp"
 #include "blitzcoin/unit.hpp"
 #include "coin/neighborhood.hpp"
@@ -34,9 +35,17 @@ class BlitzCoinPm : public PowerManager
     void onTaskStart(noc::NodeId tile) override;
     void onTaskEnd(noc::NodeId tile) override;
     void handlePacket(noc::NodeId at, const noc::Packet &pkt) override;
+    void onNodeCrash(noc::NodeId tile) override;
+    void onNodeRestart(noc::NodeId tile) override;
+    void onNodeFrozen(noc::NodeId tile) override;
+    void onNodeThawed(noc::NodeId tile) override;
 
     /** The unit on a managed tile (test access). */
     blitzcoin::BlitzCoinUnit &unit(noc::NodeId tile);
+
+    /** The audit watchdog restoring the pool after crashes. */
+    const blitzcoin::ClusterAudit &audit() const { return audit_; }
+    blitzcoin::ClusterAudit &audit() { return audit_; }
 
     /** Mean coin error over the managed cluster (the Err metric). */
     double clusterError() const;
@@ -50,6 +59,10 @@ class BlitzCoinPm : public PowerManager
   private:
     void coinsMoved();
 
+    /** Start (once) the periodic audit sweep after a crash recovery. */
+    void armAuditSweep();
+    void auditTick();
+
     struct PerTile
     {
         std::unique_ptr<blitzcoin::BlitzCoinUnit> unit;
@@ -57,6 +70,8 @@ class BlitzCoinPm : public PowerManager
     };
 
     std::map<noc::NodeId, PerTile> units_;
+    blitzcoin::ClusterAudit audit_{0};
+    bool auditArmed_ = false;
 };
 
 /**

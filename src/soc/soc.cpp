@@ -28,11 +28,28 @@ Soc::Soc(SocConfig config, const PmConfig &pmCfg, std::uint64_t seed)
 
     // Route every node's service-plane deliveries into the manager
     // (BlitzCoin units, controller, and tile CSRs all live there).
+    // Flits the fault plane damaged fail the endpoint CRC and are
+    // discarded here, before any manager sees the garbled payload.
     for (noc::NodeId id = 0; id < config_.size(); ++id) {
         net_->setHandler(id, [this, id](const noc::Packet &pkt) {
+            if (pkt.corrupted)
+                return;
             pm_->handlePacket(id, pkt);
         });
     }
+}
+
+void
+Soc::installFaultPlane(fault::FaultPlane &plane)
+{
+    BLITZ_ASSERT(fault_ == nullptr, "a fault plane is already installed");
+    fault_ = &plane;
+    plane.attach(*net_);
+    plane.onNodeDown = [this](noc::NodeId n) { pm_->onNodeCrash(n); };
+    plane.onNodeUp = [this](noc::NodeId n) { pm_->onNodeRestart(n); };
+    plane.onNodeFrozen = [this](noc::NodeId n) { pm_->onNodeFrozen(n); };
+    plane.onNodeThawed = [this](noc::NodeId n) { pm_->onNodeThawed(n); };
+    plane.armOutageSchedule(eq_);
 }
 
 Soc::~Soc() = default;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "config.hpp"
+#include "fault/fault_plane.hpp"
 #include "noc/network.hpp"
 #include "pm.hpp"
 #include "power/power_trace.hpp"
@@ -98,6 +99,16 @@ class Soc
     /** Accelerator tile at a node. @pre the node hosts an accelerator. */
     AcceleratorTile &tile(noc::NodeId id);
 
+    /**
+     * Attach a fault plane to the instance: NoC traffic filters
+     * through it, outage windows crash/freeze and restart the managed
+     * PM state through the PowerManager::onNode* notifications, and
+     * corrupted flits are discarded at the endpoint demux (the
+     * link-CRC model). Call before run(); the plane must outlive this
+     * Soc, and at most one plane may be installed.
+     */
+    void installFaultPlane(fault::FaultPlane &plane);
+
     /** Execute a workload to completion (or the horizon). */
     SocRunStats run(const workload::Dag &dag,
                     const SocRunOptions &opts = SocRunOptions{});
@@ -115,6 +126,7 @@ class Soc
     std::vector<std::unique_ptr<AcceleratorTile>> tileStore_;
     std::vector<AcceleratorTile *> tilesByNode_;
     std::unique_ptr<PowerManager> pm_;
+    fault::FaultPlane *fault_ = nullptr; ///< not owned; may be null
 
     // Per-run scheduler state.
     workload::ActivityTrace *activityTrace_ = nullptr;

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reusable lossy-cluster fixture for fault and recovery tests.
+ *
+ * A thin veneer over fault::ChaosCluster: a d x d all-tiles BlitzCoin
+ * mesh with a FaultPlane attached, configured through the same
+ * FaultConfig the benches use — drop/duplicate/corrupt rates, per-
+ * message-type scopes, crash windows, partitions. Tests that used to
+ * hand-roll packet-dropping handler wrappers build one of these
+ * instead.
+ */
+
+#ifndef BLITZ_TESTS_LOSSY_CLUSTER_HPP
+#define BLITZ_TESTS_LOSSY_CLUSTER_HPP
+
+#include "fault/chaos.hpp"
+
+namespace blitz::testing {
+
+/**
+ * ChaosConfig preset matching the historical fixture: faults strike
+ * once per packet at the tile boundary (endpointOnly), unit seeds are
+ * 77 + id, and the fault RNG is seeded independently of the units.
+ */
+inline fault::ChaosConfig
+lossyConfig(int d, double dropRate,
+            blitzcoin::UnitConfig unit = blitzcoin::UnitConfig{},
+            std::uint64_t faultSeed = 424242)
+{
+    fault::ChaosConfig cc;
+    cc.width = d;
+    cc.height = d;
+    cc.unit = unit;
+    cc.seedBase = 77;
+    cc.fault.seed = faultSeed;
+    cc.fault.endpointOnly = true;
+    cc.fault.base.drop = dropRate;
+    return cc;
+}
+
+/** A d x d cluster dropping packets at the tile boundary. */
+struct LossyCluster
+{
+    fault::ChaosCluster c;
+
+    explicit LossyCluster(int d, double dropRate = 0.0,
+                          blitzcoin::UnitConfig unit =
+                              blitzcoin::UnitConfig{})
+        : c(lossyConfig(d, dropRate, unit))
+    {
+    }
+
+    explicit LossyCluster(const fault::ChaosConfig &cfg) : c(cfg) {}
+
+    sim::EventQueue &eq() { return c.eq(); }
+    blitzcoin::BlitzCoinUnit &unit(std::size_t i) { return c.unit(i); }
+    coin::Coins totalCoins() const { return c.totalCoins(); }
+    void startAll() { c.startAll(); }
+
+    /** Packets destroyed by the fault plane so far. */
+    std::uint64_t
+    dropped()
+    {
+        return c.net().packetsDropped();
+    }
+};
+
+} // namespace blitz::testing
+
+#endif // BLITZ_TESTS_LOSSY_CLUSTER_HPP

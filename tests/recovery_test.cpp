@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Exchange-recovery tests: each of the fault cases the hardened 1-way
+ * protocol must survive — dropped CoinStatus, dropped CoinUpdate,
+ * duplicated packets, and a crash mid-exchange — ends with the cluster
+ * re-converged and the seeded coin total restored exactly (asserted
+ * through the ledger audit).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lossy_cluster.hpp"
+#include "soc/pm_impl.hpp"
+#include "soc/scenarios.hpp"
+#include "soc/soc.hpp"
+
+namespace {
+
+using namespace blitz;
+using blitz::testing::LossyCluster;
+using blitz::testing::lossyConfig;
+
+constexpr int kStatus = static_cast<int>(noc::MsgType::CoinStatus);
+constexpr int kUpdate = static_cast<int>(noc::MsgType::CoinUpdate);
+
+/** Seed a 2-tile cluster with 16 coins parked on tile 0. */
+void
+seedPair(LossyCluster &c)
+{
+    c.unit(0).setMax(8);
+    c.unit(1).setMax(8);
+    c.unit(0).setHas(16);
+    c.c.sealProvision();
+    c.startAll();
+}
+
+TEST(Recovery, DroppedStatusResolvesAsNullExchange)
+{
+    // Every CoinStatus is destroyed: no rebalance can ever run, but
+    // each timed-out exchange must be resolved cleanly through the
+    // CoinRecover probe ("never served" -> delta 0), not abandoned.
+    auto cfg = lossyConfig(2, 0.0);
+    cfg.fault.messages[kStatus].drop = 1.0;
+    LossyCluster c(cfg);
+    seedPair(c);
+    c.eq().runUntil(60000);
+    EXPECT_GT(c.dropped(), 0u);
+    EXPECT_EQ(c.unit(0).has(), 16); // nothing ever moved
+    EXPECT_EQ(c.totalCoins(), 16);
+    std::uint64_t resolved = c.unit(0).updatesRecovered() +
+                             c.unit(1).updatesRecovered();
+    EXPECT_GT(resolved, 0u) << "recover probes never resolved anything";
+    EXPECT_EQ(c.unit(0).exchangesAbandoned(), 0u);
+    EXPECT_EQ(c.unit(1).exchangesAbandoned(), 0u);
+}
+
+TEST(Recovery, DroppedUpdateDeltaIsReplayed)
+{
+    // Half the CoinUpdates vanish. The partner's half of each affected
+    // exchange already ran, so conservation now depends on the
+    // initiator recovering the delta from the partner's served log.
+    auto cfg = lossyConfig(2, 0.0);
+    cfg.fault.messages[kUpdate].drop = 0.5;
+    LossyCluster c(cfg);
+    seedPair(c);
+    c.eq().runUntil(100000);
+    EXPECT_GT(c.dropped(), 0u);
+    std::uint64_t recovered = c.unit(0).updatesRecovered() +
+                              c.unit(1).updatesRecovered();
+    EXPECT_GT(recovered, 0u);
+    // Drain the recovery tail, then audit: the total must close
+    // exactly, and the pair must have equalized despite the losses.
+    c.c.quiesce(70000);
+    EXPECT_EQ(c.totalCoins(), 16);
+    EXPECT_EQ(c.unit(0).has(), 8);
+    EXPECT_EQ(c.unit(1).has(), 8);
+}
+
+TEST(Recovery, DuplicatedUpdateAppliesOnce)
+{
+    // Every CoinUpdate is delivered twice. Without the sequence
+    // stamps the second copy would re-apply the delta and mint coins.
+    auto cfg = lossyConfig(2, 0.0);
+    cfg.fault.messages[kUpdate].duplicate = 1.0;
+    LossyCluster c(cfg);
+    seedPair(c);
+    c.eq().runUntil(60000);
+    std::uint64_t ignored = c.unit(0).duplicatesIgnored() +
+                            c.unit(1).duplicatesIgnored();
+    EXPECT_GT(ignored, 0u);
+    c.c.quiesce();
+    EXPECT_EQ(c.totalCoins(), 16);
+    EXPECT_EQ(c.unit(0).has(), 8);
+    EXPECT_EQ(c.unit(1).has(), 8);
+}
+
+TEST(Recovery, DuplicatedStatusServedFromLog)
+{
+    // Every CoinStatus is delivered twice. The partner must replay
+    // the logged outcome for the second copy instead of running the
+    // rebalance again (which would double-move coins).
+    auto cfg = lossyConfig(2, 0.0);
+    cfg.fault.messages[kStatus].duplicate = 1.0;
+    LossyCluster c(cfg);
+    seedPair(c);
+    c.eq().runUntil(60000);
+    std::uint64_t ignored = c.unit(0).duplicatesIgnored() +
+                            c.unit(1).duplicatesIgnored();
+    EXPECT_GT(ignored, 0u);
+    c.c.quiesce();
+    EXPECT_EQ(c.totalCoins(), 16);
+    EXPECT_EQ(c.unit(0).has(), 8);
+    EXPECT_EQ(c.unit(1).has(), 8);
+}
+
+TEST(Recovery, CorruptedPacketsAreDroppedAndRecovered)
+{
+    // Corruption flips payload bits; the CRC flag makes endpoints
+    // discard the flit, so it degrades into loss — which the protocol
+    // recovers — rather than into silently wrong deltas.
+    auto cfg = lossyConfig(3, 0.0);
+    cfg.fault.base.corrupt = 0.2;
+    cfg.fault.coinTrafficOnly = true;
+    LossyCluster c(cfg);
+    const coin::Coins maxes[9] = {10, 20, 40, 10, 60, 20, 10, 20, 10};
+    for (std::size_t i = 0; i < 9; ++i)
+        c.unit(i).setMax(maxes[i]);
+    c.unit(4).setHas(95);
+    c.c.sealProvision();
+    c.startAll();
+    c.eq().runUntil(150000);
+    std::uint64_t crcDrops = 0;
+    for (std::size_t i = 0; i < 9; ++i)
+        crcDrops += c.unit(i).corruptedDropped();
+    EXPECT_GT(crcDrops, 0u);
+    c.c.quiesce(70000);
+    EXPECT_EQ(c.totalCoins(), 95);
+}
+
+TEST(Recovery, CrashMidExchangeRestoredByAudit)
+{
+    // Tile 4 (holding most of the pool) power-fails mid-run and comes
+    // back later. Its coins are gone — in-flight exchanges with it
+    // are abandoned after the recover probes go unanswered — and only
+    // the audit watchdog can restore the provisioned total.
+    auto cfg = lossyConfig(3, 0.0);
+    cfg.fault.outages.push_back({4, 2000, 12000, false});
+    LossyCluster c(cfg);
+    const coin::Coins maxes[9] = {10, 20, 40, 10, 60, 20, 10, 20, 10};
+    for (std::size_t i = 0; i < 9; ++i)
+        c.unit(i).setMax(maxes[i]);
+    c.unit(4).setHas(95);
+    c.c.sealProvision();
+    c.startAll();
+
+    // Let the crash hit while coins are still concentrated on tile 4.
+    c.eq().runUntil(3000);
+    EXPECT_TRUE(c.unit(4).crashed());
+    EXPECT_LT(c.totalCoins(), 95) << "the crash destroyed no coins?";
+
+    // Run past the restart; the tile resumes (max restored) with
+    // empty registers, then the audit sweep remints the loss.
+    c.eq().runUntil(60000);
+    EXPECT_FALSE(c.unit(4).crashed());
+    EXPECT_EQ(c.unit(4).max(), 60);
+    auto report = c.c.quiesce(70000);
+    EXPECT_GT(report.gap, 0) << "audit saw no gap to close";
+    EXPECT_EQ(c.totalCoins(), 95);
+
+    // And the reminted cluster still converges proportionally.
+    c.eq().runUntil(c.eq().now() + 100000);
+    double alpha = 95.0 / 200.0;
+    for (std::size_t i = 0; i < 9; ++i) {
+        EXPECT_NEAR(static_cast<double>(c.unit(i).has()),
+                    alpha * static_cast<double>(maxes[i]), 6.0)
+            << "tile " << i;
+    }
+    EXPECT_EQ(c.totalCoins(), 95);
+}
+
+TEST(Recovery, SocSurvivesAcceleratorCrashMidWorkload)
+{
+    // Full-stack version: the NVDLA tile (node 4 of the 3x3 AV SoC)
+    // power-fails during a parallel workload and recovers. The run
+    // must still complete, and the audit watchdog armed by the restart
+    // must remint the coins the crash destroyed.
+    soc::PmConfig pm;
+    pm.kind = soc::PmKind::BlitzCoin;
+    pm.budgetMw = 120.0;
+    soc::Soc s(soc::make3x3AvSoc(), pm, /*seed=*/11);
+
+    fault::FaultConfig fc;
+    fc.outages.push_back({4, 4000, 20000, /*freeze=*/false});
+    fault::FaultPlane plane(fc);
+    s.installFaultPlane(plane);
+
+    auto st = s.run(soc::avParallel(s.config()));
+    EXPECT_TRUE(st.completed);
+    EXPECT_GT(plane.stats().outageDrops, 0u)
+        << "the outage window never intercepted traffic";
+
+    // Make sure the restart edge (tick 20000) has fired even if the
+    // workload finished early, then let the audit sweeps run.
+    auto &eq = s.eventQueue();
+    eq.runUntil(std::max<sim::Tick>(eq.now(), 20000) + 50000);
+
+    auto &bc = dynamic_cast<soc::BlitzCoinPm &>(s.pm());
+    EXPECT_FALSE(bc.unit(4).crashed());
+    EXPECT_GE(bc.audit().gapsClosed(), 1u);
+    EXPECT_GT(bc.audit().coinsMinted(), 0);
+
+    // Quiesce the protocol (stop initiating, drain in-flight traffic
+    // and recovery probes), then a final sweep must close the books
+    // exactly against the provisioned pool.
+    for (noc::NodeId id : s.config().managedAccelerators())
+        bc.unit(id).stop();
+    eq.runUntil(eq.now() + 100000);
+    bc.audit().reconcile();
+    EXPECT_EQ(bc.clusterCoins(), bc.scale().poolCoins);
+}
+
+TEST(Recovery, FrozenTileKeepsItsCoins)
+{
+    // A freeze window is a clock-gated stall, not a crash: the tile
+    // keeps its registers and resumes where it left off; no remint is
+    // needed.
+    auto cfg = lossyConfig(2, 0.0);
+    cfg.fault.outages.push_back({1, 1000, 4000, true});
+    LossyCluster c(cfg);
+    seedPair(c);
+    c.eq().runUntil(2000);
+    EXPECT_FALSE(c.unit(1).crashed());
+    const coin::Coins held = c.unit(1).has();
+    c.eq().runUntil(3900);
+    EXPECT_EQ(c.unit(1).has(), held) << "frozen tile moved coins";
+    c.eq().runUntil(60000);
+    auto report = c.c.quiesce(70000);
+    EXPECT_EQ(report.gap, 0) << "a freeze should never destroy coins";
+    EXPECT_EQ(c.totalCoins(), 16);
+    EXPECT_EQ(c.unit(0).has(), 8);
+    EXPECT_EQ(c.unit(1).has(), 8);
+}
+
+} // namespace
