@@ -73,6 +73,9 @@ runTrial(const Scenario &sc, std::uint64_t seed)
     fault::ChaosConfig cc;
     cc.width = sc.d;
     cc.height = sc.d;
+    // Event slab + packet pool recycle across this worker's trials
+    // (the sweep harness resets the arena between replications).
+    cc.arena = &sim::threadArena();
     cc.seedBase = seed;
     cc.fault.seed = seed;
     cc.fault.coinTrafficOnly = true;

@@ -102,6 +102,8 @@ sweep(const TrialSetup &setup, const coin::EngineConfig &cfg,
       int trials, std::uint64_t seedBase = 1)
 {
     TrialStats out;
+    out.timeCycles.reserve(static_cast<std::size_t>(trials));
+    out.packets.reserve(static_cast<std::size_t>(trials));
     for (int t = 0; t < trials; ++t) {
         double start_err = 0.0, final_max = 0.0;
         auto r = runTrial(setup, cfg, seedBase + static_cast<std::uint64_t>(t),
@@ -145,12 +147,17 @@ sweepParallel(const TrialSetup &setup, const coin::EngineConfig &cfg,
         s.finalMaxError.add(final_max);
         return s;
     };
+    // Pre-size the fold target: the sample buffers grow to exactly
+    // one entry per converged trial, so the merge loop never regrows.
+    TrialStats acc;
+    acc.timeCycles.reserve(static_cast<std::size_t>(trials));
+    acc.packets.reserve(static_cast<std::size_t>(trials));
     return sweep::runSweepFold<TrialStats>(
         static_cast<std::size_t>(trials), rootSeed, one,
-        [](TrialStats &acc, const TrialStats &s, std::size_t) {
-            acc.merge(s);
+        [](TrialStats &acc_, const TrialStats &s, std::size_t) {
+            acc_.merge(s);
         },
-        TrialStats{}, opts);
+        std::move(acc), opts);
 }
 
 } // namespace blitz::bench

@@ -4,9 +4,21 @@
  * pairwise exchange arithmetic, the 5-tile group split, a full
  * behavioral convergence run, and the routed-NoC packet path. These
  * bound the simulator's own cost, not the modeled hardware's.
+ *
+ * Invoked with --perf-json[=path] the binary instead runs the
+ * perf-regression harness: steady-state event-kernel and NoC
+ * throughput for 4x4 and 6x6 configs, written as machine-readable
+ * BENCH_ops.json next to a human-readable table. The `bench-perf`
+ * CMake target wires this up; kBaseline below holds the numbers
+ * recorded at the PR 3 seed so every future run reports its speedup
+ * against the same reference.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 
 #include "coin/engine.hpp"
 #include "coin/exchange.hpp"
@@ -87,6 +99,273 @@ BM_NocPacketDelivery(benchmark::State &state)
 }
 BENCHMARK(BM_NocPacketDelivery);
 
+// ------------------------------------------------ perf-regression harness
+
+namespace perf {
+
+struct Result
+{
+    const char *name;
+    std::uint64_t events = 0;
+    std::uint64_t packets = 0;
+    double seconds = 0.0;
+
+    double
+    eventsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(events) / seconds
+                             : 0.0;
+    }
+
+    double
+    packetsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(packets) / seconds
+                             : 0.0;
+    }
+
+    double
+    nsPerEvent() const
+    {
+        return events ? seconds * 1e9 / static_cast<double>(events)
+                      : 0.0;
+    }
+};
+
+/**
+ * Reference throughput recorded at the PR 3 seed kernel
+ * (std::function entries in a binary priority_queue, one lambda per
+ * NoC hop), RelWithDebInfo, this repo's CI container. Kernel configs
+ * compare events/sec; NoC configs compare packets/sec, since the
+ * flattened fast path deliberately spends fewer events per packet.
+ */
+struct Baseline
+{
+    const char *name;
+    double eventsPerSec;
+    double packetsPerSec;
+};
+
+constexpr Baseline kBaseline[] = {
+    {"event_kernel_4x4", 7.80e6, 0.0},
+    {"event_kernel_6x6", 6.83e6, 0.0},
+    {"noc_steady_4x4", 5.69e6, 1.26e6},
+    {"noc_steady_6x6", 4.86e6, 0.83e6},
+};
+
+const Baseline *
+baselineFor(const char *name)
+{
+    for (const Baseline &b : kBaseline) {
+        if (std::strcmp(b.name, name) == 0)
+            return &b;
+    }
+    return nullptr;
+}
+
+/**
+ * Self-rescheduling periodic timer — the dominant event shape of the
+ * SoC model (controller ticks, stat sampling). A fresh copy of the
+ * functor is captured per event, so the kernel's per-event storage
+ * cost is on the measured path.
+ */
+struct TimerEvent
+{
+    sim::EventQueue *eq;
+    std::uint64_t *fired;
+    sim::Tick period;
+
+    void
+    operator()() const
+    {
+        ++*fired;
+        eq->scheduleIn(period, *this);
+    }
+};
+
+/**
+ * Periodic traffic source: every @p period ticks, send one packet to
+ * a xorshift32-chosen destination. Deterministic and self-contained,
+ * so the measurement is identical run to run.
+ */
+struct SenderEvent
+{
+    noc::Network *net;
+    sim::EventQueue *eq;
+    noc::NodeId src;
+    std::uint32_t rngState;
+    std::uint32_t nodes;
+    sim::Tick period;
+
+    void
+    operator()() const
+    {
+        std::uint32_t x = rngState;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        noc::Packet p;
+        p.src = src;
+        p.dst = static_cast<noc::NodeId>(x % nodes);
+        net->send(p);
+        SenderEvent next = *this;
+        next.rngState = x;
+        eq->scheduleIn(period, next);
+    }
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Steady-state event-kernel throughput on a d*d timer population. */
+Result
+perfEventKernel(const char *name, int d, std::uint64_t targetEvents)
+{
+    sim::EventQueue eq;
+    const int n = d * d;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < n; ++i) {
+        const auto period = static_cast<sim::Tick>(2 + (i % 7));
+        eq.schedule(1 + (static_cast<sim::Tick>(i) % period),
+                    TimerEvent{&eq, &fired, period});
+    }
+    eq.runUntil(4096); // warm up: reach steady state
+
+    Result best{name};
+    for (int rep = 0; rep < 3; ++rep) {
+        std::uint64_t executed = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        while (executed < targetEvents)
+            executed += eq.runUntil(eq.now() + 8192);
+        const double secs = secondsSince(t0);
+        if (best.seconds == 0.0 || secs / static_cast<double>(executed) <
+                                       best.seconds /
+                                           static_cast<double>(best.events)) {
+            best.events = executed;
+            best.seconds = secs;
+        }
+    }
+    return best;
+}
+
+/**
+ * Steady-state NoC throughput: every node injects one packet every 32
+ * ticks to a pseudo-random destination, no fault hook installed — the
+ * fault-free path the acceptance criterion targets.
+ */
+Result
+perfNocSteady(const char *name, int d, std::uint64_t targetPackets)
+{
+    sim::EventQueue eq;
+    noc::Network net(eq, noc::Topology(d, d, false));
+    const auto n = static_cast<std::uint32_t>(d * d);
+    std::uint64_t delivered = 0;
+    for (noc::NodeId id = 0; id < n; ++id) {
+        net.setHandler(id, [&delivered](const noc::Packet &) {
+            ++delivered;
+        });
+    }
+    for (noc::NodeId id = 0; id < n; ++id) {
+        eq.schedule(1 + (id % 29),
+                    SenderEvent{&net, &eq, id, 0x9e3779b9u + id, n, 32});
+    }
+    eq.runUntil(4096);
+
+    Result best{name};
+    for (int rep = 0; rep < 3; ++rep) {
+        std::uint64_t executed = 0;
+        const std::uint64_t packets0 = delivered;
+        const auto t0 = std::chrono::steady_clock::now();
+        while (delivered - packets0 < targetPackets)
+            executed += eq.runUntil(eq.now() + 8192);
+        const double secs = secondsSince(t0);
+        const std::uint64_t packets = delivered - packets0;
+        if (best.seconds == 0.0 ||
+            secs / static_cast<double>(packets) <
+                best.seconds / static_cast<double>(best.packets)) {
+            best.events = executed;
+            best.packets = packets;
+            best.seconds = secs;
+        }
+    }
+    return best;
+}
+
+int
+perfMain(const char *jsonPath)
+{
+    const Result results[] = {
+        perfEventKernel("event_kernel_4x4", 4, 4'000'000),
+        perfEventKernel("event_kernel_6x6", 6, 4'000'000),
+        perfNocSteady("noc_steady_4x4", 4, 200'000),
+        perfNocSteady("noc_steady_6x6", 6, 200'000),
+    };
+
+    std::printf("%-18s %12s %10s %12s %9s\n", "config", "events/sec",
+                "ns/event", "packets/sec", "speedup");
+    std::FILE *js = std::fopen(jsonPath, "w");
+    if (!js) {
+        std::fprintf(stderr, "cannot open %s for writing\n", jsonPath);
+        return 1;
+    }
+    std::fprintf(js, "{\n  \"bench\": \"bench_ops\",\n"
+                     "  \"configs\": [\n");
+    for (std::size_t i = 0; i < std::size(results); ++i) {
+        const Result &r = results[i];
+        const Baseline *b = baselineFor(r.name);
+        const bool noc = r.packets > 0;
+        // Kernel configs compare events/sec; NoC configs compare
+        // packets/sec (the flattened path spends fewer events/packet).
+        const double base =
+            b ? (noc ? b->packetsPerSec : b->eventsPerSec) : 0.0;
+        const double cur = noc ? r.packetsPerSec() : r.eventsPerSec();
+        const double speedup = base > 0.0 ? cur / base : 0.0;
+
+        std::printf("%-18s %12.3e %10.1f %12.3e %8.2fx\n", r.name,
+                    r.eventsPerSec(), r.nsPerEvent(), r.packetsPerSec(),
+                    speedup);
+        std::fprintf(
+            js,
+            "    {\"name\": \"%s\", \"events\": %llu, "
+            "\"packets\": %llu, \"seconds\": %.6f,\n"
+            "     \"events_per_sec\": %.1f, \"ns_per_event\": %.3f, "
+            "\"packets_per_sec\": %.1f,\n"
+            "     \"baseline_events_per_sec\": %.1f, "
+            "\"baseline_packets_per_sec\": %.1f, "
+            "\"speedup_vs_baseline\": %.3f}%s\n",
+            r.name, static_cast<unsigned long long>(r.events),
+            static_cast<unsigned long long>(r.packets), r.seconds,
+            r.eventsPerSec(), r.nsPerEvent(), r.packetsPerSec(),
+            b ? b->eventsPerSec : 0.0, b ? b->packetsPerSec : 0.0,
+            speedup, i + 1 < std::size(results) ? "," : "");
+    }
+    std::fprintf(js, "  ]\n}\n");
+    std::fclose(js);
+    std::printf("\nwrote %s\n", jsonPath);
+    return 0;
+}
+
+} // namespace perf
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--perf-json", 11) == 0) {
+            const char *path = argv[i][11] == '='
+                                   ? argv[i] + 12
+                                   : "BENCH_ops.json";
+            return perf::perfMain(path);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

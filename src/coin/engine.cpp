@@ -170,8 +170,10 @@ Coins
 MeshSim::doFourWay(std::uint32_t center,
                    const std::vector<noc::NodeId> &members)
 {
-    std::vector<TileCoins> group;
-    std::vector<Coins> caps;
+    std::vector<TileCoins> &group = groupScratch_;
+    std::vector<Coins> &caps = capsScratch_;
+    group.clear();
+    caps.clear();
     group.reserve(members.size() + 1);
     group.push_back(ledger_.tile(center));
     caps.push_back(effectiveCap(center));
@@ -253,7 +255,8 @@ MeshSim::fire(std::uint32_t tile)
         // request + status + update to each of the (up to) 4 neighbors;
         // neighbor hops are distance 1 by construction.
         const auto &all = selectors_[tile].neighbors();
-        std::vector<noc::NodeId> survivors;
+        std::vector<noc::NodeId> &survivors = survivorScratch_;
+        survivors.clear();
         const std::vector<noc::NodeId> *members = &all;
         if (cfg_.lossRate > 0.0) {
             // A lost request or status leg excludes that member from

@@ -228,6 +228,14 @@ class MeshSim
     Ledger ledger_;
     std::vector<BackoffTimer> timers_;
     std::vector<PartnerSelector> selectors_;
+    /**
+     * Exchange-round scratch, reused across firings so the hot loop
+     * (one group build per 4-way round, one survivor filter per lossy
+     * round) stops allocating. Valid only within a single call.
+     */
+    std::vector<TileCoins> groupScratch_;
+    std::vector<Coins> capsScratch_;
+    std::vector<noc::NodeId> survivorScratch_;
     std::vector<IsolationDetector> iso_;
     std::vector<std::uint64_t> pending_;
     std::priority_queue<Firing, std::vector<Firing>,

@@ -9,8 +9,8 @@
 namespace blitz::fault {
 
 ChaosCluster::ChaosCluster(const ChaosConfig &cfg)
-    : cfg_(cfg), topo_(cfg.width, cfg.height, cfg.wrap),
-      net_(eq_, topo_), plane_(cfg.fault), audit_(0),
+    : cfg_(cfg), eq_(cfg.arena), topo_(cfg.width, cfg.height, cfg.wrap),
+      net_(eq_, topo_, 1, cfg.arena), plane_(cfg.fault), audit_(0),
       maxAtCrash_(topo_.size(), 0)
 {
     plane_.attach(net_);

@@ -50,6 +50,14 @@ struct ChaosConfig
      * where waiting for quiesce would leave the pool depleted.
      */
     sim::Tick auditPeriod = 0;
+    /**
+     * Backing store for the event slab and NoC packet pool; nullptr
+     * heap-allocates. Sweep trials pass &sim::threadArena() so
+     * replications on the same worker reuse the same chunks — the
+     * cluster must then be destroyed before the arena resets (i.e.
+     * live entirely inside one replication).
+     */
+    sim::Arena *arena = nullptr;
 };
 
 /**

@@ -158,6 +158,33 @@ FaultPlane::onLink(noc::Packet &pkt, noc::NodeId from, noc::NodeId to,
     return applyRates(pkt, ratesFor(pkt, from, to), false);
 }
 
+bool
+FaultPlane::inert(const noc::Packet &pkt, sim::Tick from,
+                  sim::Tick until) const
+{
+    // Any outage or partition window overlapping the span could drop
+    // the packet (and bump a counter) at some hop — step those hops.
+    for (const auto &o : cfg_.outages) {
+        if (o.from <= until && o.until > from)
+            return false;
+    }
+    for (const auto &p : cfg_.partitions) {
+        if (p.from <= until && p.until > from)
+            return false;
+    }
+    // Rate-based faults: applyRates returns without touching the RNG
+    // or the statistics when the matched rates are all zero (or the
+    // packet is exempt), so eliding the consultation is exact.
+    if (cfg_.endpointOnly)
+        return true;
+    if (cfg_.coinTrafficOnly && !coinMessage(pkt))
+        return true;
+    if (!cfg_.links.empty())
+        return false; // per-link rates vary along the route
+    // With no per-link scope the matched rates are route-independent.
+    return ratesFor(pkt, pkt.src, pkt.src).quiet();
+}
+
 noc::FaultDecision
 FaultPlane::onDeliver(noc::Packet &pkt, noc::NodeId at, sim::Tick now)
 {

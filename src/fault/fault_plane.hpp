@@ -173,6 +173,8 @@ class FaultPlane : public noc::FaultHook
                               noc::NodeId to, sim::Tick now) override;
     noc::FaultDecision onDeliver(noc::Packet &pkt, noc::NodeId at,
                                  sim::Tick now) override;
+    bool inert(const noc::Packet &pkt, sim::Tick from,
+               sim::Tick until) const override;
 
   private:
     /** Most specific rates for a packet at a stage. */

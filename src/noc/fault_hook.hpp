@@ -51,6 +51,25 @@ class FaultHook
     /** Consulted once at the ejection port of @p at. */
     virtual FaultDecision onDeliver(Packet &pkt, NodeId at,
                                     sim::Tick now) = 0;
+
+    /**
+     * True when every onLink consultation for @p pkt in the tick
+     * window [@p from, @p until] is guaranteed to be a no-op: default
+     * decision, no packet mutation, no observable side effect
+     * (statistics, RNG draws). The network uses this to flatten
+     * multi-hop traversal — skipping the per-hop consultations is only
+     * legal when they provably would not have done anything. Delivery
+     * (onDeliver) is always consulted regardless. The default
+     * conservatively declines.
+     */
+    virtual bool
+    inert(const Packet &pkt, sim::Tick from, sim::Tick until) const
+    {
+        (void)pkt;
+        (void)from;
+        (void)until;
+        return false;
+    }
 };
 
 } // namespace blitz::noc

@@ -8,6 +8,15 @@
  * throughput at a fixed NoC voltage/frequency, Section IV-C). Packets
  * follow dimension-ordered XY routing, so delivery is deadlock-free and
  * per-flow ordering is preserved.
+ *
+ * Steady-state fast path (see DESIGN.md "Scheduler internals"): when
+ * the remaining route has no active fault hook and every link is free
+ * at its crossing tick, the traversal is flattened into a single
+ * dst-arrival event instead of one event per hop; a packet rides one
+ * pooled PacketEvent node for its whole flight, so the fault-free path
+ * performs zero heap allocations per packet once the pool has warmed
+ * up. The moment a fault plane, partition window, or busy link is in
+ * play the network falls back to exact per-hop stepping.
  */
 
 #ifndef BLITZ_NOC_NETWORK_HPP
@@ -15,10 +24,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "fault_hook.hpp"
 #include "packet.hpp"
+#include "sim/arena.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 #include "topology.hpp"
@@ -41,8 +52,17 @@ class Network
      * @param eq event queue driving the simulation.
      * @param topo mesh shape (copied).
      * @param hopLatency cycles per router traversal; 1 matches the SoC.
+     * @param arena backing store for the packet-event pool; nullptr
+     *        (the default) heap-allocates. Pass a sweep worker's arena
+     *        to recycle the pool across replications — the network
+     *        must then be destroyed before the arena resets.
      */
-    Network(sim::EventQueue &eq, Topology topo, sim::Tick hopLatency = 1);
+    Network(sim::EventQueue &eq, Topology topo, sim::Tick hopLatency = 1,
+            sim::Arena *arena = nullptr);
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+    ~Network();
 
     const Topology &topology() const { return topo_; }
 
@@ -88,27 +108,90 @@ class Network
     void resetStats();
 
   private:
+    /**
+     * Pooled in-flight packet state. One node carries a packet from
+     * injection to delivery (or drop) — per-hop events reschedule the
+     * same node instead of copying the packet into a fresh closure.
+     */
+    struct PacketEvent
+    {
+        Packet pkt;
+        NodeId at;
+        PacketEvent *nextFree;
+    };
+
+    /** Event callback: advance a pooled packet at its current router. */
+    struct Step
+    {
+        Network *net;
+        PacketEvent *pe;
+        void operator()() const { net->hopNode(pe); }
+    };
+
+    /** Event callback: finish a delivery at the ejection port. */
+    struct Deliver
+    {
+        Network *net;
+        PacketEvent *pe;
+        void operator()() const { net->finishDelivery(pe); }
+    };
+
     /** Index of the (node, dir, plane) output-link reservation slot. */
     std::size_t linkIndex(NodeId node, Dir d, Plane p) const;
 
     /** Local ejection-port reservation slot for (node, plane). */
     std::size_t ejectIndex(NodeId node, Plane p) const;
 
-    /** Move a packet one hop; schedules the next hop or delivery. */
-    void hop(Packet pkt, NodeId at);
+    PacketEvent *acquireEvent(const Packet &pkt, NodeId at);
+    void releaseEvent(PacketEvent *pe);
+
+    /** Advance a packet at its current router (arrival or injection). */
+    void hopNode(PacketEvent *pe);
+
+    /**
+     * Fast path for the final hop: when the fault hook is provably
+     * inert for the crossing window, skip its consultation and
+     * schedule the arrival directly. Restricted to distance == 1 —
+     * the one event scheduled is the same event, at the same call
+     * site, as exact stepping, so its sequence number (and therefore
+     * every same-tick tie) is untouched. Eliding *intermediate* hop
+     * events of longer routes is not order-preserving: it shifts the
+     * global insertion sequence, which flips same-(tick, priority)
+     * ties between unrelated packets' arrivals (verified against the
+     * golden traces — see DESIGN.md). Returns false (leaving no
+     * trace) when the route is longer or the hook may act; the caller
+     * then steps one hop the exact way.
+     */
+    bool tryFlatten(PacketEvent *pe, sim::Tick now);
+
+    /** Apply a delivery verdict: schedule 1 + duplicate copies. */
+    void deliverCopies(const Packet &pkt, NodeId at,
+                       const FaultDecision &fd);
 
     /** Reserve the ejection port and schedule one handler invocation. */
-    void scheduleDelivery(const Packet &pkt, NodeId at, sim::Tick extraDelay);
+    void scheduleDelivery(const Packet &pkt, NodeId at,
+                          sim::Tick extraDelay);
+
+    void finishDelivery(PacketEvent *pe);
 
     sim::EventQueue &eq_;
     Topology topo_;
     sim::Tick hopLatency_;
-    std::vector<Handler> handlers_;
+    /**
+     * Shared-ptr'd so a delivery can pin the handler it invokes
+     * without copying the std::function (reentrant replacement stays
+     * safe, and the steady-state path stays allocation-free).
+     */
+    std::vector<std::shared_ptr<const Handler>> handlers_;
     FaultHook *fault_ = nullptr;
     /** Earliest tick each output link is free, per (node, dir, plane). */
     std::vector<sim::Tick> linkFree_;
     /** Earliest tick each ejection port is free, per (node, plane). */
     std::vector<sim::Tick> ejectFree_;
+    sim::Arena *arena_;
+    PacketEvent *freeEvents_ = nullptr;
+    /** Heap-owned pool blocks (empty when arena-backed). */
+    std::vector<PacketEvent *> poolBlocks_;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t packetsSent_ = 0;
     std::uint64_t packetsDelivered_ = 0;

@@ -1,0 +1,44 @@
+#include "arena.hpp"
+
+#include <algorithm>
+
+namespace blitz::sim {
+
+void *
+Arena::allocate(std::size_t bytes, std::size_t align)
+{
+    for (;;) {
+        if (cur_ < chunks_.size()) {
+            Chunk &c = chunks_[cur_];
+            const std::size_t aligned = (off_ + align - 1) & ~(align - 1);
+            if (aligned + bytes <= c.size) {
+                off_ = aligned + bytes;
+                return c.mem.get() + aligned;
+            }
+            // Chunk exhausted (or too small for this request): move on.
+            ++cur_;
+            off_ = 0;
+            continue;
+        }
+        const std::size_t size = std::max(chunkBytes_, bytes + align);
+        chunks_.push_back({std::make_unique<std::byte[]>(size), size});
+    }
+}
+
+std::size_t
+Arena::bytesReserved() const
+{
+    std::size_t total = 0;
+    for (const Chunk &c : chunks_)
+        total += c.size;
+    return total;
+}
+
+Arena &
+threadArena()
+{
+    thread_local Arena arena;
+    return arena;
+}
+
+} // namespace blitz::sim

@@ -2,27 +2,145 @@
 
 namespace blitz::sim {
 
+EventQueue::~EventQueue()
+{
+    // Destroy surviving callbacks (scheduled or tombstoned); the slab
+    // itself is either heap chunks we own or arena memory we don't.
+    for (std::uint32_t slot = 0; slot < slotCount_; ++slot)
+        destroyCallback(*node(slot));
+    if (!arena_) {
+        for (Node *chunk : chunks_)
+            ::operator delete(chunk, std::align_val_t{alignof(Node)});
+    }
+}
+
+void
+EventQueue::addChunk()
+{
+    void *mem =
+        arena_ ? arena_->allocate(kChunkNodes * sizeof(Node),
+                                  alignof(Node))
+               : ::operator new(kChunkNodes * sizeof(Node),
+                                std::align_val_t{alignof(Node)});
+    Node *nodes = static_cast<Node *>(mem);
+    const std::uint32_t base = slotCount_;
+    for (std::uint32_t i = 0; i < kChunkNodes; ++i) {
+        Node &n = *::new (static_cast<void *>(nodes + i)) Node;
+        n.gen = 1;
+        n.state = kFree;
+        n.destroy = nullptr;
+        n.nextFree =
+            i + 1 < kChunkNodes ? base + i + 1 : freeHead_;
+    }
+    chunks_.push_back(nodes);
+    slotCount_ += kChunkNodes;
+    freeHead_ = base;
+}
+
+std::uint32_t
+EventQueue::acquireSlot()
+{
+    if (freeHead_ == kNoSlot)
+        addChunk();
+    const std::uint32_t slot = freeHead_;
+    freeHead_ = node(slot)->nextFree;
+    return slot;
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    Node &n = *node(slot);
+    destroyCallback(n);
+    ++n.gen; // invalidate any handle still pointing here
+    n.state = kFree;
+    n.nextFree = freeHead_;
+    freeHead_ = slot;
+}
+
+void
+EventQueue::heapPush(HeapEntry e)
+{
+    // Hole-based sift-up: the new entry is held in a register and
+    // parents slide down until its position is found (one store per
+    // level instead of a three-store swap).
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 4;
+        if (!entryBefore(e, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    const HeapEntry e = heap_[i];
+    for (;;) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (entryBefore(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!entryBefore(heap_[best], e))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = e;
+}
+
+void
+EventQueue::heapPopFront()
+{
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+}
+
 bool
 EventQueue::runOne(Tick limit)
 {
-    while (!queue_.empty()) {
-        if (cancelled_.erase(queue_.top().id) > 0) {
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.front();
+        const std::uint32_t slot = top.slot;
+        Node *n = node(slot);
+        if (n->state == kCancelled) {
             // Tombstoned entry: drop it without executing or advancing
             // time, then look at the next candidate.
-            live_.erase(queue_.top().id);
-            queue_.pop();
+            heapPopFront();
             --pending_;
+            --cancelledTokens_;
+            releaseSlot(slot);
             continue;
         }
-        if (queue_.top().when > limit)
+        if (top.when > limit)
             return false;
-        Entry e = queue_.top();
-        queue_.pop();
+        BLITZ_ASSERT(top.when >= now_, "event queue went backwards");
+        now_ = top.when;
+        heapPopFront();
         --pending_;
-        live_.erase(e.id);
-        BLITZ_ASSERT(e.when >= now_, "event queue went backwards");
-        now_ = e.when;
-        e.fn();
+        // Executing state makes a self-cancel during the callback a
+        // no-op (the node is no longer Scheduled), matching the
+        // pre-slab kernel which dropped the live token before running.
+        n->state = kExecuting;
+        struct SlotGuard
+        {
+            EventQueue *eq;
+            std::uint32_t slot;
+            ~SlotGuard() { eq->releaseSlot(slot); }
+        } guard{this, slot};
+        n->invoke(n->buf);
         return true;
     }
     return false;
@@ -31,7 +149,7 @@ EventQueue::runOne(Tick limit)
 std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
-    // runOne(limit) re-inspects the queue top after every pop, so a
+    // runOne(limit) re-inspects the heap root after every pop, so a
     // cancelled front event can never unlock execution of a later
     // event beyond the horizon, and the count reflects exactly the
     // callbacks that ran.

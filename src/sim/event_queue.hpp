@@ -8,17 +8,29 @@
  * order, so simulations are deterministic regardless of scheduling
  * pattern. The behavioral coin-exchange engine does not use this kernel;
  * it steps a global clock directly for Monte-Carlo speed.
+ *
+ * Internals (see DESIGN.md "Scheduler internals"): events live in
+ * slab-allocated, generation-counted nodes ordered by a 4-ary min-heap
+ * whose entries carry the full (tick, priority, insertion-seq) sort
+ * key — sifting compares contiguous heap entries and never touches
+ * the slab. Callbacks are stored in a small inline buffer inside the
+ * node (heap fallback only for oversized functors), so scheduling an
+ * event performs zero allocations once the slab has warmed up.
+ * Cancellation is O(1): the handle's generation is checked and the
+ * node tombstoned; the heap discards tombstones at pop.
  */
 
 #ifndef BLITZ_SIM_EVENT_QUEUE_HPP
 #define BLITZ_SIM_EVENT_QUEUE_HPP
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "arena.hpp"
 #include "logging.hpp"
 #include "types.hpp"
 
@@ -39,64 +51,89 @@ enum class Priority : int
 /**
  * Time-ordered event queue.
  *
- * Events are plain std::function callbacks. Cancellation is supported
- * through the handle returned by schedule(); a cancelled event still
- * occupies its queue slot but is skipped when popped.
+ * Events are arbitrary callables ordered by (tick, priority,
+ * insertion order). Cancellation is supported through the handle
+ * returned by schedule(); a cancelled event still occupies its queue
+ * slot but is skipped when popped.
  */
 class EventQueue
 {
   public:
-    /** Opaque handle used to cancel a scheduled event. */
+    /**
+     * Opaque handle used to cancel a scheduled event: the node's slot
+     * index in the low 32 bits, its generation in the high 32. A slot
+     * bumps its generation on every reuse, so a stale handle (already
+     * executed or cancelled) simply fails the generation check.
+     */
     using EventId = std::uint64_t;
 
-    EventQueue() = default;
+    /**
+     * @param arena backing store for the event slab; nullptr (the
+     *        default) heap-allocates. Pass a sweep worker's arena to
+     *        recycle slab chunks across replications — the queue must
+     *        then be destroyed before the arena resets.
+     */
+    explicit EventQueue(Arena *arena = nullptr) : arena_(arena) {}
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
     /**
-     * Schedule a callback at an absolute tick.
+     * Schedule a callable at an absolute tick.
      * @param when absolute tick; must not be in the past.
-     * @param fn callback to execute.
+     * @param fn callable to execute; stored inline in the event node
+     *        when it fits kInlineCallback bytes (heap otherwise).
      * @param prio same-tick ordering class.
      * @return handle usable with cancel().
      */
+    template <typename Fn>
     EventId
-    schedule(Tick when, std::function<void()> fn,
-             Priority prio = Priority::Default)
+    schedule(Tick when, Fn &&fn, Priority prio = Priority::Default)
     {
         BLITZ_ASSERT(when >= now_, "scheduling event in the past (",
                      when, " < ", now_, ")");
-        EventId id = nextId_++;
-        queue_.push(Entry{when, static_cast<int>(prio), id,
-                          std::move(fn)});
-        live_.insert(id);
+        const std::uint32_t slot = acquireSlot();
+        Node &n = *node(slot);
+        n.state = kScheduled;
+        emplaceCallback(n, std::forward<Fn>(fn));
+        heapPush({when, packOrd(prio, nextSeq_++), slot});
         ++pending_;
-        return id;
+        return (static_cast<EventId>(n.gen) << 32) | slot;
     }
 
-    /** Schedule a callback @p delta ticks from now. */
+    /** Schedule a callable @p delta ticks from now. */
+    template <typename Fn>
     EventId
-    scheduleIn(Tick delta, std::function<void()> fn,
-               Priority prio = Priority::Default)
+    scheduleIn(Tick delta, Fn &&fn, Priority prio = Priority::Default)
     {
-        return schedule(now_ + delta, std::move(fn), prio);
+        return schedule(now_ + delta, std::forward<Fn>(fn), prio);
     }
 
     /**
      * Cancel a previously scheduled event.
      *
-     * O(1): the event is tombstoned and skipped on pop. Cancelling an
-     * already-executed or unknown id is a harmless no-op — such ids
-     * are dropped on the spot, so the tombstone set only ever holds
-     * tokens for events still in the queue and cannot grow without
-     * bound across long runs.
+     * O(1): the generation check rejects stale or unknown handles on
+     * the spot, and a live node is tombstoned (callback destroyed
+     * immediately, heap entry discarded when it surfaces). The token
+     * count stays bounded by pending() across arbitrarily long runs.
      */
     void
     cancel(EventId id)
     {
-        if (live_.count(id))
-            cancelled_.insert(id);
+        const auto slot = static_cast<std::uint32_t>(id);
+        if (slot >= slotCount_)
+            return;
+        Node &n = *node(slot);
+        if (n.gen != static_cast<std::uint32_t>(id >> 32) ||
+            n.state != kScheduled)
+            return;
+        n.state = kCancelled;
+        destroyCallback(n);
+        ++cancelledTokens_;
     }
 
     /** Number of events still scheduled (including cancelled ones). */
@@ -107,10 +144,10 @@ class EventQueue
      * a token is dropped when its entry pops, and cancel() refuses
      * ids that are no longer scheduled.
      */
-    std::size_t cancelledTokens() const { return cancelled_.size(); }
+    std::size_t cancelledTokens() const { return cancelledTokens_; }
 
     /** True when no runnable events remain. */
-    bool empty() const { return queue_.empty(); }
+    bool empty() const { return heap_.empty(); }
 
     /**
      * Run events until the queue drains or @p limit is passed.
@@ -130,34 +167,138 @@ class EventQueue
      */
     bool runOne(Tick limit = maxTick);
 
+    /** Callback bytes stored inline in an event node. */
+    static constexpr std::size_t kInlineCallback = 96;
+
   private:
-    struct Entry
+    enum NodeState : std::uint8_t
+    {
+        kFree = 0,
+        kScheduled,
+        kCancelled,
+        kExecuting,
+    };
+
+    /**
+     * One slab slot. Trivial on purpose: the slab never runs
+     * constructors or destructors wholesale — callback lifetime is
+     * managed explicitly through invoke/destroy function pointers.
+     * The sort key lives in the heap entry, not here, so the hot
+     * sift loops never dereference the slab; with the 96-byte inline
+     * callback buffer a node is exactly two cache lines.
+     */
+    struct Node
+    {
+        void (*invoke)(void *);
+        void (*destroy)(void *); ///< null when nothing to destroy
+        std::uint32_t gen;
+        std::uint32_t nextFree;
+        NodeState state;
+        alignas(std::max_align_t) unsigned char buf[kInlineCallback];
+    };
+
+    /**
+     * Heap element: the complete (when, priority, insertion-seq) sort
+     * key plus the owning slot. Priority and sequence pack into one
+     * word — 16 bits of priority class over a 48-bit sequence counter
+     * (2^48 events ≈ centuries of simulated work) — so ordering is
+     * two integer compares over contiguous memory.
+     */
+    struct HeapEntry
     {
         Tick when;
-        int prio;
-        EventId id;
-        std::function<void()> fn;
+        std::uint64_t ord;
+        std::uint32_t slot;
     };
 
-    struct Later
+    static std::uint64_t
+    packOrd(Priority prio, std::uint64_t seq)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.id > b.id;
-        }
-    };
+        const auto p = static_cast<std::int64_t>(prio);
+        BLITZ_ASSERT(p >= 0 && p < 0x8000, "priority out of range");
+        BLITZ_ASSERT(seq < (std::uint64_t{1} << 48),
+                     "insertion sequence overflow");
+        return (static_cast<std::uint64_t>(p) << 48) | seq;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-    std::unordered_set<EventId> live_;      ///< scheduled, not yet popped
-    std::unordered_set<EventId> cancelled_; ///< subset of live_
+    static bool
+    entryBefore(const HeapEntry &a, const HeapEntry &b)
+    {
+        return a.when != b.when ? a.when < b.when : a.ord < b.ord;
+    }
+
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+    static constexpr std::uint32_t kChunkNodes = 256;
+
+    Node *
+    node(std::uint32_t slot)
+    {
+        return &chunks_[slot / kChunkNodes][slot % kChunkNodes];
+    }
+
+    template <typename Fn>
+    static void
+    emplaceCallback(Node &n, Fn &&fn)
+    {
+        using F = std::decay_t<Fn>;
+        static_assert(std::is_invocable_v<F &>,
+                      "event callback must be invocable with no args");
+        if constexpr (sizeof(F) <= kInlineCallback &&
+                      alignof(F) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(n.buf)) F(std::forward<Fn>(fn));
+            n.invoke = [](void *p) {
+                (*std::launder(reinterpret_cast<F *>(p)))();
+            };
+            if constexpr (std::is_trivially_destructible_v<F>) {
+                n.destroy = nullptr;
+            } else {
+                n.destroy = [](void *p) {
+                    std::launder(reinterpret_cast<F *>(p))->~F();
+                };
+            }
+        } else {
+            // Oversized functor: one heap allocation, pointer parked
+            // in the inline buffer.
+            F *f = new F(std::forward<Fn>(fn));
+            std::memcpy(n.buf, &f, sizeof f);
+            n.invoke = [](void *p) {
+                F *f;
+                std::memcpy(&f, p, sizeof f);
+                (*f)();
+            };
+            n.destroy = [](void *p) {
+                F *f;
+                std::memcpy(&f, p, sizeof f);
+                delete f;
+            };
+        }
+    }
+
+    static void
+    destroyCallback(Node &n)
+    {
+        if (n.destroy) {
+            n.destroy(n.buf);
+            n.destroy = nullptr;
+        }
+    }
+
+    std::uint32_t acquireSlot();
+    void releaseSlot(std::uint32_t slot);
+    void addChunk();
+    void heapPush(HeapEntry e);
+    void heapPopFront();
+    void siftDown(std::size_t i);
+
+    Arena *arena_;
+    std::vector<Node *> chunks_;
+    std::vector<HeapEntry> heap_; ///< 4-ary min-heap, keys inline
+    std::uint32_t slotCount_ = 0;
+    std::uint32_t freeHead_ = kNoSlot;
     Tick now_ = 0;
-    EventId nextId_ = 1;
+    std::uint64_t nextSeq_ = 1;
     std::size_t pending_ = 0;
+    std::size_t cancelledTokens_ = 0;
 };
 
 } // namespace blitz::sim

@@ -99,10 +99,24 @@ Histogram::merge(const Histogram &other)
 void
 Percentiles::merge(const Percentiles &other)
 {
+    if (other.samples_.empty())
+        return;
+    const std::size_t mid = samples_.size();
+    const bool bothSorted = sorted_ && other.sorted_;
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
-    if (!other.samples_.empty())
+    sum_ += other.sum_;
+    if (bothSorted) {
+        // Two sorted partitions combine in one linear pass; skip even
+        // that when the concatenation is already globally ordered.
+        if (mid > 0 && samples_[mid] < samples_[mid - 1])
+            std::inplace_merge(samples_.begin(),
+                               samples_.begin() +
+                                   static_cast<std::ptrdiff_t>(mid),
+                               samples_.end());
+    } else {
         sorted_ = false;
+    }
 }
 
 void
@@ -135,10 +149,7 @@ Percentiles::mean() const
 {
     if (samples_.empty())
         return 0.0;
-    double sum = 0.0;
-    for (double s : samples_)
-        sum += s;
-    return sum / static_cast<double>(samples_.size());
+    return sum_ / static_cast<double>(samples_.size());
 }
 
 } // namespace blitz::sim

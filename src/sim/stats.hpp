@@ -108,11 +108,18 @@ class Histogram
 class Percentiles
 {
   public:
+    /**
+     * Pre-size the sample buffer. Sweeps know their replication count
+     * up front; reserving avoids regrowth in the fold loop.
+     */
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
     void
     add(double x)
     {
+        sorted_ = sorted_ && (samples_.empty() || samples_.back() <= x);
         samples_.push_back(x);
-        sorted_ = false;
+        sum_ += x;
     }
 
     std::size_t count() const { return samples_.size(); }
@@ -132,9 +139,13 @@ class Percentiles
 
     /**
      * Merge another accumulator's samples into this one (parallel
-     * sweep fold). Appends in the other's insertion order, so folding
-     * per-replication accumulators in index order reproduces the
-     * serial sample sequence exactly.
+     * sweep fold). Appends in the other's insertion order; when both
+     * sides are already sorted (e.g. partitions that were queried for
+     * quantiles before merging) the result is combined with a single
+     * inplace_merge pass instead of being re-sorted from scratch.
+     * The running sum merges per partition, so folding replication
+     * accumulators in index order yields the same mean at any thread
+     * count.
      */
     void merge(const Percentiles &other);
 
@@ -142,6 +153,7 @@ class Percentiles
     void ensureSorted();
 
     std::vector<double> samples_;
+    double sum_ = 0.0;
     bool sorted_ = true;
 };
 

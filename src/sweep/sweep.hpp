@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "sim/logging.hpp"
 #include "thread_pool.hpp"
 
@@ -117,6 +118,11 @@ runSweep(std::size_t replications, std::uint64_t rootSeed, Fn &&fn,
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= replications)
                     return;
+                // Each replication starts from a clean per-thread
+                // arena; trials that opt in (e.g. ChaosConfig::arena)
+                // reuse the previous trial's chunks instead of
+                // re-touching the allocator.
+                sim::threadArena().reset();
                 try {
                     slots[i].emplace(fn(i, streamSeed(rootSeed, i)));
                 } catch (...) {

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Golden-trace pin of the event kernel's observable behavior.
+ *
+ * These tests freeze the bit-exact outputs of the two benches that
+ * exercise the full stack — the Fig. 1 behavioral convergence grid and
+ * the chaos fault sweep — as FNV-1a digests. The constants were
+ * recorded against the reference kernel (std::function entries in a
+ * binary priority_queue, per-hop NoC lambdas) at the seed of PR 3;
+ * any scheduler or NoC fast-path rewrite must reproduce them
+ * bit-for-bit, at every sweep thread count, or it changed observable
+ * semantics rather than just speed.
+ *
+ * If a future PR changes *intended* behavior (protocol, routing,
+ * fault model), re-record the constants in the same commit and say so
+ * in its description; an unexplained digest change is a determinism
+ * regression.
+ */
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.hpp"
+#include "coin/engine.hpp"
+#include "fault/chaos.hpp"
+#include "sweep/sweep.hpp"
+
+namespace {
+
+using namespace blitz;
+
+/** FNV-1a over explicitly-fed 64-bit words (doubles by bit pattern). */
+class Digest
+{
+  public:
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xffu;
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+// ------------------------------------------------- fig01 configuration
+// Mirrors bench_fig01_scalability.cpp's measureDecentralized() grid.
+
+double
+convergeUs(int d, std::uint64_t seed)
+{
+    coin::EngineConfig cfg; // paper defaults
+    coin::MeshSim sim(noc::Topology::square(d), cfg, seed);
+    coin::Coins demand = 0;
+    for (std::size_t i = 0; i < sim.ledger().size(); ++i) {
+        coin::Coins m = 8 << (i % 3);
+        sim.setMax(i, m);
+        demand += m;
+    }
+    sim.clusterHas(demand / 2);
+    auto r = sim.runUntilConverged(1.0, sim::msToTicks(20.0));
+    return r.converged ? sim::ticksToUs(r.time) : -1.0;
+}
+
+std::uint64_t
+fig01Digest(std::size_t threads)
+{
+    constexpr std::array<int, 3> ds{4, 6, 8};
+    constexpr std::size_t seedsPerPoint = 20;
+    sweep::SweepOptions opts;
+    opts.threads = threads;
+    auto times = sweep::runSweep(
+        ds.size() * seedsPerPoint, /*rootSeed=*/1,
+        [&](std::size_t i, std::uint64_t seed) {
+            return convergeUs(ds[i / seedsPerPoint], seed);
+        },
+        opts);
+    Digest dg;
+    for (double t : times)
+        dg.f64(t);
+    return dg.value();
+}
+
+// ------------------------------------------------- chaos configuration
+// A representative subset of bench_chaos.cpp's scenario matrix (rates,
+// duplication+corruption, crash windows, a timed partition, both mesh
+// sizes) with the bench's exact per-trial construction.
+
+struct GoldenScenario
+{
+    int d;
+    double drop;
+    double duplicate;
+    double corrupt;
+    bool crash;
+    bool partition;
+};
+
+constexpr GoldenScenario kScenarios[] = {
+    {4, 0.00, 0.00, 0.00, false, false},
+    {4, 0.05, 0.00, 0.00, false, false},
+    {4, 0.05, 0.02, 0.02, false, false},
+    {4, 0.05, 0.00, 0.00, true, false},
+    {4, 0.02, 0.00, 0.00, false, true},
+    {6, 0.02, 0.00, 0.00, false, false},
+    {6, 0.02, 0.00, 0.00, false, true},
+};
+
+constexpr sim::Tick faultQuietTick = 12'000;
+constexpr sim::Tick deadline = 400'000;
+constexpr double convergedTol = 2.5;
+
+std::uint64_t
+chaosTrialDigest(const GoldenScenario &sc, std::uint64_t seed)
+{
+    fault::ChaosConfig cc;
+    cc.width = sc.d;
+    cc.height = sc.d;
+    // Exercise the arena-backed slab path under the determinism pin
+    // (backing store must never affect results).
+    cc.arena = &sim::threadArena();
+    cc.seedBase = seed;
+    cc.fault.seed = seed;
+    cc.fault.coinTrafficOnly = true;
+    cc.fault.base.drop = sc.drop;
+    cc.fault.base.duplicate = sc.duplicate;
+    cc.fault.base.corrupt = sc.corrupt;
+    const auto n = static_cast<std::size_t>(sc.d * sc.d);
+    if (sc.crash) {
+        cc.fault.outages.push_back(
+            {static_cast<noc::NodeId>(n / 2), 3'000, faultQuietTick,
+             false});
+        cc.fault.outages.push_back(
+            {static_cast<noc::NodeId>(1), 5'000, faultQuietTick, false});
+        cc.auditPeriod = 4'096;
+    }
+    if (sc.partition) {
+        noc::Topology topo(sc.d, sc.d, false);
+        cc.fault.partitions.push_back(fault::columnPartition(
+            topo, sc.d / 2 - 1, 2'000, faultQuietTick));
+        cc.auditPeriod = 4'096;
+    }
+
+    fault::ChaosCluster cluster(cc);
+    coin::Coins demand = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        coin::Coins m = bench::typeLevel(static_cast<int>(i) % 4);
+        cluster.setMax(i, m);
+        demand += m;
+    }
+    const coin::Coins pool = demand / 2;
+    const std::size_t quarter = std::max<std::size_t>(n / 4, 1);
+    for (std::size_t i = 0; i < quarter; ++i) {
+        coin::Coins share = pool / static_cast<coin::Coins>(quarter);
+        if (i < static_cast<std::size_t>(
+                    pool % static_cast<coin::Coins>(quarter)))
+            ++share;
+        cluster.setHas(i, share);
+    }
+    cluster.sealProvision();
+    cluster.startAll();
+
+    const sim::Tick quiet =
+        (sc.crash || sc.partition) ? faultQuietTick : 0;
+    if (quiet > 0)
+        cluster.eq().runUntil(quiet);
+    std::optional<sim::Tick> t =
+        cluster.runUntilConverged(convergedTol, 64, deadline);
+
+    Digest dg;
+    dg.u64(t ? *t : ~std::uint64_t{0});
+    auto report = cluster.quiesce(65'536);
+    dg.i64(report.gap);
+    dg.i64(report.counted);
+    dg.u64(report.crashedUnits);
+    dg.u64(cluster.eq().now());
+    const auto &net = cluster.net();
+    dg.u64(net.packetsSent());
+    dg.u64(net.packetsDelivered());
+    dg.u64(net.packetsDropped());
+    dg.u64(net.totalHops());
+    dg.u64(net.latency().count());
+    dg.f64(net.latency().mean());
+    dg.f64(net.latency().max());
+    const auto &fs = cluster.plane().stats();
+    dg.u64(fs.drops);
+    dg.u64(fs.delays);
+    dg.u64(fs.duplicates);
+    dg.u64(fs.corruptions);
+    dg.u64(fs.outageDrops);
+    dg.u64(fs.partitionDrops);
+    for (std::size_t i = 0; i < n; ++i) {
+        dg.i64(cluster.unit(i).has());
+        dg.u64(cluster.unit(i).updatesRecovered());
+        dg.u64(cluster.unit(i).exchangesAbandoned());
+        dg.u64(cluster.unit(i).duplicatesIgnored());
+    }
+    return dg.value();
+}
+
+std::uint64_t
+chaosDigest(std::size_t threads)
+{
+    Digest all;
+    std::uint64_t scenarioIdx = 0;
+    for (const GoldenScenario &sc : kScenarios) {
+        sweep::SweepOptions opts;
+        opts.threads = threads;
+        auto trials = sweep::runSweep(
+            /*trials=*/4, sweep::streamSeed(2026, scenarioIdx++),
+            [&sc](std::size_t, std::uint64_t seed) {
+                return chaosTrialDigest(sc, seed);
+            },
+            opts);
+        for (std::uint64_t d : trials)
+            all.u64(d);
+    }
+    return all.value();
+}
+
+// Recorded against the reference kernel; see the file comment.
+constexpr std::uint64_t kGoldenFig01 = 3208374858079824399ull;
+constexpr std::uint64_t kGoldenChaos = 9764897818433649039ull;
+
+TEST(GoldenTrace, Fig01GridMatchesRecordedDigest)
+{
+    for (std::size_t threads : {1u, 2u, 4u})
+        EXPECT_EQ(fig01Digest(threads), kGoldenFig01)
+            << "threads=" << threads;
+}
+
+TEST(GoldenTrace, ChaosTrialsMatchRecordedDigest)
+{
+    for (std::size_t threads : {1u, 2u, 4u})
+        EXPECT_EQ(chaosDigest(threads), kGoldenChaos)
+            << "threads=" << threads;
+}
+
+} // namespace

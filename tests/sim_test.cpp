@@ -272,6 +272,74 @@ TEST(EventQueue, PendingCountsScheduled)
     EXPECT_EQ(eq.pending(), 0u);
 }
 
+// FIFO ordering of same-tick, same-priority events is part of the
+// determinism contract: every NoC delivery and controller tick relies
+// on insertion order as the final tie-break, so any queue
+// implementation (binary heap, d-ary heap, slab-indexed) must keep it.
+TEST(EventQueue, SameTickFifoSurvivesCancellation)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(0); });
+    auto b = eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.cancel(b);
+    // Events scheduled after a same-tick cancellation must land after
+    // the surviving earlier insertions.
+    eq.schedule(10, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(4); });
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelThenRescheduleAtSameTickKeepsFifo)
+{
+    // Cancel-then-reschedule from inside a callback running at that
+    // very tick: the replacement goes to the back of the tick's queue.
+    sim::EventQueue eq;
+    std::vector<int> order;
+    sim::EventQueue::EventId victim = 0;
+    eq.schedule(5, [&] {
+        order.push_back(0);
+        eq.cancel(victim);
+        eq.schedule(5, [&] { order.push_back(3); });
+    });
+    victim = eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(5, [&] { order.push_back(2); });
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(EventQueue, InterleavedTicksKeepPerTickFifo)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    const sim::Tick ticks[] = {30, 10, 20, 10, 30, 20, 10};
+    int tag = 0;
+    for (sim::Tick t : ticks) {
+        eq.schedule(t, [&order, tag] { order.push_back(tag); });
+        ++tag;
+    }
+    eq.runUntil();
+    // Per tick, insertion order; ticks ascend: 10:{1,3,6} 20:{2,5}
+    // 30:{0,4}.
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 6, 2, 5, 0, 4}));
+}
+
+TEST(EventQueue, PriorityBreaksTiesBeforeFifo)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(0); }, sim::Priority::Stats);
+    eq.schedule(10, [&] { order.push_back(1); },
+                sim::Priority::NocTransfer);
+    eq.schedule(10, [&] { order.push_back(2); }, sim::Priority::Default);
+    eq.schedule(10, [&] { order.push_back(3); },
+                sim::Priority::NocTransfer);
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2, 0}));
+}
+
 // ----------------------------------------------------------------- rng
 
 TEST(Rng, DeterministicForSameSeed)
@@ -491,6 +559,60 @@ TEST(Percentiles, EmptyQuantilePanics)
 {
     sim::Percentiles p;
     EXPECT_THROW(p.median(), sim::PanicError);
+}
+
+TEST(Percentiles, MergeOfSortedPartitionsMatchesSerial)
+{
+    // Sweep folds merge partitions that were often already queried
+    // (hence sorted); the sorted-merge fast path must produce the same
+    // quantiles and mean as feeding every sample serially.
+    sim::Percentiles serial, a, b;
+    const double xs[] = {9, 1, 4, 7, 2, 8, 0, 3, 6, 5};
+    for (int i = 0; i < 10; ++i) {
+        serial.add(xs[i]);
+        (i < 5 ? a : b).add(xs[i]);
+    }
+    // Force both partitions sorted before merging.
+    (void)a.median();
+    (void)b.median();
+    a.merge(b);
+    EXPECT_EQ(a.count(), serial.count());
+    EXPECT_DOUBLE_EQ(a.median(), serial.median());
+    EXPECT_DOUBLE_EQ(a.p95(), serial.p95());
+    EXPECT_DOUBLE_EQ(a.minimum(), serial.minimum());
+    EXPECT_DOUBLE_EQ(a.maximum(), serial.maximum());
+    EXPECT_DOUBLE_EQ(a.mean(), serial.mean());
+}
+
+TEST(Percentiles, AscendingAppendsStaySorted)
+{
+    // Appending in nondecreasing order (common for tick-ordered stat
+    // sampling) must keep the accumulator consistent through repeated
+    // quantile queries and further adds.
+    sim::Percentiles p;
+    p.reserve(6);
+    for (double x : {1.0, 2.0, 2.0, 5.0})
+        p.add(x);
+    EXPECT_DOUBLE_EQ(p.median(), 2.0);
+    p.add(9.0);
+    p.add(11.0);
+    EXPECT_DOUBLE_EQ(p.maximum(), 11.0);
+    EXPECT_DOUBLE_EQ(p.median(), 3.5);
+    EXPECT_DOUBLE_EQ(p.mean(), 30.0 / 6.0);
+}
+
+TEST(Percentiles, MergeIntoEmptyAndFromEmpty)
+{
+    sim::Percentiles empty, filled;
+    filled.add(3.0);
+    filled.add(1.0);
+    filled.merge(empty); // no-op
+    EXPECT_EQ(filled.count(), 2u);
+    sim::Percentiles target;
+    target.merge(filled);
+    EXPECT_EQ(target.count(), 2u);
+    EXPECT_DOUBLE_EQ(target.median(), 2.0);
+    EXPECT_DOUBLE_EQ(target.mean(), 2.0);
 }
 
 // -------------------------------------------------------------- logging
