@@ -18,11 +18,16 @@
  */
 
 #include <array>
+#include <memory>
 #include <optional>
+#include <utility>
 
 #include "bench_common.hpp"
+#include "bench_obs.hpp"
 #include "fault/chaos.hpp"
 #include "sweep/sweep.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 
 using namespace blitz;
 
@@ -50,8 +55,14 @@ struct Row
     sim::Summary dupesIgnored;        ///< replays the stamps rejected
     int failures = 0;                 ///< trials missing the deadline
 
+    /// --metrics: per-replication snapshot series, folded in order.
+    trace::MetricsSeries metrics;
+    /// --trace: (pid, tracer) per replication, absorbed after the fold.
+    std::vector<std::pair<std::uint32_t, std::shared_ptr<trace::Tracer>>>
+        tracers;
+
     void
-    merge(const Row &o)
+    merge(Row &&o)
     {
         reconvergeTicks.merge(o.reconvergeTicks);
         gapClosed.merge(o.gapClosed);
@@ -60,6 +71,10 @@ struct Row
         abandoned.merge(o.abandoned);
         dupesIgnored.merge(o.dupesIgnored);
         failures += o.failures;
+        if (!o.metrics.empty())
+            metrics.merge(o.metrics);
+        for (auto &t : o.tracers)
+            tracers.push_back(std::move(t));
     }
 };
 
@@ -68,7 +83,8 @@ constexpr sim::Tick deadline = 400'000;
 constexpr double convergedTol = 2.5;
 
 Row
-runTrial(const Scenario &sc, std::uint64_t seed)
+runTrial(const Scenario &sc, std::uint64_t seed,
+         const bench::ObsOptions &obs, std::uint32_t pid)
 {
     fault::ChaosConfig cc;
     cc.width = sc.d;
@@ -100,7 +116,17 @@ runTrial(const Scenario &sc, std::uint64_t seed)
         cc.auditPeriod = 4'096;
     }
 
+    // Registry/tracer must outlive the cluster (its samplers read
+    // cluster state until the cluster's event queue dies).
+    trace::Registry reg;
+    std::shared_ptr<trace::Tracer> tracer;
     fault::ChaosCluster cluster(cc);
+    if (obs.metrics)
+        cluster.attachMetrics(&reg, 1'024);
+    if (obs.trace) {
+        tracer = std::make_shared<trace::Tracer>();
+        cluster.attachTrace(tracer.get());
+    }
     // Heterogeneous demand; the whole pool starts parked on the first
     // quarter of the mesh so convergence requires long-range transport.
     coin::Coins demand = 0;
@@ -154,25 +180,32 @@ runTrial(const Scenario &sc, std::uint64_t seed)
     r.recovered.add(rec);
     r.abandoned.add(aband);
     r.dupesIgnored.add(dupes);
+    if (obs.metrics)
+        r.metrics = reg.takeSeries();
+    if (obs.trace)
+        r.tracers.emplace_back(pid, std::move(tracer));
     return r;
 }
 
 Row
-runScenario(const Scenario &sc, int trials, std::uint64_t rootSeed)
+runScenario(const Scenario &sc, int trials, std::uint64_t rootSeed,
+            const bench::ObsOptions &obs, std::uint32_t pidBase)
 {
     return sweep::runSweepFold<Row>(
         static_cast<std::size_t>(trials), rootSeed,
-        [&sc](std::size_t, std::uint64_t seed) {
-            return runTrial(sc, seed);
+        [&sc, &obs, pidBase](std::size_t i, std::uint64_t seed) {
+            return runTrial(sc, seed, obs,
+                            pidBase + static_cast<std::uint32_t>(i));
         },
-        [](Row &acc, const Row &r, std::size_t) { acc.merge(r); });
+        [](Row &acc, Row &r, std::size_t) { acc.merge(std::move(r)); });
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::ObsOptions obs = bench::parseObsFlags(argc, argv);
     bench::banner("Chaos sweep",
                   "re-convergence and exact coin conservation under "
                   "drops, duplication, corruption, crashes, and "
@@ -194,11 +227,34 @@ main()
                              true});
     }
 
+    // One trace file for the whole run (a process lane per
+    // replication); one metrics CSV per scenario, because the snapshot
+    // schema carries per-tile columns (4x4 vs 6x6 differ) and summing
+    // across fault configs would make the columns meaningless.
+    trace::Tracer master;
     std::uint64_t scenarioIdx = 0;
     for (const Scenario &sc : scenarios) {
-        Row row = runScenario(
-            sc, trials,
-            sweep::streamSeed(rootSeed, scenarioIdx++));
+        const auto pidBase =
+            static_cast<std::uint32_t>(scenarioIdx) *
+            static_cast<std::uint32_t>(trials);
+        Row row = runScenario(sc, trials,
+                              sweep::streamSeed(rootSeed, scenarioIdx),
+                              obs, pidBase);
+        if (obs.metrics && !row.metrics.empty()) {
+            char tag[64];
+            std::snprintf(tag, sizeof tag, "s%02u-%s-%dx%d",
+                          static_cast<unsigned>(scenarioIdx), sc.name,
+                          sc.d, sc.d);
+            for (char *p = tag; *p; ++p)
+                if (*p == '+')
+                    *p = '_';
+            bench::writeMetricsCsv(row.metrics,
+                                   bench::tagPath(obs.metricsPath, tag));
+        }
+        for (const auto &[pid, t] : row.tracers)
+            if (t)
+                master.absorb(*t, pid);
+        ++scenarioIdx;
         const bool any = row.reconvergeTicks.count() > 0;
         std::printf(
             "%-22s %dx%d %6.2f | %10.0f %10.0f %6d | %8.1f %8.0f "
@@ -209,6 +265,8 @@ main()
             row.gapClosed.mean(), row.dropsSeen.mean(),
             row.recovered.mean(), row.abandoned.mean());
     }
+    if (obs.trace)
+        bench::writeTraceJson(master, obs.tracePath);
     std::printf("\nEvery trial quiesced with the seeded coin total "
                 "exactly restored (asserted).\n");
     return 0;

@@ -17,18 +17,31 @@
 
 #include "analytic/scaling.hpp"
 #include "bench_common.hpp"
+#include "bench_obs.hpp"
 #include "sweep/sweep.hpp"
+#include "trace/attach.hpp"
+#include "trace/metrics.hpp"
 
 using namespace blitz;
 
 namespace {
 
+/** One trial's outcome; the series is empty unless --metrics is on. */
+struct Trial
+{
+    double us = -1.0;
+    trace::MetricsSeries metrics;
+};
+
 /** One behavioral convergence trial for the decentralized fit. */
-double
-convergeUs(int d, std::uint64_t seed)
+Trial
+convergeUs(int d, std::uint64_t seed, bool metrics)
 {
     coin::EngineConfig cfg; // paper defaults
+    trace::Registry reg;
     coin::MeshSim sim(noc::Topology::square(d), cfg, seed);
+    if (metrics)
+        trace::attachMeshMetrics(sim, reg, 1'024);
     coin::Coins demand = 0;
     for (std::size_t i = 0; i < sim.ledger().size(); ++i) {
         coin::Coins m = 8 << (i % 3); // 8/16/32 mix
@@ -37,35 +50,51 @@ convergeUs(int d, std::uint64_t seed)
     }
     sim.clusterHas(demand / 2);
     auto r = sim.runUntilConverged(1.0, sim::msToTicks(20.0));
-    return r.converged ? sim::ticksToUs(r.time) : -1.0;
+    Trial t;
+    t.us = r.converged ? sim::ticksToUs(r.time) : -1.0;
+    if (metrics)
+        t.metrics = reg.takeSeries();
+    return t;
 }
 
 /**
  * Fit the decentralized response constant from behavioral meshes —
  * the whole (d, seed) grid fans out over the sweep harness, and the
  * per-size means fold in replication order (thread-count
- * independent).
+ * independent). With --metrics, each mesh size's snapshot series
+ * merges in the same order into one CSV per size (schemas carry
+ * per-tile columns, so sizes cannot share a file).
  */
 analytic::ScalingLaw
-measureDecentralized()
+measureDecentralized(const bench::ObsOptions &obs)
 {
     constexpr std::array<int, 3> ds{4, 6, 8};
     constexpr std::size_t seedsPerPoint = 20;
-    auto times = sweep::runSweep(
+    auto trials = sweep::runSweep(
         ds.size() * seedsPerPoint, /*rootSeed=*/1,
         [&](std::size_t i, std::uint64_t seed) {
-            return convergeUs(ds[i / seedsPerPoint], seed);
+            return convergeUs(ds[i / seedsPerPoint], seed,
+                              obs.metrics);
         });
     std::vector<std::pair<double, double>> samples;
     for (std::size_t k = 0; k < ds.size(); ++k) {
         sim::Summary s;
+        trace::MetricsSeries merged;
         for (std::size_t i = 0; i < seedsPerPoint; ++i) {
-            double us = times[k * seedsPerPoint + i];
-            if (us >= 0.0)
-                s.add(us);
+            Trial &t = trials[k * seedsPerPoint + i];
+            if (t.us >= 0.0)
+                s.add(t.us);
+            if (!t.metrics.empty())
+                merged.merge(t.metrics);
         }
         samples.emplace_back(
             static_cast<double>(ds[k]) * ds[k], s.mean());
+        if (obs.metrics && !merged.empty()) {
+            char tag[16];
+            std::snprintf(tag, sizeof tag, "%dx%d", ds[k], ds[k]);
+            bench::writeMetricsCsv(merged,
+                                   bench::tagPath(obs.metricsPath, tag));
+        }
     }
     return analytic::fitLaw(analytic::Scheme::BC, samples);
 }
@@ -73,10 +102,15 @@ measureDecentralized()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::ObsOptions obs = bench::parseObsFlags(argc, argv);
     bench::banner("Fig. 1",
                   "response-time scaling vs workload demand curves");
+    if (obs.trace)
+        std::printf("(--trace ignored: the behavioral MeshSim has no "
+                    "timeline hooks; use bench_chaos or the SoC "
+                    "benches)\n");
 
     using analytic::ScalingLaw;
     using analytic::Scheme;
@@ -84,9 +118,9 @@ main()
     // hardware-centralized from the paper's fit. The decentralized
     // curve is measured here, from behavioral meshes swept in
     // parallel (paper fit: tau = 0.20, exponent 0.5).
-    const ScalingLaw sw{Scheme::CRR, 100.0, 1.0};  // software
-    const ScalingLaw hw{Scheme::BCC, 0.66, 1.0};   // HW centralized
-    const ScalingLaw bc = measureDecentralized();  // decentralized
+    const ScalingLaw sw{Scheme::CRR, 100.0, 1.0};    // software
+    const ScalingLaw hw{Scheme::BCC, 0.66, 1.0};     // HW centralized
+    const ScalingLaw bc = measureDecentralized(obs); // decentralized
     std::printf("\nmeasured decentralized law: T(N) = %.3f us * "
                 "N^%.1f\n", bc.tauUs, bc.exponent);
 

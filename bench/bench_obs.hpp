@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Observability CLI plumbing shared by the benches and examples.
+ *
+ * `--metrics[=path]` and `--trace[=path]` opt a binary into the
+ * observability plane: metric snapshots land in a CSV (merged across
+ * sweep replications in replication order, so the file is
+ * bit-identical at any thread count) and the event timeline lands in a
+ * Chrome/Perfetto trace.json with one process lane per replication.
+ * Without the flags nothing is attached and the runs stay on the
+ * null-hook fast path — the flags must never change any printed
+ * number.
+ */
+
+#ifndef BLITZ_BENCH_OBS_HPP
+#define BLITZ_BENCH_OBS_HPP
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
+
+namespace blitz::bench {
+
+/** Parsed --metrics/--trace options. */
+struct ObsOptions
+{
+    bool metrics = false;
+    bool trace = false;
+    std::string metricsPath = "metrics.csv";
+    std::string tracePath = "trace.json";
+
+    bool any() const { return metrics || trace; }
+};
+
+/** Scan argv for --metrics[=path] / --trace[=path]. */
+inline ObsOptions
+parseObsFlags(int argc, char **argv)
+{
+    ObsOptions o;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--metrics", 9) == 0) {
+            o.metrics = true;
+            if (argv[i][9] == '=')
+                o.metricsPath = argv[i] + 10;
+        } else if (std::strncmp(argv[i], "--trace", 7) == 0) {
+            o.trace = true;
+            if (argv[i][7] == '=')
+                o.tracePath = argv[i] + 8;
+        }
+    }
+    return o;
+}
+
+/** Insert @p tag before the path's extension: a.csv -> a-4x4.csv. */
+inline std::string
+tagPath(const std::string &path, const std::string &tag)
+{
+    const std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos || path.find('/', dot) != std::string::npos)
+        return path + "-" + tag;
+    return path.substr(0, dot) + "-" + tag + path.substr(dot);
+}
+
+inline void
+writeMetricsCsv(const trace::MetricsSeries &series,
+                const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    series.writeCsv(os);
+    std::printf("wrote %s (%zu snapshots)\n", path.c_str(),
+                series.snapshots().size());
+}
+
+inline void
+writeTraceJson(const trace::Tracer &tracer, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    tracer.writeJson(os);
+    std::printf("wrote %s (%zu events%s)\n", path.c_str(),
+                tracer.eventCount(),
+                tracer.droppedEvents() ? ", overflow dropped some"
+                                       : "");
+}
+
+} // namespace blitz::bench
+
+#endif // BLITZ_BENCH_OBS_HPP

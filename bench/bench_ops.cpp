@@ -12,13 +12,22 @@
  * CMake target wires this up; kBaseline below holds the numbers
  * recorded at the PR 3 seed so every future run reports its speedup
  * against the same reference.
+ *
+ * --perf-check[=path] additionally gates the run: before overwriting
+ * the JSON, the fresh measurement is compared against the recorded
+ * file and the process exits nonzero if any config's throughput fell
+ * more than 3% — the observability plane's hook sites are compiled
+ * into these paths with tracing disabled, so this is the "tracing off
+ * is free" acceptance check.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "coin/engine.hpp"
 #include "coin/exchange.hpp"
@@ -296,8 +305,41 @@ perfNocSteady(const char *name, int d, std::uint64_t targetPackets)
     return best;
 }
 
+/**
+ * Recorded throughput for @p name from a previous BENCH_ops.json:
+ * events_per_sec for kernel configs, packets_per_sec for NoC configs.
+ * Returns 0 when the file or the config is missing (nothing to gate
+ * against). The parser only needs to read the format written below.
+ */
+double
+recordedThroughput(const char *jsonPath, const char *name, bool noc)
+{
+    std::FILE *f = std::fopen(jsonPath, "r");
+    if (!f)
+        return 0.0;
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+
+    const std::string anchor = "\"name\": \"" + std::string(name) + "\"";
+    const std::size_t at = text.find(anchor);
+    if (at == std::string::npos)
+        return 0.0;
+    const char *key =
+        noc ? "\"packets_per_sec\": " : "\"events_per_sec\": ";
+    const std::size_t k = text.find(key, at);
+    // Stay within this config's object.
+    const std::size_t end = text.find('}', at);
+    if (k == std::string::npos || (end != std::string::npos && k > end))
+        return 0.0;
+    return std::atof(text.c_str() + k + std::strlen(key));
+}
+
 int
-perfMain(const char *jsonPath)
+perfMain(const char *jsonPath, const char *checkPath)
 {
     const Result results[] = {
         perfEventKernel("event_kernel_4x4", 4, 4'000'000),
@@ -306,15 +348,44 @@ perfMain(const char *jsonPath)
         perfNocSteady("noc_steady_6x6", 6, 200'000),
     };
 
+    // Gate before overwriting: each config's throughput must stay
+    // within 3% of the recorded run.
+    int regressions = 0;
+    if (checkPath) {
+        for (const Result &r : results) {
+            const bool noc = r.packets > 0;
+            const double recorded =
+                recordedThroughput(checkPath, r.name, noc);
+            if (recorded <= 0.0) {
+                std::printf("perf-check %-18s no recorded baseline\n",
+                            r.name);
+                continue;
+            }
+            const double cur =
+                noc ? r.packetsPerSec() : r.eventsPerSec();
+            const double ratio = cur / recorded;
+            const bool bad = ratio < 0.97;
+            std::printf("perf-check %-18s %12.3e vs %12.3e  %+.1f%%%s\n",
+                        r.name, cur, recorded, (ratio - 1.0) * 100.0,
+                        bad ? "  REGRESSION" : "");
+            if (bad)
+                ++regressions;
+        }
+    }
+
     std::printf("%-18s %12s %10s %12s %9s\n", "config", "events/sec",
                 "ns/event", "packets/sec", "speedup");
-    std::FILE *js = std::fopen(jsonPath, "w");
-    if (!js) {
-        std::fprintf(stderr, "cannot open %s for writing\n", jsonPath);
-        return 1;
+    std::FILE *js = nullptr;
+    if (jsonPath) {
+        js = std::fopen(jsonPath, "w");
+        if (!js) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         jsonPath);
+            return 1;
+        }
+        std::fprintf(js, "{\n  \"bench\": \"bench_ops\",\n"
+                         "  \"configs\": [\n");
     }
-    std::fprintf(js, "{\n  \"bench\": \"bench_ops\",\n"
-                     "  \"configs\": [\n");
     for (std::size_t i = 0; i < std::size(results); ++i) {
         const Result &r = results[i];
         const Baseline *b = baselineFor(r.name);
@@ -329,6 +400,8 @@ perfMain(const char *jsonPath)
         std::printf("%-18s %12.3e %10.1f %12.3e %8.2fx\n", r.name,
                     r.eventsPerSec(), r.nsPerEvent(), r.packetsPerSec(),
                     speedup);
+        if (!js)
+            continue;
         std::fprintf(
             js,
             "    {\"name\": \"%s\", \"events\": %llu, "
@@ -344,9 +417,18 @@ perfMain(const char *jsonPath)
             b ? b->eventsPerSec : 0.0, b ? b->packetsPerSec : 0.0,
             speedup, i + 1 < std::size(results) ? "," : "");
     }
-    std::fprintf(js, "  ]\n}\n");
-    std::fclose(js);
-    std::printf("\nwrote %s\n", jsonPath);
+    if (js) {
+        std::fprintf(js, "  ]\n}\n");
+        std::fclose(js);
+        std::printf("\nwrote %s\n", jsonPath);
+    }
+    if (regressions > 0) {
+        std::fprintf(stderr,
+                     "perf-check: %d config(s) regressed more than 3%% "
+                     "vs %s\n",
+                     regressions, checkPath);
+        return 1;
+    }
     return 0;
 }
 
@@ -357,14 +439,22 @@ perfMain(const char *jsonPath)
 int
 main(int argc, char **argv)
 {
+    const char *jsonPath = nullptr;
+    const char *checkPath = nullptr;
     for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--perf-json", 11) == 0) {
-            const char *path = argv[i][11] == '='
-                                   ? argv[i] + 12
-                                   : "BENCH_ops.json";
-            return perf::perfMain(path);
+        if (std::strncmp(argv[i], "--perf-check", 12) == 0) {
+            checkPath = argv[i][12] == '=' ? argv[i] + 13
+                                           : "BENCH_ops.json";
+        } else if (std::strncmp(argv[i], "--perf-json", 11) == 0) {
+            jsonPath = argv[i][11] == '=' ? argv[i] + 12
+                                          : "BENCH_ops.json";
         }
     }
+    // Check-only runs (no --perf-json) leave the recorded file
+    // untouched, so a failing gate can be re-run against the same
+    // baseline.
+    if (jsonPath || checkPath)
+        return perf::perfMain(jsonPath, checkPath);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -13,31 +13,57 @@
 
 #include <cstdio>
 
+#include "bench_obs.hpp"
 #include "soc/scenarios.hpp"
 #include "soc/soc.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 
 using namespace blitz;
 
 namespace {
 
+/**
+ * With --metrics / --trace the run is observed: power and coin
+ * snapshots every 256 NoC cycles into a per-PM CSV, and the full PM
+ * timeline into one Chrome trace with a process lane per PM kind —
+ * open it in Perfetto to see the three managers' reactions side by
+ * side. The flags never change the printed table.
+ */
 soc::SocRunStats
-runWith(soc::PmKind kind, double budgetMw)
+runWith(soc::PmKind kind, double budgetMw,
+        const bench::ObsOptions &obs, trace::Tracer *master,
+        std::uint32_t pid)
 {
     soc::PmConfig pm;
     pm.kind = kind;
     pm.alloc = coin::AllocPolicy::RelativeProportional;
     pm.budgetMw = budgetMw;
 
+    trace::Registry reg;
+    trace::Tracer tracer;
     soc::Soc s(soc::make3x3AvSoc(), pm, /*seed=*/7);
+    if (obs.metrics)
+        s.attachMetrics(&reg, /*interval=*/256);
+    if (obs.trace)
+        s.attachTrace(&tracer);
     workload::Dag dag = soc::avDependent(s.config(), /*frames=*/3);
-    return s.run(dag);
+    soc::SocRunStats st = s.run(dag);
+    if (obs.metrics)
+        bench::writeMetricsCsv(
+            reg.series(),
+            bench::tagPath(obs.metricsPath, soc::pmKindName(kind)));
+    if (obs.trace)
+        master->absorb(tracer, pid);
+    return st;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::ObsOptions obs = bench::parseObsFlags(argc, argv);
     const double budget = soc::budgets::av15Percent; // 60 mW
 
     std::printf("3x3 AV SoC, WL-Dep (3 frames), budget %.0f mW\n\n",
@@ -45,10 +71,12 @@ main()
     std::printf("%-6s %12s %14s %14s %10s %10s\n", "PM", "exec (us)",
                 "response (us)", "avg pwr (mW)", "util", "packets");
 
+    trace::Tracer master;
+    std::uint32_t pid = 0;
     for (soc::PmKind kind : {soc::PmKind::BlitzCoin,
                              soc::PmKind::BlitzCoinCentral,
                              soc::PmKind::CentralRoundRobin}) {
-        soc::SocRunStats st = runWith(kind, budget);
+        soc::SocRunStats st = runWith(kind, budget, obs, &master, pid++);
         std::printf("%-6s %12.1f %14.3f %14.1f %9.1f%% %10llu%s\n",
                     soc::pmKindName(kind), st.execTimeUs(),
                     st.meanResponseUs(),
@@ -57,5 +85,7 @@ main()
                     static_cast<unsigned long long>(st.nocPackets),
                     st.completed ? "" : "  (INCOMPLETE)");
     }
+    if (obs.trace)
+        bench::writeTraceJson(master, obs.tracePath);
     return 0;
 }

@@ -15,21 +15,35 @@
 #include <vector>
 
 #include "analytic/scaling.hpp"
+#include "bench_obs.hpp"
 #include "coin/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 #include "sweep/sweep.hpp"
+#include "trace/attach.hpp"
+#include "trace/metrics.hpp"
 
 using namespace blitz;
 
 namespace {
 
-/** One behavioral convergence trial; < 0 when it did not converge. */
-double
-convergeCycles(int d, std::uint64_t seed)
+/** One trial: convergence time (< 0 if missed) plus, with --metrics,
+ *  the ledger snapshot series for this replication. */
+struct Trial
+{
+    double cycles = -1.0;
+    trace::MetricsSeries metrics;
+};
+
+/** One behavioral convergence trial. */
+Trial
+convergeCycles(int d, std::uint64_t seed, bool metrics)
 {
     coin::EngineConfig cfg; // paper defaults
+    trace::Registry reg;
     coin::MeshSim sim(noc::Topology::square(d), cfg, seed);
+    if (metrics)
+        trace::attachMeshMetrics(sim, reg, 1'024);
     coin::Coins demand = 0;
     for (std::size_t i = 0; i < sim.ledger().size(); ++i) {
         coin::Coins m = 8 << (i % 3); // 8/16/32 mix
@@ -38,14 +52,23 @@ convergeCycles(int d, std::uint64_t seed)
     }
     sim.clusterHas(demand / 2);
     auto r = sim.runUntilConverged(1.0, sim::msToTicks(20.0));
-    return r.converged ? static_cast<double>(r.time) : -1.0;
+    Trial t;
+    t.cycles = r.converged ? static_cast<double>(r.time) : -1.0;
+    if (metrics)
+        t.metrics = reg.takeSeries();
+    return t;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::ObsOptions obs = bench::parseObsFlags(argc, argv);
+    if (obs.trace)
+        std::printf("(--trace ignored: the behavioral MeshSim has no "
+                    "timeline hooks; try an SoC example or "
+                    "bench_chaos)\n");
     std::printf("Part 1: behavioral convergence sweep "
                 "(1-way, dynamic timing, random pairing)\n\n");
     std::printf("%4s %6s %14s %14s %12s\n", "d", "N", "cycles (mean)",
@@ -58,20 +81,32 @@ main()
     for (int d = 4; d <= 20; d += 2)
         ds.push_back(d);
     constexpr std::size_t seedsPerPoint = 30;
-    auto cyclesPerTrial = sweep::runSweep(
+    auto trials = sweep::runSweep(
         ds.size() * seedsPerPoint, /*rootSeed=*/1,
         [&](std::size_t i, std::uint64_t seed) {
-            return convergeCycles(ds[i / seedsPerPoint], seed);
+            return convergeCycles(ds[i / seedsPerPoint], seed,
+                                  obs.metrics);
         });
 
     std::vector<std::pair<double, double>> samples;
     for (std::size_t k = 0; k < ds.size(); ++k) {
         int d = ds[k];
         sim::Summary cycles;
+        trace::MetricsSeries merged;
         for (std::size_t i = 0; i < seedsPerPoint; ++i) {
-            double c = cyclesPerTrial[k * seedsPerPoint + i];
-            if (c >= 0.0)
-                cycles.add(c);
+            Trial &t = trials[k * seedsPerPoint + i];
+            if (t.cycles >= 0.0)
+                cycles.add(t.cycles);
+            if (!t.metrics.empty())
+                merged.merge(t.metrics);
+        }
+        // Per-size CSVs: the schema carries one column per tile, so
+        // mesh sizes cannot share a file.
+        if (obs.metrics && !merged.empty()) {
+            char tag[16];
+            std::snprintf(tag, sizeof tag, "%dx%d", d, d);
+            bench::writeMetricsCsv(merged,
+                                   bench::tagPath(obs.metricsPath, tag));
         }
         samples.emplace_back(static_cast<double>(d) * d,
                              sim::ticksToUs(static_cast<sim::Tick>(

@@ -6,20 +6,31 @@
  * Build and run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
+ *
+ * Add --metrics[=path.csv] to record a snapshot of the ledger (per-tile
+ * balances, global error, packet counters) every 8 NoC cycles and
+ * dump it as CSV — the zero-instrumentation way to watch convergence.
  */
 
 #include <cstdio>
 #include <string>
 
+#include "bench_obs.hpp"
 #include "coin/engine.hpp"
 #include "noc/topology.hpp"
 #include "sim/types.hpp"
+#include "trace/attach.hpp"
 
 using namespace blitz;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::ObsOptions obs = bench::parseObsFlags(argc, argv);
+    if (obs.trace)
+        std::printf("(--trace ignored: the behavioral MeshSim has no "
+                    "timeline hooks; try an SoC example or "
+                    "bench_chaos)\n");
     // A 4x4 mesh of tiles. Tile targets (max coins) model a mix of
     // small and large accelerators; two tiles are idle (max = 0).
     const noc::Topology topo = noc::Topology::square(4);
@@ -30,7 +41,11 @@ main()
     cfg.backoff.enabled = true;       //  dynamic timing,
     cfg.pairing.randomPairing = true; //  random pairing every 16th.
 
+    trace::Registry reg;
     coin::MeshSim sim(topo, cfg, /*seed=*/42);
+    // The 4x4 demo converges in well under 100 cycles — sample densely.
+    if (obs.metrics)
+        trace::attachMeshMetrics(sim, reg, /*interval=*/8);
 
     const coin::Coins maxes[16] = {8, 16, 32, 8, 0, 16, 63, 16,
                                    8, 32, 16, 8, 16, 0, 8, 16};
@@ -69,5 +84,7 @@ main()
     }
     std::printf("\ntotal coins: %lld (pool was 140; conserved)\n",
                 static_cast<long long>(sim.ledger().totalHas()));
+    if (obs.metrics)
+        bench::writeMetricsCsv(reg.series(), obs.metricsPath);
     return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/tracer.hpp"
+
 namespace blitz::blitzcoin {
 
 namespace {
@@ -119,8 +121,23 @@ BlitzCoinUnit::stop()
 }
 
 void
+BlitzCoinUnit::traceExchange(const PendingExchange &p,
+                             coin::Coins delta, const char *outcome)
+{
+    tracer_->complete(
+        "coin", "exchange", self_, p.startTick, eq_.now(),
+        {{"xid", static_cast<std::int64_t>(p.xid)},
+         {"partner", static_cast<std::int64_t>(p.partner)},
+         {"delta", delta},
+         {"outcome", outcome}});
+}
+
+void
 BlitzCoinUnit::crash()
 {
+    if (tracer_)
+        tracer_->instant("fault", "unit_crash", self_, eq_.now(),
+                         {{"coins_lost", state_.has}});
     stop();
     crashed_ = true;
     // Architectural registers and all protocol tracking are lost. The
@@ -147,6 +164,8 @@ BlitzCoinUnit::restart()
     if (!crashed_)
         return;
     crashed_ = false;
+    if (tracer_)
+        tracer_->instant("fault", "unit_restart", self_, eq_.now());
     timer_ = coin::BackoffTimer(cfg_.backoff);
     // nextXid_ deliberately keeps counting across the crash: a partner
     // still holding pre-crash entries in its served log must never
@@ -189,7 +208,7 @@ BlitzCoinUnit::initiate()
     net_.send(pkt);
     ++initiated_;
     awaitingUpdate_ = true;
-    pending_ = PendingExchange{xid, partner, 0};
+    pending_ = PendingExchange{xid, partner, 0, eq_.now()};
 
     // If the update never lands, free the FSM and hand the exchange to
     // the background reconciliation machinery — initiation must keep
@@ -205,11 +224,19 @@ BlitzCoinUnit::onExchangeTimeout(std::uint64_t xid)
     if (crashed_ || !pending_ || pending_->xid != xid)
         return; // resolved in time (or superseded by a crash)
     ++timedOut_;
+    if (tracer_)
+        tracer_->instant(
+            "coin", "exchange_timeout", self_, eq_.now(),
+            {{"xid", static_cast<std::int64_t>(xid)},
+             {"partner",
+              static_cast<std::int64_t>(pending_->partner)}});
     timer_.onExchange(false); // failures back the cadence off too
     if (unresolved_.size() >= maxUnresolved) {
         // Backlog full (the network is effectively down): the oldest
         // loss is handed to the audit watchdog.
         ++abandoned_;
+        if (tracer_)
+            traceExchange(unresolved_.front(), 0, "abandoned");
         unresolved_.erase(unresolved_.begin());
     }
     unresolved_.push_back(*pending_);
@@ -231,10 +258,16 @@ BlitzCoinUnit::pumpRecovery(std::uint64_t xid)
         return; // resolved (or wiped by a crash) in the meantime
     if (it->recoverTries >= cfg_.maxRecoverAttempts) {
         ++abandoned_;
+        if (tracer_)
+            traceExchange(*it, 0, "abandoned");
         unresolved_.erase(it);
         return;
     }
     const int tries = ++it->recoverTries;
+    if (tracer_)
+        tracer_->instant("coin", "recover_probe", self_, eq_.now(),
+                         {{"xid", static_cast<std::int64_t>(xid)},
+                          {"try", tries}});
     noc::Packet probe;
     probe.src = self_;
     probe.dst = it->partner;
@@ -259,6 +292,9 @@ BlitzCoinUnit::handlePacket(const noc::Packet &pkt)
         // Link CRC flagged the flit as damaged; detected corruption is
         // a loss and rides the same recovery path.
         ++corruptedDropped_;
+        if (tracer_)
+            tracer_->instant("coin", "corrupt_dropped", self_,
+                             eq_.now());
         return;
     }
     switch (pkt.type) {
@@ -318,6 +354,13 @@ BlitzCoinUnit::serveStatus(const noc::Packet &pkt)
                 // Replay the recorded update instead of applying the
                 // exchange a second time.
                 ++duplicatesIgnored_;
+                if (tracer_)
+                    tracer_->instant(
+                        "coin", "dup_status_replayed", self_,
+                        eq_.now(),
+                        {{"xid", static_cast<std::int64_t>(xid)},
+                         {"initiator",
+                          static_cast<std::int64_t>(pkt.src)}});
                 sendOneWayUpdate(pkt.src, xid, e.delta, FlagOneWay);
                 return;
             }
@@ -402,6 +445,8 @@ BlitzCoinUnit::applyUpdate(const noc::Packet &pkt)
     const std::uint64_t xid = tagValue(pkt.payload[3]);
     if (pending_ && pending_->xid == xid) {
         // The normal path: the update resolves the in-flight exchange.
+        if (tracer_)
+            traceExchange(*pending_, pkt.payload[0], "ok");
         pending_.reset();
         awaitingUpdate_ = false;
         applyResolvedDelta(pkt.payload[0], pkt.payload[2]);
@@ -418,18 +463,27 @@ BlitzCoinUnit::applyUpdate(const noc::Packet &pkt)
         // replayed recover answer for an already-resolved exchange, or
         // a stamp retired by a crash. Applying it would double-count.
         ++duplicatesIgnored_;
+        if (tracer_)
+            tracer_->instant(
+                "coin", "stale_update_dropped", self_, eq_.now(),
+                {{"xid", static_cast<std::int64_t>(xid)}});
         return;
     }
+    const PendingExchange resolved = *it;
     unresolved_.erase(it);
     if (tagFlag(pkt.payload[3]) == FlagUnknown) {
         // The partner evicted the outcome; its half (if any) stands
         // unmatched until the audit watchdog reconciles.
         ++abandoned_;
+        if (tracer_)
+            traceExchange(resolved, 0, "unknown");
         return;
     }
     // A late or recovered update: the exchange concludes off the
     // critical path, conserving the pair's coins.
     ++recovered_;
+    if (tracer_)
+        traceExchange(resolved, pkt.payload[0], "recovered");
     applyResolvedDelta(pkt.payload[0], pkt.payload[2]);
     if (running_ && !awaitingUpdate_)
         scheduleNext(timer_.intervalFor(discontent() || isolated()));

@@ -45,6 +45,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
+namespace blitz::trace {
+class Tracer;
+}
+
 namespace blitz::blitzcoin {
 
 /** Configuration of one BlitzCoin unit. */
@@ -196,6 +200,17 @@ class BlitzCoinUnit
     /** Lost exchanges still being reconciled in the background. */
     std::size_t recoveriesInFlight() const { return unresolved_.size(); }
 
+    /**
+     * Attach an event tracer (or detach with nullptr). When set, the
+     * unit emits one complete span per resolved 1-way exchange
+     * (initiation to resolution, tagged with partner / delta /
+     * outcome) and instants for timeouts, recovery probes, duplicate
+     * drops, and crash/restart edges. Null by default: the disabled
+     * path is a single branch per protocol milestone, none of them on
+     * the packet hot path.
+     */
+    void setTrace(trace::Tracer *t) { tracer_ = t; }
+
   private:
     /** One 1-way exchange this initiator has not yet resolved. */
     struct PendingExchange
@@ -203,6 +218,7 @@ class BlitzCoinUnit
         std::uint64_t xid = 0;
         noc::NodeId partner = 0;
         int recoverTries = 0;
+        sim::Tick startTick = 0; ///< initiation time, for trace spans
     };
 
     /** (stamp, delta-for-initiator) pair remembered per initiator. */
@@ -256,8 +272,13 @@ class BlitzCoinUnit
     /** Conclude a resolved 1-way exchange (normal or recovered). */
     void applyResolvedDelta(coin::Coins delta, coin::Coins partnerMax);
 
+    /** Emit the exchange span for @p p resolving now as @p outcome. */
+    void traceExchange(const PendingExchange &p, coin::Coins delta,
+                       const char *outcome);
+
     sim::EventQueue &eq_;
     noc::Network &net_;
+    trace::Tracer *tracer_ = nullptr;
     noc::NodeId self_;
     UnitConfig cfg_;
     sim::Rng rng_;

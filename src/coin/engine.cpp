@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "trace/metrics.hpp"
+
 namespace blitz::coin {
 
 const char *
@@ -141,6 +143,18 @@ MeshSim::scheduleTile(std::uint32_t tile, sim::Tick when)
 {
     ++pending_[tile];
     heap_.push(Firing{when, tile, pending_[tile]});
+}
+
+void
+MeshSim::drainSamples(sim::Tick upTo)
+{
+    // State is piecewise constant between firings, so the registers at
+    // each cadence boundary the run crossed are exactly the current
+    // ones; emit each due snapshot at its nominal tick.
+    while (nextSample_ <= upTo) {
+        metrics_->sample(nextSample_);
+        nextSample_ += sampleEvery_;
+    }
 }
 
 Coins
@@ -310,6 +324,8 @@ MeshSim::runUntilConverged(double errThreshold, sim::Tick maxTime)
         heap_.pop();
         if (f.stamp != pending_[f.tile])
             continue; // superseded by an activity-change reschedule
+        if (metrics_)
+            drainSamples(f.when);
         now_ = f.when;
         sim::Tick completion = fire(f.tile);
         if (globalError() < errThreshold) {
@@ -322,6 +338,8 @@ MeshSim::runUntilConverged(double errThreshold, sim::Tick maxTime)
         now_ = std::min(maxTime, now_);
         result.time = now_;
     }
+    if (metrics_)
+        drainSamples(now_);
     result.packets = packets_ - packets0;
     result.exchanges = exchanges_ - exchanges0;
     return result;
@@ -340,10 +358,14 @@ MeshSim::runFor(sim::Tick duration)
         heap_.pop();
         if (f.stamp != pending_[f.tile])
             continue;
+        if (metrics_)
+            drainSamples(f.when);
         now_ = f.when;
         fire(f.tile);
     }
     now_ = deadline;
+    if (metrics_)
+        drainSamples(deadline);
     result.converged = false;
     result.time = now_;
     result.packets = packets_ - packets0;

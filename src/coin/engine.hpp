@@ -26,6 +26,10 @@
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
 
+namespace blitz::trace {
+class Registry;
+}
+
 namespace blitz::coin {
 
 /** Which exchange algorithm the engine runs. */
@@ -168,6 +172,22 @@ class MeshSim
      */
     Coins neighborhoodCoins(std::size_t i) const;
 
+    /**
+     * Attach a metrics registry sampled every @p interval ticks (or
+     * detach with nullptr). The engine calls Registry::sample at each
+     * cadence boundary its run loops cross; sampling reads state and
+     * touches no RNG, so an attached registry leaves trial outcomes
+     * bit-identical. Register the gauges (trace::attachMeshMetrics)
+     * before the first run.
+     */
+    void
+    setSampling(trace::Registry *reg, sim::Tick interval)
+    {
+        metrics_ = reg;
+        sampleEvery_ = interval;
+        nextSample_ = now_ + interval;
+    }
+
   private:
     struct Firing
     {
@@ -198,6 +218,9 @@ class MeshSim
                     const std::vector<noc::NodeId> &members);
 
     void scheduleTile(std::uint32_t tile, sim::Tick when);
+
+    /** Emit every due snapshot with tick <= @p upTo. */
+    void drainSamples(sim::Tick upTo);
 
     Coins capOf(std::size_t i) const;
 
@@ -241,6 +264,9 @@ class MeshSim
     std::priority_queue<Firing, std::vector<Firing>,
                         std::greater<Firing>> heap_;
     sim::Tick now_ = 0;
+    trace::Registry *metrics_ = nullptr;
+    sim::Tick sampleEvery_ = 0;
+    sim::Tick nextSample_ = 0;
     std::uint64_t packets_ = 0;
     std::uint64_t exchanges_ = 0;
     std::uint64_t losses_ = 0;

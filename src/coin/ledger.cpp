@@ -36,6 +36,9 @@ Ledger::transfer(std::size_t from, std::size_t to, Coins amount)
     BLITZ_ASSERT(from != to, "transfer to self");
     tiles_[from].has -= amount;
     tiles_[to].has += amount;
+    ++transfers_;
+    coinsMoved_ += static_cast<std::uint64_t>(
+        amount < 0 ? -amount : amount);
 }
 
 double
@@ -86,6 +89,8 @@ Ledger::clear()
     std::fill(tiles_.begin(), tiles_.end(), TileCoins{});
     totalHas_ = 0;
     totalMax_ = 0;
+    transfers_ = 0;
+    coinsMoved_ = 0;
 }
 
 } // namespace blitz::coin

@@ -61,6 +61,15 @@ class Ledger
     /** Sum of targets. */
     Coins totalMax() const { return totalMax_; }
 
+    /**
+     * Always-on exchange accounting: transfer() invocations and the
+     * absolute coins they moved since construction (or clear()). The
+     * metrics plane samples these through gauges; keeping them here
+     * means every engine that moves coins is covered for free.
+     */
+    std::uint64_t transfers() const { return transfers_; }
+    std::uint64_t coinsMoved() const { return coinsMoved_; }
+
     /** Set a tile's target (activity start/end). */
     void setMax(std::size_t i, Coins max);
 
@@ -102,6 +111,8 @@ class Ledger
     std::vector<TileCoins> tiles_;
     Coins totalHas_ = 0;
     Coins totalMax_ = 0;
+    std::uint64_t transfers_ = 0;
+    std::uint64_t coinsMoved_ = 0;
 };
 
 } // namespace blitz::coin

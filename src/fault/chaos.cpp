@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "coin/neighborhood.hpp"
 #include "sim/logging.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 
 namespace blitz::fault {
 
@@ -43,6 +46,123 @@ ChaosCluster::scheduleAudit()
         audit_.reconcile();
         scheduleAudit();
     }, sim::Priority::Stats);
+}
+
+void
+ChaosCluster::attachMetrics(trace::Registry *reg, sim::Tick interval)
+{
+    metrics_ = reg;
+    sampleEvery_ = interval;
+    if (!reg)
+        return;
+    BLITZ_ASSERT(interval >= 1, "metrics sample interval is empty");
+    reg->sampled("coin.total", [this] {
+        return static_cast<double>(totalCoins());
+    });
+    reg->sampled("coin.error", [this] { return clusterError(); });
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+        char name[32];
+        std::snprintf(name, sizeof name, "coin.has.%zu", i);
+        reg->sampled(name, [this, i] {
+            const auto &u = *units_[i];
+            return u.crashed() ? 0.0 : static_cast<double>(u.has());
+        });
+    }
+    auto sumOf = [this, reg](const char *name, auto get) {
+        reg->sampled(name, [this, get] {
+            std::uint64_t s = 0;
+            for (const auto &u : units_)
+                s += get(*u);
+            return static_cast<double>(s);
+        });
+    };
+    sumOf("coin.exchanges_initiated", [](const auto &u) {
+        return u.exchangesInitiated();
+    });
+    sumOf("coin.exchanges_moved", [](const auto &u) {
+        return u.exchangesMoved();
+    });
+    sumOf("coin.exchanges_timed_out", [](const auto &u) {
+        return u.exchangesTimedOut();
+    });
+    sumOf("coin.recoveries_sent", [](const auto &u) {
+        return u.recoveriesSent();
+    });
+    sumOf("coin.updates_recovered", [](const auto &u) {
+        return u.updatesRecovered();
+    });
+    sumOf("coin.duplicates_ignored", [](const auto &u) {
+        return u.duplicatesIgnored();
+    });
+    sumOf("coin.corrupted_dropped", [](const auto &u) {
+        return u.corruptedDropped();
+    });
+    sumOf("coin.exchanges_abandoned", [](const auto &u) {
+        return u.exchangesAbandoned();
+    });
+    reg->sampled("audit.gaps_closed", [this] {
+        return static_cast<double>(audit_.gapsClosed());
+    });
+    reg->sampled("audit.minted", [this] {
+        return static_cast<double>(audit_.coinsMinted());
+    });
+    reg->sampled("audit.burned", [this] {
+        return static_cast<double>(audit_.coinsBurned());
+    });
+    reg->sampled("noc.packets_sent", [this] {
+        return static_cast<double>(net_.packetsSent());
+    });
+    reg->sampled("noc.packets_delivered", [this] {
+        return static_cast<double>(net_.packetsDelivered());
+    });
+    reg->sampled("noc.packets_dropped", [this] {
+        return static_cast<double>(net_.packetsDropped());
+    });
+    reg->sampled("noc.total_hops", [this] {
+        return static_cast<double>(net_.totalHops());
+    });
+    reg->sampled("fault.drops", [this] {
+        return static_cast<double>(plane_.stats().drops);
+    });
+    reg->sampled("fault.delays", [this] {
+        return static_cast<double>(plane_.stats().delays);
+    });
+    reg->sampled("fault.duplicates", [this] {
+        return static_cast<double>(plane_.stats().duplicates);
+    });
+    reg->sampled("fault.corruptions", [this] {
+        return static_cast<double>(plane_.stats().corruptions);
+    });
+    reg->sampled("fault.outage_drops", [this] {
+        return static_cast<double>(plane_.stats().outageDrops);
+    });
+    reg->sampled("fault.partition_drops", [this] {
+        return static_cast<double>(plane_.stats().partitionDrops);
+    });
+    reg->sampled("sim.events_scheduled", [this] {
+        return static_cast<double>(eq_.totalScheduled());
+    });
+    reg->sampled("sim.events_executed", [this] {
+        return static_cast<double>(eq_.totalExecuted());
+    });
+    scheduleSample();
+}
+
+void
+ChaosCluster::scheduleSample()
+{
+    eq_.scheduleIn(sampleEvery_, [this] {
+        metrics_->sample(eq_.now());
+        scheduleSample();
+    }, sim::Priority::Stats);
+}
+
+void
+ChaosCluster::attachTrace(trace::Tracer *t)
+{
+    plane_.setTrace(t);
+    for (auto &u : units_)
+        u->setTrace(t);
 }
 
 void

@@ -23,6 +23,11 @@
 #include "noc/network.hpp"
 #include "sim/event_queue.hpp"
 
+namespace blitz::trace {
+class Registry;
+class Tracer;
+}
+
 namespace blitz::fault {
 
 /** ChaosCluster construction parameters. */
@@ -114,6 +119,24 @@ class ChaosCluster
                                                sim::Tick checkEvery,
                                                sim::Tick deadline);
 
+    /**
+     * Register the cluster's observables on @p reg (cluster coin
+     * total, cluster error, per-unit balances, summed exchange
+     * counters, audit/NoC/fault-plane/event-kernel counters) and
+     * schedule a self-repeating Priority::Stats sampler every
+     * @p interval ticks. Call once, before running; pass nullptr to
+     * leave the cluster unobserved (the default — no sampler events
+     * are scheduled, so golden digests are untouched).
+     */
+    void attachMetrics(trace::Registry *reg, sim::Tick interval);
+
+    /**
+     * Wire an event tracer into the fault plane and every unit (spans
+     * for exchanges, instants for injections/crash/recovery). Nullptr
+     * detaches.
+     */
+    void attachTrace(trace::Tracer *t);
+
     /** One audit watchdog sweep (mint/burn any gap). */
     blitzcoin::AuditReport reconcile() { return audit_.reconcile(); }
 
@@ -130,6 +153,7 @@ class ChaosCluster
     void onCrash(noc::NodeId node);
     void onRestart(noc::NodeId node);
     void scheduleAudit();
+    void scheduleSample();
 
     ChaosConfig cfg_;
     sim::EventQueue eq_;
@@ -140,6 +164,8 @@ class ChaosCluster
     blitzcoin::ClusterAudit audit_;
     /** Max target at crash time, restored on restart. */
     std::vector<coin::Coins> maxAtCrash_;
+    trace::Registry *metrics_ = nullptr;
+    sim::Tick sampleEvery_ = 0;
 };
 
 } // namespace blitz::fault

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/tracer.hpp"
+
 namespace blitz::fault {
 
 FaultPlane::FaultPlane(FaultConfig cfg)
@@ -30,6 +32,27 @@ FaultPlane::FaultPlane(FaultConfig cfg)
         checkRates(r);
     for (const auto &[link, r] : cfg_.links)
         checkRates(r);
+}
+
+void
+FaultPlane::setTrace(trace::Tracer *t)
+{
+    tracer_ = t;
+    if (!tracer_)
+        return;
+    // The schedule is static configuration: emit the windows as spans
+    // up front so the timeline shows them even if the run ends early.
+    for (const auto &o : cfg_.outages) {
+        tracer_->complete(
+            "fault", o.freeze ? "freeze_window" : "crash_window",
+            o.node, o.from,
+            o.until == sim::maxTick ? o.from : o.until);
+    }
+    for (const auto &p : cfg_.partitions) {
+        tracer_->complete(
+            "fault", "partition_window", 0, p.from, p.until,
+            {{"links", static_cast<std::int64_t>(p.links.size())}});
+    }
 }
 
 bool
@@ -110,7 +133,7 @@ FaultPlane::ratesFor(const noc::Packet &pkt, noc::NodeId from,
 
 noc::FaultDecision
 FaultPlane::applyRates(noc::Packet &pkt, const FaultRates &r,
-                       bool deliveryStage)
+                       bool deliveryStage, sim::Tick now)
 {
     noc::FaultDecision fd;
     if (r.quiet() || (cfg_.coinTrafficOnly && !coinMessage(pkt)))
@@ -118,18 +141,28 @@ FaultPlane::applyRates(noc::Packet &pkt, const FaultRates &r,
     if (r.drop > 0.0 && rng_.chance(r.drop)) {
         ++stats_.drops;
         fd.drop = true;
+        if (tracer_)
+            tracer_->instant("fault", "inject_drop", pkt.dst, now,
+                             {{"src",
+                               static_cast<std::int64_t>(pkt.src)}});
         return fd;
     }
     if (r.delay > 0.0 && rng_.chance(r.delay)) {
         ++stats_.delays;
         fd.delay = rng_.range(static_cast<std::int64_t>(r.delayMin),
                               static_cast<std::int64_t>(r.delayMax));
+        if (tracer_)
+            tracer_->instant(
+                "fault", "inject_delay", pkt.dst, now,
+                {{"ticks", static_cast<std::int64_t>(fd.delay)}});
     }
     // Duplication is a delivery-stage artifact (endpoint retransmit);
     // duplicating mid-route would multiply copies at every hop.
     if (deliveryStage && r.duplicate > 0.0 && rng_.chance(r.duplicate)) {
         ++stats_.duplicates;
         fd.duplicate = true;
+        if (tracer_)
+            tracer_->instant("fault", "inject_duplicate", pkt.dst, now);
     }
     if (r.corrupt > 0.0 && rng_.chance(r.corrupt)) {
         ++stats_.corruptions;
@@ -137,6 +170,8 @@ FaultPlane::applyRates(noc::Packet &pkt, const FaultRates &r,
         const auto bit = static_cast<int>(rng_.below(63));
         pkt.payload[word] ^= std::int64_t{1} << bit;
         pkt.corrupted = true; // the link CRC catches the damage
+        if (tracer_)
+            tracer_->instant("fault", "inject_corrupt", pkt.dst, now);
     }
     return fd;
 }
@@ -155,7 +190,7 @@ FaultPlane::onLink(noc::Packet &pkt, noc::NodeId from, noc::NodeId to,
     }
     if (cfg_.endpointOnly)
         return {};
-    return applyRates(pkt, ratesFor(pkt, from, to), false);
+    return applyRates(pkt, ratesFor(pkt, from, to), false, now);
 }
 
 bool
@@ -192,7 +227,7 @@ FaultPlane::onDeliver(noc::Packet &pkt, noc::NodeId at, sim::Tick now)
         ++stats_.outageDrops;
         return {.drop = true};
     }
-    return applyRates(pkt, ratesFor(pkt, at, at), true);
+    return applyRates(pkt, ratesFor(pkt, at, at), true, now);
 }
 
 PartitionWindow

@@ -30,6 +30,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
+namespace blitz::trace {
+class Tracer;
+}
+
 namespace blitz::fault {
 
 /** Fault rates applied at one scope (global, plane, node, or link). */
@@ -155,6 +159,15 @@ class FaultPlane : public noc::FaultHook
     bool nodeDown(noc::NodeId node, sim::Tick now) const;
 
     /**
+     * Attach an event tracer (or detach with nullptr). Scheduled
+     * outage and partition windows are emitted immediately as complete
+     * spans (they are known up front); rate-based injections emit one
+     * instant each as they fire. Null by default — the disabled path
+     * adds one branch per *injected* fault, never per packet.
+     */
+    void setTrace(trace::Tracer *t);
+
+    /**
      * Schedule the outage transitions on @p eq, invoking onNodeDown /
      * onNodeUp (when set) at each non-freeze window edge so the
      * harness can crash and restart the affected unit. Freeze windows
@@ -183,7 +196,7 @@ class FaultPlane : public noc::FaultHook
 
     /** Rate-based faults shared by both stages. */
     noc::FaultDecision applyRates(noc::Packet &pkt, const FaultRates &r,
-                                  bool deliveryStage);
+                                  bool deliveryStage, sim::Tick now);
 
     bool coinMessage(const noc::Packet &pkt) const;
     bool linkCut(noc::NodeId a, noc::NodeId b, sim::Tick now) const;
@@ -191,6 +204,7 @@ class FaultPlane : public noc::FaultHook
     FaultConfig cfg_;
     sim::Rng rng_;
     FaultStats stats_;
+    trace::Tracer *tracer_ = nullptr;
 };
 
 /**

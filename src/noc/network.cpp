@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "trace/noc_trace.hpp"
+
 namespace blitz::noc {
 
 namespace {
@@ -129,6 +131,9 @@ Network::finishDelivery(PacketEvent *pe)
     ++packetsDelivered_;
     latency_.add(
         static_cast<double>(eq_.now() - pe->pkt.injectTick));
+    if (trace_)
+        trace_->onDeliver(pe->at, static_cast<int>(pe->pkt.type),
+                          pe->pkt.injectTick, eq_.now());
     // Pin the handler installed *now*: a handler replacing itself (or
     // being replaced reentrantly) must not destroy the one executing.
     std::shared_ptr<const Handler> h = handlers_[pe->at];
@@ -162,10 +167,13 @@ Network::tryFlatten(PacketEvent *pe, sim::Tick now)
     // so the insertion sequence — and every same-tick tie — matches
     // per-hop stepping bit for bit.
     const Dir d = topo_.nextHopDir(pe->at, pkt.dst);
-    auto &free = linkFree_[linkIndex(pe->at, d, pkt.plane)];
+    const std::size_t link = linkIndex(pe->at, d, pkt.plane);
+    auto &free = linkFree_[link];
     sim::Tick depart = std::max(now, free);
     free = depart + hopLatency_;
     ++totalHops_;
+    if (trace_)
+        trace_->onHop(link, depart);
     pe->at = pkt.dst;
     eq_.schedule(depart + hopLatency_, Step{this, pe},
                  sim::Priority::NocTransfer);
@@ -183,10 +191,13 @@ Network::hopNode(PacketEvent *pe)
         FaultDecision fd;
         if (fault_)
             fd = fault_->onDeliver(pkt, at, now);
-        if (fd.drop)
+        if (fd.drop) {
             ++packetsDropped_;
-        else
+            if (trace_)
+                trace_->onDrop(at, static_cast<int>(pkt.type), now);
+        } else {
             deliverCopies(pkt, at, fd);
+        }
         releaseEvent(pe);
         return;
     }
@@ -201,14 +212,19 @@ Network::hopNode(PacketEvent *pe)
     FaultDecision fd;
     if (fault_)
         fd = fault_->onLink(pkt, at, next, now);
-    auto &free = linkFree_[linkIndex(at, d, pkt.plane)];
+    const std::size_t link = linkIndex(at, d, pkt.plane);
+    auto &free = linkFree_[link];
     sim::Tick depart = std::max(now, free);
     free = depart + hopLatency_;
     ++totalHops_;
+    if (trace_)
+        trace_->onHop(link, depart);
     if (fd.drop) {
         // The flit crossed the link (the slot is consumed) but never
         // arrives at the next router.
         ++packetsDropped_;
+        if (trace_)
+            trace_->onDrop(at, static_cast<int>(pkt.type), now);
         releaseEvent(pe);
         return;
     }

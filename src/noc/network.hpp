@@ -34,6 +34,10 @@
 #include "sim/stats.hpp"
 #include "topology.hpp"
 
+namespace blitz::trace {
+class NocTrace;
+}
+
 namespace blitz::noc {
 
 /**
@@ -80,6 +84,22 @@ class Network
      * it must outlive the network or be cleared first.
      */
     void setFaultHook(FaultHook *hook) { fault_ = hook; }
+
+    /**
+     * Install (or clear, with nullptr) the observability probe. Null
+     * by default; the disabled path costs one branch per hook site,
+     * the same fast-path shape as a cleared fault hook. The probe is
+     * passive — it never schedules events or consults RNG — so
+     * attaching it leaves packet timing and ordering untouched.
+     */
+    void setTrace(trace::NocTrace *probe) { trace_ = probe; }
+
+    /** Number of (node, dir, plane) link slots, for probe sizing. */
+    std::size_t
+    linkCount() const
+    {
+        return linkFree_.size();
+    }
 
     /**
      * Inject a packet at the current tick.
@@ -184,6 +204,7 @@ class Network
      */
     std::vector<std::shared_ptr<const Handler>> handlers_;
     FaultHook *fault_ = nullptr;
+    trace::NocTrace *trace_ = nullptr;
     /** Earliest tick each output link is free, per (node, dir, plane). */
     std::vector<sim::Tick> linkFree_;
     /** Earliest tick each ejection port is free, per (node, plane). */

@@ -140,6 +140,7 @@ EventQueue::runOne(Tick limit)
             std::uint32_t slot;
             ~SlotGuard() { eq->releaseSlot(slot); }
         } guard{this, slot};
+        ++executedTotal_;
         n->invoke(n->buf);
         return true;
     }

@@ -102,6 +102,7 @@ class EventQueue
         emplaceCallback(n, std::forward<Fn>(fn));
         heapPush({when, packOrd(prio, nextSeq_++), slot});
         ++pending_;
+        ++scheduledTotal_;
         return (static_cast<EventId>(n.gen) << 32) | slot;
     }
 
@@ -148,6 +149,14 @@ class EventQueue
 
     /** True when no runnable events remain. */
     bool empty() const { return heap_.empty(); }
+
+    /**
+     * Cumulative events scheduled / executed since construction —
+     * always-on observability counters (a plain increment on paths
+     * that already write the slab, so they cost nothing measurable).
+     */
+    std::uint64_t totalScheduled() const { return scheduledTotal_; }
+    std::uint64_t totalExecuted() const { return executedTotal_; }
 
     /**
      * Run events until the queue drains or @p limit is passed.
@@ -299,6 +308,8 @@ class EventQueue
     std::uint64_t nextSeq_ = 1;
     std::size_t pending_ = 0;
     std::size_t cancelledTokens_ = 0;
+    std::uint64_t scheduledTotal_ = 0;
+    std::uint64_t executedTotal_ = 0;
 };
 
 } // namespace blitz::sim

@@ -1,6 +1,8 @@
 #include "pm.hpp"
 
 #include "pm_impl.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 
 namespace blitz::soc {
 
@@ -73,7 +75,25 @@ PowerManager::noteSettled()
     if (!pendingChange_)
         return;
     response_.add(static_cast<double>(ctx_.eq.now() - *pendingChange_));
+    if (tracer_) {
+        tracer_->complete(
+            "pm", "settle", 0, *pendingChange_, ctx_.eq.now(),
+            {{"response_ticks", static_cast<std::int64_t>(
+                                    ctx_.eq.now() - *pendingChange_)}});
+    }
     pendingChange_.reset();
+}
+
+void
+PowerManager::registerMetrics(trace::Registry &reg)
+{
+    reg.sampled("pm.responses", [this] {
+        return static_cast<double>(response_.count());
+    });
+    reg.sampled("pm.response_mean_ticks",
+                [this] { return response_.mean(); });
+    reg.sampled("pm.response_max_ticks",
+                [this] { return response_.max(); });
 }
 
 bool

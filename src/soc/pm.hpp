@@ -33,6 +33,11 @@
 #include "sim/stats.hpp"
 #include "tile.hpp"
 
+namespace blitz::trace {
+class Registry;
+class Tracer;
+}
+
 namespace blitz::soc {
 
 /** Strategy selector. */
@@ -139,6 +144,23 @@ class PowerManager
         (void)pkt;
     }
 
+    /**
+     * Attach an event tracer (nullptr detaches): every settled
+     * reallocation emits a "pm"/"settle" complete span from the
+     * activity change to the settle tick. Strategies may add their own
+     * events. Disabled costs one branch per settle, not per tick.
+     */
+    virtual void setTrace(trace::Tracer *t) { tracer_ = t; }
+
+    /**
+     * Register the manager's observables on @p reg as sampled gauges
+     * (response count/mean/max; strategies add scheme-specific ones,
+     * e.g. BC's cluster error and per-unit balances). The registry
+     * samples on its own cadence; registration itself schedules
+     * nothing.
+     */
+    virtual void registerMetrics(trace::Registry &reg);
+
     /** Distribution of measured response times (ticks). */
     const sim::Summary &responseTimes() const { return response_; }
 
@@ -190,6 +212,7 @@ class PowerManager
     coin::CoinScale scale_;
     std::vector<coin::Coins> maxCoins_; ///< by node id
     std::vector<bool> active_;          ///< by node id
+    trace::Tracer *tracer_ = nullptr;
 
   private:
     std::optional<sim::Tick> pendingChange_;

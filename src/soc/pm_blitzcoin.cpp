@@ -1,9 +1,12 @@
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <memory>
 
 #include "pm_impl.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 
 namespace blitz::soc {
 
@@ -38,6 +41,44 @@ BlitzCoinPm::BlitzCoinPm(const PmContext &ctx, const PmConfig &cfg)
     }
     for (auto &[id, pt] : units_)
         audit_.track(*pt.unit);
+}
+
+void
+BlitzCoinPm::setTrace(trace::Tracer *t)
+{
+    PowerManager::setTrace(t);
+    for (auto &[id, pt] : units_)
+        pt.unit->setTrace(t);
+}
+
+void
+BlitzCoinPm::registerMetrics(trace::Registry &reg)
+{
+    PowerManager::registerMetrics(reg);
+    reg.sampled("pm.cluster_error", [this] { return clusterError(); });
+    reg.sampled("pm.cluster_coins", [this] {
+        return static_cast<double>(clusterCoins());
+    });
+    for (auto &[id, pt] : units_) {
+        char name[32];
+        std::snprintf(name, sizeof name, "pm.coin.has.%d",
+                      static_cast<int>(id));
+        blitzcoin::BlitzCoinUnit *unit = pt.unit.get();
+        reg.sampled(name, [unit] {
+            return unit->crashed()
+                       ? 0.0
+                       : static_cast<double>(unit->has());
+        });
+    }
+    reg.sampled("audit.gaps_closed", [this] {
+        return static_cast<double>(audit_.gapsClosed());
+    });
+    reg.sampled("audit.minted", [this] {
+        return static_cast<double>(audit_.coinsMinted());
+    });
+    reg.sampled("audit.burned", [this] {
+        return static_cast<double>(audit_.coinsBurned());
+    });
 }
 
 blitzcoin::BlitzCoinUnit &

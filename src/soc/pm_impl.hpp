@@ -53,6 +53,12 @@ class BlitzCoinPm : public PowerManager
     /** Sum of coins over the cluster (conservation probe). */
     coin::Coins clusterCoins() const;
 
+    /** Also wires the tracer into every unit. */
+    void setTrace(trace::Tracer *t) override;
+
+    /** Adds cluster error/total, per-unit balances, audit counters. */
+    void registerMetrics(trace::Registry &reg) override;
+
   protected:
     bool settleCondition() override;
 

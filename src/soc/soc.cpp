@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/logging.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 
 namespace blitz::soc {
 
@@ -50,6 +52,46 @@ Soc::installFaultPlane(fault::FaultPlane &plane)
     plane.onNodeFrozen = [this](noc::NodeId n) { pm_->onNodeFrozen(n); };
     plane.onNodeThawed = [this](noc::NodeId n) { pm_->onNodeThawed(n); };
     plane.armOutageSchedule(eq_);
+    if (tracer_)
+        plane.setTrace(tracer_);
+}
+
+void
+Soc::attachMetrics(trace::Registry *reg, sim::Tick interval)
+{
+    metrics_ = reg;
+    metricsEvery_ = interval;
+    if (!reg)
+        return;
+    pm_->registerMetrics(*reg);
+    reg->sampled("soc.power_mw", [this] { return totalAccelPowerMw(); });
+    reg->sampled("noc.packets_sent", [this] {
+        return static_cast<double>(net_->packetsSent());
+    });
+    reg->sampled("noc.packets_delivered", [this] {
+        return static_cast<double>(net_->packetsDelivered());
+    });
+    reg->sampled("noc.packets_dropped", [this] {
+        return static_cast<double>(net_->packetsDropped());
+    });
+    reg->sampled("noc.total_hops", [this] {
+        return static_cast<double>(net_->totalHops());
+    });
+    reg->sampled("sim.events_scheduled", [this] {
+        return static_cast<double>(eq_.totalScheduled());
+    });
+    reg->sampled("sim.events_executed", [this] {
+        return static_cast<double>(eq_.totalExecuted());
+    });
+}
+
+void
+Soc::attachTrace(trace::Tracer *t)
+{
+    tracer_ = t;
+    pm_->setTrace(t);
+    if (fault_)
+        fault_->setTrace(t);
 }
 
 Soc::~Soc() = default;
@@ -175,6 +217,26 @@ Soc::run(const workload::Dag &dag, const SocRunOptions &opts)
             eq_.scheduleIn(opts.sampleInterval, *s, sim::Priority::Stats);
     };
     eq_.schedule(0, *sampler, sim::Priority::Stats);
+
+    // Metrics sampling rides the same retire flag as the power sampler
+    // so a second run (or destruction) cannot fire a stale closure.
+    // The strong reference must live in run()'s scope — the chain only
+    // holds weak references to itself, so a block-local owner would die
+    // before the loop starts and the tick-0 fire could not reschedule.
+    auto msampler = std::make_shared<std::function<void()>>();
+    if (metrics_) {
+        const sim::Tick every =
+            metricsEvery_ > 0 ? metricsEvery_ : opts.sampleInterval;
+        std::weak_ptr<std::function<void()>> weakM = msampler;
+        *msampler = [this, weakM, sampling, every] {
+            if (!*sampling)
+                return;
+            metrics_->sample(eq_.now());
+            if (auto s = weakM.lock())
+                eq_.scheduleIn(every, *s, sim::Priority::Stats);
+        };
+        eq_.schedule(0, *msampler, sim::Priority::Stats);
+    }
 
     pm_->start();
     eq_.scheduleIn(opts.dispatchLatency, [this] { dispatchReady(); },

@@ -27,6 +27,11 @@
 #include "workload/dag.hpp"
 #include "workload/trace.hpp"
 
+namespace blitz::trace {
+class Registry;
+class Tracer;
+}
+
 namespace blitz::soc {
 
 /** Result of one workload run. */
@@ -109,6 +114,24 @@ class Soc
      */
     void installFaultPlane(fault::FaultPlane &plane);
 
+    /**
+     * Register the instance's observables on @p reg (the PM's gauges —
+     * for BC that includes per-unit coin balances — plus reconstructed
+     * accelerator power, NoC packet counters, and event-kernel
+     * counters) and sample them every @p interval ticks during run()
+     * (0 = the run's power sampleInterval). Call before run(); nullptr
+     * (the default) schedules nothing, so golden digests are
+     * untouched.
+     */
+    void attachMetrics(trace::Registry *reg, sim::Tick interval = 0);
+
+    /**
+     * Wire an event tracer into the power manager (and, for BC, every
+     * coin unit) and into any fault plane installed before or after
+     * this call. Nullptr detaches.
+     */
+    void attachTrace(trace::Tracer *t);
+
     /** Execute a workload to completion (or the horizon). */
     SocRunStats run(const workload::Dag &dag,
                     const SocRunOptions &opts = SocRunOptions{});
@@ -127,6 +150,9 @@ class Soc
     std::vector<AcceleratorTile *> tilesByNode_;
     std::unique_ptr<PowerManager> pm_;
     fault::FaultPlane *fault_ = nullptr; ///< not owned; may be null
+    trace::Registry *metrics_ = nullptr; ///< not owned; may be null
+    sim::Tick metricsEvery_ = 0;
+    trace::Tracer *tracer_ = nullptr;    ///< not owned; may be null
 
     // Per-run scheduler state.
     workload::ActivityTrace *activityTrace_ = nullptr;

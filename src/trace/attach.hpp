@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Convenience wiring between the observability plane and the coin
+ * engines. Packet-accurate harnesses (ChaosCluster, Soc) own their
+ * attach methods; the behavioral MeshSim keeps its registry-facing
+ * surface here. Header-only on purpose: blitz_trace must stay below
+ * blitz_coin in the link order (coin engines carry trace hooks), so
+ * this helper lives with its callers, which link both.
+ */
+
+#ifndef BLITZ_TRACE_ATTACH_HPP
+#define BLITZ_TRACE_ATTACH_HPP
+
+#include <cstdio>
+
+#include "coin/engine.hpp"
+#include "metrics.hpp"
+#include "sim/types.hpp"
+
+namespace blitz::trace {
+
+/**
+ * Register the behavioral engine's observables on @p reg — per-tile
+ * balances ("coin.has.N"), cluster totals, global/max error, packet
+ * and exchange counters — and arm MeshSim::setSampling at @p interval
+ * ticks. The gauges read ledger state through callbacks at sample
+ * time, so the engine's hot loop is untouched and trial outcomes stay
+ * bit-identical with sampling on or off. Call once per (engine,
+ * registry) pair, before the first run.
+ */
+inline void
+attachMeshMetrics(coin::MeshSim &sim, Registry &reg, sim::Tick interval)
+{
+    const coin::Ledger &ledger = sim.ledger();
+    reg.sampled("coin.total", [&ledger] {
+        return static_cast<double>(ledger.totalHas());
+    });
+    reg.sampled("coin.total_max", [&ledger] {
+        return static_cast<double>(ledger.totalMax());
+    });
+    reg.sampled("coin.error", [&ledger] { return ledger.globalError(); });
+    reg.sampled("coin.max_error", [&ledger] { return ledger.maxError(); });
+    reg.sampled("coin.transfers", [&ledger] {
+        return static_cast<double>(ledger.transfers());
+    });
+    reg.sampled("coin.moved", [&ledger] {
+        return static_cast<double>(ledger.coinsMoved());
+    });
+    for (std::size_t i = 0; i < ledger.size(); ++i) {
+        char name[32];
+        std::snprintf(name, sizeof name, "coin.has.%zu", i);
+        reg.sampled(name, [&ledger, i] {
+            return static_cast<double>(ledger.has(i));
+        });
+    }
+    reg.sampled("engine.packets", [&sim] {
+        return static_cast<double>(sim.totalPackets());
+    });
+    reg.sampled("engine.exchanges", [&sim] {
+        return static_cast<double>(sim.totalExchanges());
+    });
+    reg.sampled("engine.losses", [&sim] {
+        return static_cast<double>(sim.totalLosses());
+    });
+    sim.setSampling(&reg, interval);
+}
+
+} // namespace blitz::trace
+
+#endif // BLITZ_TRACE_ATTACH_HPP

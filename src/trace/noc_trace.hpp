@@ -1,0 +1,104 @@
+/**
+ * @file
+ * NoC instrumentation probe.
+ *
+ * noc::Network holds a `NocTrace *` (null by default — the disabled
+ * path is the same one-branch cost as a cleared fault hook) and calls
+ * onHop / onDeliver / onDrop from the hot paths. The probe accumulates
+ * per-link crossing counts in a flat array (no registry column per
+ * link — a 6x6 mesh has 864 of them) plus aggregate registry metrics:
+ * hop/delivery/drop counters and an end-to-end latency histogram.
+ *
+ * Per-link utilization over an observation window is
+ *   crossings * hopLatency / elapsedTicks
+ * computed on demand; writeLinkCsv() exports the full per-link table.
+ *
+ * This header deliberately depends only on sim + trace types (link
+ * indices and node ids arrive as plain integers), so trace never needs
+ * to link against noc.
+ */
+
+#ifndef BLITZ_TRACE_NOC_TRACE_HPP
+#define BLITZ_TRACE_NOC_TRACE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "metrics.hpp"
+#include "sim/types.hpp"
+
+namespace blitz::trace {
+
+/** Hot-path NoC probe; see file comment. */
+class NocTrace
+{
+  public:
+    /**
+     * @param reg registry receiving the aggregate metrics.
+     * @param linkCount number of (node, dir, plane) link slots.
+     * @param hopLatency cycles one crossing occupies a link.
+     * @param latencyHi upper edge of the end-to-end latency histogram.
+     */
+    NocTrace(Registry &reg, std::size_t linkCount, sim::Tick hopLatency,
+             double latencyHi = 1024.0);
+
+    /** A flit crossed link @p link departing at @p depart. */
+    void
+    onHop(std::size_t link, sim::Tick depart)
+    {
+        (void)depart;
+        ++linkHops_[link];
+        hops_.add();
+    }
+
+    /** A packet reached its endpoint handler. */
+    void
+    onDeliver(std::uint32_t at, int msgType, sim::Tick inject,
+              sim::Tick now)
+    {
+        (void)at;
+        (void)msgType;
+        delivered_.add();
+        latency_->add(static_cast<double>(now - inject));
+    }
+
+    /** A packet was discarded (fault hook verdict). */
+    void
+    onDrop(std::uint32_t at, int msgType, sim::Tick now)
+    {
+        (void)at;
+        (void)msgType;
+        (void)now;
+        dropped_.add();
+    }
+
+    const std::vector<std::uint64_t> &linkHops() const
+    {
+        return linkHops_;
+    }
+
+    /** Busy fraction of @p link over the first @p elapsed ticks. */
+    double linkUtilization(std::size_t link, sim::Tick elapsed) const;
+
+    /** Highest per-link busy fraction over @p elapsed ticks. */
+    double maxLinkUtilization(sim::Tick elapsed) const;
+
+    /** Mean busy fraction across all links over @p elapsed ticks. */
+    double meanLinkUtilization(sim::Tick elapsed) const;
+
+    /** "link,hops,utilization" rows for every link slot. */
+    void writeLinkCsv(std::ostream &os, sim::Tick elapsed) const;
+
+  private:
+    std::vector<std::uint64_t> linkHops_;
+    sim::Tick hopLatency_;
+    Counter hops_;
+    Counter delivered_;
+    Counter dropped_;
+    sim::Histogram *latency_; ///< owned by the registry
+};
+
+} // namespace blitz::trace
+
+#endif // BLITZ_TRACE_NOC_TRACE_HPP

@@ -12,13 +12,22 @@
  * semantics rather than just speed.
  *
  * If a future PR changes *intended* behavior (protocol, routing,
- * fault model), re-record the constants in the same commit and say so
+ * fault model), re-record the constants with `--regen` (rewrites
+ * golden_digests.inc in the source tree) in the same commit and say so
  * in its description; an unexplained digest change is a determinism
  * regression.
+ *
+ * The observability plane is compiled into every library here but
+ * disabled by default (null hook pointers, no sampler events), so the
+ * recorded constants double as the "tracing off is free of side
+ * effects" pin; the Observed* tests additionally assert that turning
+ * tracing and metrics ON leaves the digests bit-identical — observers
+ * read state and touch no RNG, so they must never perturb a run.
  */
 
 #include <array>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <optional>
 #include <vector>
@@ -29,6 +38,10 @@
 #include "coin/engine.hpp"
 #include "fault/chaos.hpp"
 #include "sweep/sweep.hpp"
+#include "trace/attach.hpp"
+#include "trace/metrics.hpp"
+#include "trace/noc_trace.hpp"
+#include "trace/tracer.hpp"
 
 namespace {
 
@@ -67,10 +80,13 @@ class Digest
 // Mirrors bench_fig01_scalability.cpp's measureDecentralized() grid.
 
 double
-convergeUs(int d, std::uint64_t seed)
+convergeUs(int d, std::uint64_t seed, bool observed = false)
 {
     coin::EngineConfig cfg; // paper defaults
+    trace::Registry reg;
     coin::MeshSim sim(noc::Topology::square(d), cfg, seed);
+    if (observed)
+        trace::attachMeshMetrics(sim, reg, /*interval=*/2048);
     coin::Coins demand = 0;
     for (std::size_t i = 0; i < sim.ledger().size(); ++i) {
         coin::Coins m = 8 << (i % 3);
@@ -131,7 +147,8 @@ constexpr sim::Tick deadline = 400'000;
 constexpr double convergedTol = 2.5;
 
 std::uint64_t
-chaosTrialDigest(const GoldenScenario &sc, std::uint64_t seed)
+chaosTrialDigest(const GoldenScenario &sc, std::uint64_t seed,
+                 bool observed = false)
 {
     fault::ChaosConfig cc;
     cc.width = sc.d;
@@ -162,6 +179,17 @@ chaosTrialDigest(const GoldenScenario &sc, std::uint64_t seed)
     }
 
     fault::ChaosCluster cluster(cc);
+    // Observers attach before any event runs; they read state only, so
+    // the digest below must not move.
+    trace::Tracer tracer;
+    trace::Registry reg;
+    trace::NocTrace nocProbe(reg, cluster.net().linkCount(),
+                             /*hopLatency=*/1);
+    if (observed) {
+        cluster.attachTrace(&tracer);
+        cluster.attachMetrics(&reg, /*interval=*/1024);
+        cluster.net().setTrace(&nocProbe);
+    }
     coin::Coins demand = 0;
     for (std::size_t i = 0; i < n; ++i) {
         coin::Coins m = bench::typeLevel(static_cast<int>(i) % 4);
@@ -239,8 +267,7 @@ chaosDigest(std::size_t threads)
 }
 
 // Recorded against the reference kernel; see the file comment.
-constexpr std::uint64_t kGoldenFig01 = 3208374858079824399ull;
-constexpr std::uint64_t kGoldenChaos = 9764897818433649039ull;
+#include "golden_digests.inc"
 
 TEST(GoldenTrace, Fig01GridMatchesRecordedDigest)
 {
@@ -256,4 +283,71 @@ TEST(GoldenTrace, ChaosTrialsMatchRecordedDigest)
             << "threads=" << threads;
 }
 
+TEST(GoldenTrace, SampledFig01TrialMatchesUnsampledResult)
+{
+    // Metrics sampling reads ledger state at cadence boundaries inside
+    // the engine's run loop; the trial outcome must be bit-identical.
+    EXPECT_EQ(convergeUs(6, 42, /*observed=*/true),
+              convergeUs(6, 42, /*observed=*/false));
+}
+
+TEST(GoldenTrace, ObservedChaosTrialsMatchUnobservedDigests)
+{
+    // Full observability on (tracer spans, NoC probe, periodic metric
+    // sampler events): sampler events interleave at Priority::Stats
+    // but never reorder existing event pairs and touch no RNG, so each
+    // trial digest is unchanged.
+    std::uint64_t scenarioIdx = 0;
+    for (const GoldenScenario &sc : kScenarios) {
+        const std::uint64_t seed = sweep::streamSeed(2026, scenarioIdx++);
+        EXPECT_EQ(chaosTrialDigest(sc, seed, /*observed=*/true),
+                  chaosTrialDigest(sc, seed, /*observed=*/false))
+            << "scenario " << scenarioIdx - 1;
+    }
+}
+
+/** Recompute both digests and rewrite golden_digests.inc in place. */
+int
+regenDigests()
+{
+    const std::uint64_t fig01 = fig01Digest(1);
+    const std::uint64_t chaos = chaosDigest(1);
+    const char *path = BLITZ_GOLDEN_DIGESTS_PATH;
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path);
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "// Pinned golden digests. Regenerate with `golden_trace_test "
+        "--regen`\n"
+        "// (rewrites this file in the source tree); commit the change "
+        "together\n"
+        "// with the intended-behavior change that moved them.\n"
+        "constexpr std::uint64_t kGoldenFig01 = %lluull;\n"
+        "constexpr std::uint64_t kGoldenChaos = %lluull;\n",
+        static_cast<unsigned long long>(fig01),
+        static_cast<unsigned long long>(chaos));
+    std::fclose(f);
+    std::printf("fig01: %llu (was %llu)\nchaos: %llu (was %llu)\n"
+                "wrote %s\n",
+                static_cast<unsigned long long>(fig01),
+                static_cast<unsigned long long>(kGoldenFig01),
+                static_cast<unsigned long long>(chaos),
+                static_cast<unsigned long long>(kGoldenChaos), path);
+    return 0;
+}
+
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--regen") == 0)
+            return regenDigests();
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -10,11 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "lossy_cluster.hpp"
 #include "soc/pm_impl.hpp"
 #include "soc/scenarios.hpp"
 #include "soc/soc.hpp"
+#include "trace/metrics.hpp"
 
 namespace {
 
@@ -219,6 +221,158 @@ TEST(Recovery, SocSurvivesAcceleratorCrashMidWorkload)
     eq.runUntil(eq.now() + 100000);
     bc.audit().reconcile();
     EXPECT_EQ(bc.clusterCoins(), bc.scale().poolCoins);
+}
+
+// ------------------------------------------------------------- storms
+//
+// Sustained reorder/duplicate/stale-sequence pressure, observed through
+// the metrics registry: beyond surviving the storm with the books
+// closed, the registry's exchange-loss columns must agree exactly with
+// the FaultPlane and unit ground truth, so the observability plane can
+// be trusted to report chaos runs faithfully.
+
+/** Value of the named column in the registry's latest snapshot. */
+double
+lastValue(const trace::Registry &reg, const std::string &name)
+{
+    const auto &schema = reg.schema();
+    for (std::size_t i = 0; i < schema.size(); ++i) {
+        if (schema[i].name == name)
+            return reg.snapshots().back().values[i];
+    }
+    ADD_FAILURE() << "no metric column named " << name;
+    return -1.0;
+}
+
+TEST(Recovery, ReorderStormResolvesStaleSequencesOnce)
+{
+    // Most coin packets are held back 1..2048 ticks, shuffling
+    // delivery order: a delayed CoinUpdate routinely arrives after its
+    // exchange already timed out and was resolved through CoinRecover,
+    // so the late copy carries a stale sequence number and must be
+    // ignored, not re-applied.
+    auto cfg = lossyConfig(3, 0.0);
+    cfg.fault.coinTrafficOnly = true;
+    cfg.fault.base.delay = 0.7;
+    cfg.fault.base.delayMin = 1;
+    cfg.fault.base.delayMax = 2048;
+    LossyCluster c(cfg);
+    trace::Registry reg;
+    c.c.attachMetrics(&reg, /*interval=*/2048);
+    const coin::Coins maxes[9] = {10, 20, 40, 10, 60, 20, 10, 20, 10};
+    for (std::size_t i = 0; i < 9; ++i)
+        c.unit(i).setMax(maxes[i]);
+    c.unit(4).setHas(95);
+    c.c.sealProvision();
+    c.startAll();
+    c.eq().runUntil(150000);
+    c.c.quiesce(70000);
+    EXPECT_EQ(c.totalCoins(), 95);
+
+    reg.sample(c.eq().now());
+    EXPECT_GT(lastValue(reg, "fault.delays"), 0.0);
+    EXPECT_EQ(lastValue(reg, "fault.delays"),
+              static_cast<double>(c.c.plane().stats().delays));
+    std::uint64_t stale = 0, recovered = 0;
+    for (std::size_t i = 0; i < 9; ++i) {
+        stale += c.unit(i).duplicatesIgnored();
+        recovered += c.unit(i).updatesRecovered();
+    }
+    EXPECT_GT(stale, 0u) << "no reordered packet ever went stale";
+    EXPECT_GT(recovered, 0u) << "no timed-out delta was replayed";
+    EXPECT_EQ(lastValue(reg, "coin.duplicates_ignored"),
+              static_cast<double>(stale));
+    EXPECT_EQ(lastValue(reg, "coin.updates_recovered"),
+              static_cast<double>(recovered));
+}
+
+TEST(Recovery, DuplicateStormAppliesEachDeltaOnce)
+{
+    // Every coin packet is retransmitted. The replay log and sequence
+    // stamps must make each delta count exactly once, and the
+    // registry's duplicate accounting must match both the plane (copies
+    // injected) and the units (copies ignored).
+    auto cfg = lossyConfig(3, 0.0);
+    cfg.fault.coinTrafficOnly = true;
+    cfg.fault.base.duplicate = 1.0;
+    LossyCluster c(cfg);
+    trace::Registry reg;
+    c.c.attachMetrics(&reg, /*interval=*/2048);
+    const coin::Coins maxes[9] = {10, 20, 40, 10, 60, 20, 10, 20, 10};
+    for (std::size_t i = 0; i < 9; ++i)
+        c.unit(i).setMax(maxes[i]);
+    c.unit(4).setHas(95);
+    c.c.sealProvision();
+    c.startAll();
+    c.eq().runUntil(150000);
+    c.c.quiesce(70000);
+    EXPECT_EQ(c.totalCoins(), 95);
+
+    reg.sample(c.eq().now());
+    const auto &fs = c.c.plane().stats();
+    EXPECT_GT(fs.duplicates, 0u);
+    EXPECT_EQ(lastValue(reg, "fault.duplicates"),
+              static_cast<double>(fs.duplicates));
+    std::uint64_t ignored = 0;
+    for (std::size_t i = 0; i < 9; ++i)
+        ignored += c.unit(i).duplicatesIgnored();
+    EXPECT_GT(ignored, 0u);
+    EXPECT_EQ(lastValue(reg, "coin.duplicates_ignored"),
+              static_cast<double>(ignored));
+    EXPECT_EQ(lastValue(reg, "noc.packets_delivered"),
+              static_cast<double>(c.c.net().packetsDelivered()));
+}
+
+TEST(Recovery, CombinedStormLossAccountingMatchesGroundTruth)
+{
+    // Drop + heavy delay + duplication at once: every recovery
+    // mechanism runs concurrently. The registry's exchange-loss
+    // columns (timeouts, recoveries, stale copies, injected faults)
+    // must equal the FaultPlane and unit counters exactly, and the
+    // books must still close.
+    auto cfg = lossyConfig(3, 0.0);
+    cfg.fault.coinTrafficOnly = true;
+    cfg.fault.base.drop = 0.15;
+    cfg.fault.base.delay = 0.5;
+    cfg.fault.base.delayMin = 1;
+    cfg.fault.base.delayMax = 1024;
+    cfg.fault.base.duplicate = 0.5;
+    LossyCluster c(cfg);
+    trace::Registry reg;
+    c.c.attachMetrics(&reg, /*interval=*/2048);
+    const coin::Coins maxes[9] = {10, 20, 40, 10, 60, 20, 10, 20, 10};
+    for (std::size_t i = 0; i < 9; ++i)
+        c.unit(i).setMax(maxes[i]);
+    c.unit(4).setHas(95);
+    c.c.sealProvision();
+    c.startAll();
+    c.eq().runUntil(150000);
+    c.c.quiesce(70000);
+    EXPECT_EQ(c.totalCoins(), 95);
+
+    reg.sample(c.eq().now());
+    const auto &fs = c.c.plane().stats();
+    EXPECT_GT(fs.drops, 0u);
+    EXPECT_EQ(lastValue(reg, "fault.drops"),
+              static_cast<double>(fs.drops));
+    EXPECT_EQ(lastValue(reg, "fault.delays"),
+              static_cast<double>(fs.delays));
+    EXPECT_EQ(lastValue(reg, "fault.duplicates"),
+              static_cast<double>(fs.duplicates));
+    std::uint64_t timedOut = 0, recovered = 0, ignored = 0;
+    for (std::size_t i = 0; i < 9; ++i) {
+        timedOut += c.unit(i).exchangesTimedOut();
+        recovered += c.unit(i).updatesRecovered();
+        ignored += c.unit(i).duplicatesIgnored();
+    }
+    EXPECT_GT(timedOut, 0u) << "the storm never timed out an exchange";
+    EXPECT_GT(recovered, 0u);
+    EXPECT_EQ(lastValue(reg, "coin.exchanges_timed_out"),
+              static_cast<double>(timedOut));
+    EXPECT_EQ(lastValue(reg, "coin.updates_recovered"),
+              static_cast<double>(recovered));
+    EXPECT_EQ(lastValue(reg, "coin.duplicates_ignored"),
+              static_cast<double>(ignored));
 }
 
 TEST(Recovery, FrozenTileKeepsItsCoins)

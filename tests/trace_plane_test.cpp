@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Unit tests of the observability plane itself: registry snapshotting,
+ * series merging (the sweep-determinism contract), CSV/JSON export,
+ * Chrome-trace emission, the NoC probe, and bit-identical merged
+ * metrics across sweep thread counts.
+ */
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "coin/engine.hpp"
+#include "soc/scenarios.hpp"
+#include "soc/soc.hpp"
+#include "sweep/sweep.hpp"
+#include "trace/attach.hpp"
+#include "trace/metrics.hpp"
+#include "trace/noc_trace.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+using namespace blitz;
+
+// ------------------------------------------------ tiny JSON validator
+// Recursive-descent checker: enough JSON to prove the exports parse
+// (the repo deliberately has no third-party JSON dependency).
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &s) : s_(s) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default:  return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') { ++pos_; return true; }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') { ++pos_; return true; }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\')
+                ++pos_;
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos_) {
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                return false;
+        }
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------ registry
+
+TEST(Metrics, CountersGaugesSampledAndHistogramsSnapshotInOrder)
+{
+    trace::Registry reg;
+    trace::Counter hits = reg.counter("hits");
+    trace::Gauge level = reg.gauge("level");
+    int calls = 0;
+    reg.sampled("derived", [&calls] { return 10.0 * ++calls; });
+    sim::Histogram *lat = reg.histogram("lat", 0.0, 64.0, 8);
+
+    ASSERT_EQ(reg.metricCount(), 4u);
+    EXPECT_EQ(reg.schema()[0].name, "hits");
+    EXPECT_EQ(reg.schema()[0].kind, trace::MetricKind::Counter);
+    EXPECT_EQ(reg.schema()[3].kind, trace::MetricKind::Histogram);
+
+    hits.add();
+    hits.add(2);
+    level.set(0.5);
+    lat->add(3.0);
+    lat->add(99.0); // overflow bucket still counts toward the column
+    reg.sample(100);
+
+    hits.add();
+    level.set(-1.25);
+    reg.sample(200);
+
+    const auto &rows = reg.snapshots();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].tick, 100u);
+    EXPECT_EQ(rows[0].values, (std::vector<double>{3, 0.5, 10, 2}));
+    EXPECT_EQ(rows[1].values, (std::vector<double>{4, -1.25, 20, 2}));
+}
+
+TEST(Metrics, OnSampleObserverSeesEachAppendedRow)
+{
+    trace::Registry reg;
+    trace::Counter c = reg.counter("c");
+    std::vector<sim::Tick> seen;
+    reg.onSample = [&](const trace::Snapshot &s) {
+        seen.push_back(s.tick);
+        EXPECT_EQ(s.values.size(), 1u);
+    };
+    c.add();
+    reg.sample(1);
+    reg.sample(2);
+    EXPECT_EQ(seen, (std::vector<sim::Tick>{1, 2}));
+}
+
+TEST(Metrics, MergeSumsAlignedRowsAndTracksCoverage)
+{
+    auto makeSeries = [](std::uint64_t bias, std::size_t rows) {
+        trace::Registry reg;
+        trace::Counter c = reg.counter("c");
+        for (std::size_t i = 0; i < rows; ++i) {
+            c.add(bias);
+            reg.sample(static_cast<sim::Tick>((i + 1) * 10));
+        }
+        return reg.takeSeries();
+    };
+
+    trace::MetricsSeries acc = makeSeries(1, 2); // rows: 1, 2
+    acc.merge(makeSeries(5, 3));                 // rows: 5, 10, 15
+    ASSERT_EQ(acc.snapshots().size(), 3u);
+    EXPECT_EQ(acc.snapshots()[0].values[0], 6.0);   // 1 + 5
+    EXPECT_EQ(acc.snapshots()[1].values[0], 12.0);  // 2 + 10
+    EXPECT_EQ(acc.snapshots()[2].values[0], 15.0);  // tail, one rep
+    EXPECT_EQ(acc.coverage(),
+              (std::vector<std::uint32_t>{2, 2, 1}));
+}
+
+TEST(Metrics, CsvAndJsonExportsAreWellFormed)
+{
+    trace::Registry reg;
+    trace::Counter c = reg.counter("c");
+    reg.sampled("g", [] { return 1.5; });
+    sim::Histogram *h = reg.histogram("h", 0.0, 10.0, 5);
+    c.add(7);
+    h->add(4.0);
+    reg.sample(42);
+
+    std::ostringstream csv;
+    reg.writeCsv(csv);
+    EXPECT_EQ(csv.str(), "tick,cov,c,g,h\n42,1,7,1.5,1\n");
+
+    std::ostringstream json;
+    reg.writeJson(json);
+    EXPECT_TRUE(JsonChecker(json.str()).valid()) << json.str();
+    EXPECT_NE(json.str().find("\"schema\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"histograms\""), std::string::npos);
+}
+
+// ------------------------------------------------------------- tracer
+
+TEST(Tracer, EmitsValidChromeTraceJson)
+{
+    trace::Tracer t;
+    t.setPid(3);
+    t.complete("coin", "exchange", 5, 800, 1600,
+               {{"xid", std::int64_t{42}}, {"outcome", "ok"}});
+    t.instant("fault", "inject_drop", 1, 900);
+    t.counter("pm", "power_mw", 0, 1000, 123.5);
+    ASSERT_EQ(t.eventCount(), 3u);
+
+    std::ostringstream os;
+    t.writeJson(os);
+    const std::string doc = os.str();
+    EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(doc.find("\"pid\":3"), std::string::npos);
+    EXPECT_NE(doc.find("\"outcome\":\"ok\""), std::string::npos);
+    // 800 ticks at 800 MHz = 1 us.
+    EXPECT_NE(doc.find("\"ts\":1.0000"), std::string::npos);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing)
+{
+    trace::Tracer t;
+    t.setEnabled(false);
+    t.complete("c", "n", 0, 0, 10);
+    t.instant("c", "n", 0, 5);
+    EXPECT_EQ(t.eventCount(), 0u);
+    EXPECT_EQ(t.droppedEvents(), 0u);
+}
+
+TEST(Tracer, OverflowCountsDroppedEventsInsteadOfGrowing)
+{
+    trace::Tracer t(/*maxEvents=*/2);
+    t.instant("c", "a", 0, 1);
+    t.instant("c", "b", 0, 2);
+    t.instant("c", "c", 0, 3);
+    EXPECT_EQ(t.eventCount(), 2u);
+    EXPECT_EQ(t.droppedEvents(), 1u);
+}
+
+TEST(Tracer, AbsorbRehomesReplicationLanes)
+{
+    trace::Tracer rep;
+    rep.instant("c", "n", 7, 10);
+    trace::Tracer merged;
+    merged.absorb(rep, /*pid=*/4);
+    std::ostringstream os;
+    merged.writeJson(os);
+    EXPECT_NE(os.str().find("\"pid\":4"), std::string::npos);
+    EXPECT_EQ(os.str().find("\"pid\":0"), std::string::npos);
+}
+
+// ---------------------------------------------------------- NoC probe
+
+TEST(NocTrace, AccumulatesHopsDeliveriesAndUtilization)
+{
+    trace::Registry reg;
+    trace::NocTrace probe(reg, /*linkCount=*/4, /*hopLatency=*/2);
+    probe.onHop(1, 100);
+    probe.onHop(1, 102);
+    probe.onHop(2, 104);
+    probe.onDeliver(0, 0, /*inject=*/100, /*now=*/110);
+    probe.onDrop(3, 0, 120);
+
+    EXPECT_EQ(probe.linkHops()[1], 2u);
+    EXPECT_DOUBLE_EQ(probe.linkUtilization(1, /*elapsed=*/100), 0.04);
+    EXPECT_DOUBLE_EQ(probe.maxLinkUtilization(100), 0.04);
+    reg.sample(200);
+    const auto &row = reg.snapshots().back();
+    // Columns registered by the probe: hops, delivered, dropped, latency.
+    const auto &schema = reg.schema();
+    for (std::size_t i = 0; i < schema.size(); ++i) {
+        if (schema[i].name == "noc.hops")
+            EXPECT_EQ(row.values[i], 3.0);
+        if (schema[i].name == "noc.delivered")
+            EXPECT_EQ(row.values[i], 1.0);
+        if (schema[i].name == "noc.dropped")
+            EXPECT_EQ(row.values[i], 1.0);
+    }
+
+    std::ostringstream csv;
+    probe.writeLinkCsv(csv, /*elapsed=*/100);
+    EXPECT_NE(csv.str().find("link,hops,utilization"),
+              std::string::npos);
+}
+
+// ------------------------------------------------------- Soc sampling
+
+// Regression: the Soc metrics sampler's strong self-reference must
+// outlive run()'s event loop. A block-scoped owner dies before the
+// loop starts, the tick-0 fire fails its weak lock, and the series
+// silently collapses to a single tick-0 row.
+TEST(Metrics, SocSamplerKeepsFiringAcrossTheWholeRun)
+{
+    soc::PmConfig pm;
+    pm.kind = soc::PmKind::BlitzCoin;
+    pm.alloc = coin::AllocPolicy::RelativeProportional;
+    pm.budgetMw = soc::budgets::av15Percent;
+    trace::Registry reg;
+    soc::Soc s(soc::make3x3AvSoc(), pm, /*seed=*/7);
+    s.attachMetrics(&reg, /*interval=*/4'096);
+    workload::Dag dag = soc::avDependent(s.config(), /*frames=*/1);
+    soc::SocRunStats st = s.run(dag);
+    ASSERT_TRUE(st.completed);
+
+    const auto &rows = reg.snapshots();
+    // One row per interval over the whole run, first at tick 0,
+    // strictly increasing on the fixed cadence.
+    ASSERT_GE(rows.size(), 4u);
+    EXPECT_EQ(rows.front().tick, 0u);
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        EXPECT_EQ(rows[i].tick, rows[i - 1].tick + 4'096);
+    EXPECT_GE(rows.back().tick + 4'096, st.execTime);
+}
+
+// ----------------------------------------- sweep-merge thread identity
+
+std::string
+mergedSweepCsv(std::size_t threads)
+{
+    sweep::SweepOptions opts;
+    opts.threads = threads;
+    auto acc = sweep::runSweepFold<trace::MetricsSeries>(
+        /*replications=*/6, /*rootSeed=*/77,
+        [](std::size_t, std::uint64_t seed) {
+            coin::EngineConfig cfg;
+            trace::Registry reg;
+            coin::MeshSim sim(noc::Topology::square(4), cfg, seed);
+            trace::attachMeshMetrics(sim, reg, /*interval=*/512);
+            for (std::size_t i = 0; i < sim.ledger().size(); ++i)
+                sim.setMax(i, 8 << (i % 3));
+            sim.clusterHas(120);
+            sim.runFor(40'000);
+            return reg.takeSeries();
+        },
+        [](trace::MetricsSeries &acc, const trace::MetricsSeries &s,
+           std::size_t) { acc.merge(s); },
+        trace::MetricsSeries{}, opts);
+    std::ostringstream os;
+    acc.writeCsv(os);
+    return os.str();
+}
+
+TEST(Metrics, MergedSweepSeriesBitIdenticalAcrossThreadCounts)
+{
+    const std::string one = mergedSweepCsv(1);
+    EXPECT_FALSE(one.empty());
+    EXPECT_EQ(one, mergedSweepCsv(2));
+    EXPECT_EQ(one, mergedSweepCsv(4));
+}
+
+} // namespace
