@@ -26,6 +26,7 @@
 #include "bench_obs.hpp"
 #include "fault/chaos.hpp"
 #include "sweep/sweep.hpp"
+#include "trace/flush_guard.hpp"
 #include "trace/metrics.hpp"
 #include "trace/tracer.hpp"
 
@@ -232,6 +233,15 @@ main(int argc, char **argv)
     // schema carries per-tile columns (4x4 vs 6x6 differ) and summing
     // across fault configs would make the columns meaningless.
     trace::Tracer master;
+    // Crash-safe flush: if a conservation assert (or anything else)
+    // kills the bench mid-sweep, the timeline absorbed so far still
+    // lands on disk as valid JSON.
+    trace::FlushGuard::Registration crashFlush;
+    if (obs.trace) {
+        trace::FlushGuard::installSignalHandlers();
+        crashFlush =
+            trace::FlushGuard::guardTracer(master, obs.tracePath);
+    }
     std::uint64_t scenarioIdx = 0;
     for (const Scenario &sc : scenarios) {
         const auto pidBase =
@@ -265,8 +275,10 @@ main(int argc, char **argv)
             row.gapClosed.mean(), row.dropsSeen.mean(),
             row.recovered.mean(), row.abandoned.mean());
     }
-    if (obs.trace)
+    if (obs.trace) {
+        crashFlush.release();
         bench::writeTraceJson(master, obs.tracePath);
+    }
     std::printf("\nEvery trial quiesced with the seeded coin total "
                 "exactly restored (asserted).\n");
     return 0;

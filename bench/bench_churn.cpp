@@ -14,16 +14,27 @@
 #include <array>
 
 #include "bench_common.hpp"
+#include "bench_obs.hpp"
 #include "sweep/sweep.hpp"
+#include "trace/attach.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 #include "workload/phase_gen.hpp"
 
 using namespace blitz;
 
 namespace {
 
-/** Fraction of samples with Err above threshold during churn. */
+/**
+ * Fraction of samples with Err above threshold during churn. When
+ * @p reg / @p tracer are set (an observed replication), the mesh's
+ * gauges sample on the engine's own cadence and the busy flag lands as
+ * a counter track — pure reads, so the fraction is unchanged.
+ */
 double
-churnFraction(int d, sim::Tick twTicks, std::uint64_t seed)
+churnFraction(int d, sim::Tick twTicks, std::uint64_t seed,
+              trace::Registry *reg = nullptr,
+              trace::Tracer *tracer = nullptr)
 {
     coin::EngineConfig cfg; // paper defaults
     coin::MeshSim sim(noc::Topology::square(d), cfg, seed);
@@ -44,6 +55,8 @@ churnFraction(int d, sim::Tick twTicks, std::uint64_t seed)
         demand += 16; // pool sized for the average (half active)
     }
     sim.randomizeHas(demand / 2);
+    if (reg)
+        trace::attachMeshMetrics(sim, *reg, 2'048);
     sim.runUntilConverged(1.0, twTicks); // settle the initial state
 
     std::size_t next_event = 0;
@@ -63,7 +76,11 @@ churnFraction(int d, sim::Tick twTicks, std::uint64_t seed)
         // quantization band. The *mean* error cannot see a single
         // tile's transition on a large mesh (1/N dilution), but the
         // per-tile max can.
-        busy += sim.maxError() > 2.0 ? 1 : 0;
+        const bool over = sim.maxError() > 2.0;
+        busy += over ? 1 : 0;
+        if (tracer)
+            tracer->counter("churn", "pm_busy", 0, sim.now(),
+                            over ? 1.0 : 0.0);
     }
     return static_cast<double>(busy) / static_cast<double>(samples);
 }
@@ -71,14 +88,23 @@ churnFraction(int d, sim::Tick twTicks, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::ObsOptions obs = bench::parseObsFlags(argc, argv);
     bench::banner("Churn (extension of Fig. 21 right)",
                   "measured PM-time fraction under per-tile phase "
                   "churn");
 
     constexpr std::array<int, 5> ds{4, 8, 12, 16, 20};
     constexpr std::size_t seedsPerPoint = 5;
+
+    // --metrics re-runs one observed replication per (T_w, d) point
+    // outside the sweep (the mesh schema carries per-tile columns, so
+    // each d gets its own tagged CSV); --trace collects the busy-flag
+    // tracks in one file, a process lane per point. The sweep itself
+    // is untouched, so the printed fractions never change.
+    trace::Tracer master;
+    std::uint32_t pid = 0;
 
     for (double tw_us : {250.0, 1000.0}) {
         const sim::Tick tw = sim::usToTicks(tw_us);
@@ -104,8 +130,29 @@ main()
                 n * (0.08 * std::sqrt(n)) / tw_us;
             std::printf("%4d %6.0f | %11.1f%% | %13.1f%%\n", d, n,
                         frac.mean() * 100.0, analytic * 100.0);
+            if (obs.any()) {
+                trace::Registry reg;
+                trace::Tracer t;
+                churnFraction(d, tw,
+                              sweep::streamSeed(tw, k * seedsPerPoint),
+                              obs.metrics ? &reg : nullptr,
+                              obs.trace ? &t : nullptr);
+                if (obs.metrics) {
+                    char tag[32];
+                    std::snprintf(tag, sizeof tag, "tw%.0f-d%d",
+                                  tw_us, d);
+                    bench::writeMetricsCsv(
+                        reg.takeSeries(),
+                        bench::tagPath(obs.metricsPath, tag));
+                }
+                if (obs.trace)
+                    master.absorb(t, pid);
+                ++pid;
+            }
         }
     }
+    if (obs.trace)
+        bench::writeTraceJson(master, obs.tracePath);
     std::printf("\nShape check: measured fraction grows ~N^1.5 with "
                 "size and inversely with T_w, tracking the analytic "
                 "model's order of magnitude.\n");

@@ -14,6 +14,7 @@
 #define BLITZ_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -73,11 +74,17 @@ typeLevel(int type)
     return levels[type % 8];
 }
 
-/** Run one randomized convergence trial. */
+/**
+ * Run one randomized convergence trial. @p instrument, when set, sees
+ * the fully provisioned engine right before the run — the hook the
+ * observability plane uses to attach sampling (attachMeshMetrics)
+ * without this header depending on the trace layer.
+ */
 inline coin::RunResult
 runTrial(const TrialSetup &setup, const coin::EngineConfig &cfg,
          std::uint64_t seed, double *startErr = nullptr,
-         double *finalMaxErr = nullptr)
+         double *finalMaxErr = nullptr,
+         const std::function<void(coin::MeshSim &)> &instrument = {})
 {
     coin::MeshSim sim(noc::Topology::square(setup.d), cfg, seed);
     coin::Coins demand = 0;
@@ -88,6 +95,8 @@ runTrial(const TrialSetup &setup, const coin::EngineConfig &cfg,
     }
     sim.clusterHas(static_cast<coin::Coins>(
         static_cast<double>(demand) * setup.poolFraction));
+    if (instrument)
+        instrument(sim);
     if (startErr)
         *startErr = sim.globalError();
     auto r = sim.runUntilConverged(setup.errThreshold, setup.maxTime);

@@ -15,8 +15,11 @@
 
 #include "analytic/scaling.hpp"
 #include "baselines/tokensmart.hpp"
+#include "bench_obs.hpp"
 #include "bench_soc_common.hpp"
 #include "sweep/sweep.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 
 using namespace blitz;
 
@@ -26,27 +29,36 @@ namespace {
  * One (strategy, design point) full-SoC run. The three design points
  * are 3x3 (N=6, dependent AV workload), 6x6 cluster (N=10), and 4x4
  * (N=13, dependent vision workload) — the same three the paper fits
- * from.
+ * from. @p reg / @p tracer, when set, ride the run via the Soc's own
+ * attach points (observed re-runs only; the fitting grid passes null).
  */
 std::pair<double, double>
-measurePoint(soc::PmKind kind, std::size_t point)
+measurePoint(soc::PmKind kind, std::size_t point,
+             trace::Registry *reg = nullptr,
+             trace::Tracer *tracer = nullptr)
 {
     switch (point) {
     case 0: {
         soc::Soc s(soc::make3x3AvSoc(),
                    bench::pm(kind, soc::budgets::av15Percent), 11);
+        s.attachMetrics(reg);
+        s.attachTrace(tracer);
         auto st = s.run(soc::avDependent(s.config(), 2));
         return {6.0, st.meanResponseUs()};
     }
     case 1: {
         soc::Soc s(soc::make6x6SiliconSoc(),
                    bench::pm(kind, soc::budgets::silicon), 11);
+        s.attachMetrics(reg);
+        s.attachTrace(tracer);
         auto st = s.run(soc::siliconWorkload(s.config(), 7));
         return {10.0, st.meanResponseUs()};
     }
     default: {
         soc::Soc s(soc::make4x4VisionSoc(),
                    bench::pm(kind, soc::budgets::vision33Percent), 11);
+        s.attachMetrics(reg);
+        s.attachTrace(tracer);
         auto st = s.run(soc::visionDependent(s.config(), 1));
         return {13.0, st.meanResponseUs()};
     }
@@ -137,8 +149,9 @@ tokenSmartSamples(const std::vector<Measurement> &all)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::ObsOptions obs = bench::parseObsFlags(argc, argv);
     bench::banner("Fig. 21 (+Fig. 1)",
                   "fitted scaling laws, N_max(T_w), PM-time fraction");
 
@@ -212,5 +225,31 @@ main()
     }
     std::printf("\nShape check: BC's curve crosses the demand line at "
                 "far larger N than the centralized schemes.\n");
+
+    // --metrics/--trace: re-run the three BlitzCoin design points with
+    // the Soc's observability plane attached (the fitting grid above
+    // runs bare, so the fitted constants never change). Each point has
+    // its own per-tile metric schema, hence one tagged CSV per point;
+    // the trace gets one process lane per point.
+    if (obs.any()) {
+        static const char *tags[3] = {"av3x3", "silicon6x6",
+                                      "vision4x4"};
+        trace::Tracer master;
+        for (std::size_t p = 0; p < 3; ++p) {
+            trace::Registry reg;
+            trace::Tracer t;
+            measurePoint(soc::PmKind::BlitzCoin, p,
+                         obs.metrics ? &reg : nullptr,
+                         obs.trace ? &t : nullptr);
+            if (obs.metrics)
+                bench::writeMetricsCsv(
+                    reg.takeSeries(),
+                    bench::tagPath(obs.metricsPath, tags[p]));
+            if (obs.trace)
+                master.absorb(t, static_cast<std::uint32_t>(p));
+        }
+        if (obs.trace)
+            bench::writeTraceJson(master, obs.tracePath);
+    }
     return 0;
 }

@@ -14,23 +14,35 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include <array>
 
+#include "bench_obs.hpp"
 #include "bench_soc_common.hpp"
 #include "blitzcoin/unit.hpp"
 #include "coin/neighborhood.hpp"
 #include "sweep/sweep.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 
 using namespace blitz;
 
 namespace {
 
+/** One settle run plus its optional observability capture. */
+struct SettleResult
+{
+    double us = -1.0;
+    trace::MetricsSeries metrics;
+    std::shared_ptr<trace::Tracer> tracer;
+};
+
 /** Settle time of a demand spike on a d x d all-managed cluster. */
-double
-settleUs(int d, std::uint64_t seed,
-         coin::ExchangeMode mode = coin::ExchangeMode::OneWay)
+SettleResult
+settleRun(int d, std::uint64_t seed, const bench::ObsOptions &obs,
+          coin::ExchangeMode mode = coin::ExchangeMode::OneWay)
 {
     sim::EventQueue eq;
     noc::Topology topo(d, d, false);
@@ -86,21 +98,71 @@ settleUs(int d, std::uint64_t seed,
         }
         return sum / static_cast<double>(d * d);
     };
+
+    // Observability rides the existing poll cadence: one metrics
+    // snapshot / counter event per 100-tick probe, nothing extra
+    // scheduled, so the flags cannot change the settle numbers.
+    SettleResult res;
+    trace::Registry reg;
+    if (obs.metrics) {
+        reg.sampled("imbalance_mean", error);
+        reg.sampled("exchanges_moved", [&units] {
+            double n = 0.0;
+            for (auto &u : units)
+                n += static_cast<double>(u->exchangesMoved());
+            return n;
+        });
+    }
+    if (obs.trace)
+        res.tracer = std::make_shared<trace::Tracer>();
+
     while (eq.now() < t0 + 4'000'000) {
         eq.runUntil(eq.now() + 100);
-        if (error() < 1.5)
-            return sim::ticksToUs(eq.now() - t0);
+        if (obs.metrics)
+            reg.sample(eq.now());
+        if (res.tracer)
+            res.tracer->counter("settle", "imbalance", 0, eq.now(),
+                                error());
+        if (error() < 1.5) {
+            res.us = sim::ticksToUs(eq.now() - t0);
+            break;
+        }
     }
-    return -1.0; // did not settle
+    if (res.tracer)
+        res.tracer->complete(
+            "settle", "settle_run", 0, t0, eq.now(),
+            {{"d", static_cast<std::int64_t>(d)},
+             {"seed", static_cast<std::int64_t>(seed)},
+             {"settled", static_cast<std::int64_t>(res.us >= 0.0)}});
+    if (obs.metrics)
+        res.metrics = reg.takeSeries();
+    return res; // us stays -1.0 if the mesh did not settle
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::ObsOptions obs = bench::parseObsFlags(argc, argv);
     bench::banner("HW-model scaling (extension)",
                   "packet-accurate settle time vs SoC size");
+
+    // --metrics/--trace capture rides along per settle run and is
+    // folded in replication order, so the files are bit-identical at
+    // any BLITZ_SWEEP_THREADS; the printed numbers never change.
+    trace::Tracer master;
+    trace::MetricsSeries masterSeries;
+    auto fold = [&](std::vector<SettleResult> &rs,
+                    std::uint32_t pidBase) {
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+            if (!rs[i].metrics.empty())
+                masterSeries.merge(rs[i].metrics);
+            if (rs[i].tracer)
+                master.absorb(*rs[i].tracer,
+                              pidBase + static_cast<std::uint32_t>(i));
+        }
+    };
 
     std::printf("\n%4s %6s | %12s | %10s\n", "d", "N", "settle (us)",
                 "us/sqrt(N)");
@@ -111,15 +173,16 @@ main()
     auto settles = sweep::runSweep(
         ds.size() * seedsPerPoint, /*rootSeed=*/1,
         [&](std::size_t i, std::uint64_t) {
-            return settleUs(ds[i / seedsPerPoint],
-                            i % seedsPerPoint + 1);
+            return settleRun(ds[i / seedsPerPoint],
+                             i % seedsPerPoint + 1, obs);
         });
+    fold(settles, 0);
     std::vector<std::pair<double, double>> samples;
     for (std::size_t k = 0; k < ds.size(); ++k) {
         int d = ds[k];
         sim::Summary s;
         for (std::size_t i = 0; i < seedsPerPoint; ++i) {
-            double us = settles[k * seedsPerPoint + i];
+            double us = settles[k * seedsPerPoint + i].us;
             if (us >= 0.0)
                 s.add(us);
         }
@@ -145,18 +208,23 @@ main()
     auto modeSettles = sweep::runSweep(
         modes.size() * seedsPerPoint, /*rootSeed=*/2,
         [&](std::size_t i, std::uint64_t) {
-            return settleUs(6, i % seedsPerPoint + 1,
-                            modes[i / seedsPerPoint]);
+            return settleRun(6, i % seedsPerPoint + 1, obs,
+                             modes[i / seedsPerPoint]);
         });
+    fold(modeSettles, 1'000);
     for (std::size_t k = 0; k < modes.size(); ++k) {
         sim::Summary s;
         for (std::size_t i = 0; i < seedsPerPoint; ++i) {
-            double us = modeSettles[k * seedsPerPoint + i];
+            double us = modeSettles[k * seedsPerPoint + i].us;
             if (us >= 0.0)
                 s.add(us);
         }
         std::printf("  %-6s settle %.3f us\n",
                     coin::exchangeModeName(modes[k]), s.mean());
     }
+    if (obs.metrics)
+        bench::writeMetricsCsv(masterSeries, obs.metricsPath);
+    if (obs.trace)
+        bench::writeTraceJson(master, obs.tracePath);
     return 0;
 }

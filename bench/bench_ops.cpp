@@ -18,7 +18,11 @@
  * file and the process exits nonzero if any config's throughput fell
  * more than 3% — the observability plane's hook sites are compiled
  * into these paths with tracing disabled, so this is the "tracing off
- * is free" acceptance check.
+ * is free" acceptance check. The same mode runs a paired in-process
+ * gate for recording ON: the noc_steady_6x6 config is re-measured
+ * with a ring-mode flight recorder attached, and must stay within 5%
+ * of its unrecorded twin from the same invocation (self-referencing,
+ * so the gate needs no new key in the recorded JSON).
  */
 
 #include <benchmark/benchmark.h>
@@ -32,6 +36,7 @@
 #include "coin/engine.hpp"
 #include "coin/exchange.hpp"
 #include "noc/network.hpp"
+#include "record/recorder.hpp"
 #include "sim/rng.hpp"
 
 using namespace blitz;
@@ -268,10 +273,12 @@ perfEventKernel(const char *name, int d, std::uint64_t targetEvents)
  * fault-free path the acceptance criterion targets.
  */
 Result
-perfNocSteady(const char *name, int d, std::uint64_t targetPackets)
+perfNocSteady(const char *name, int d, std::uint64_t targetPackets,
+              record::FlightRecorder *rec = nullptr)
 {
     sim::EventQueue eq;
     noc::Network net(eq, noc::Topology(d, d, false));
+    net.setRecorder(rec);
     const auto n = static_cast<std::uint32_t>(d * d);
     std::uint64_t delivered = 0;
     for (noc::NodeId id = 0; id < n; ++id) {
@@ -341,17 +348,40 @@ recordedThroughput(const char *jsonPath, const char *name, bool noc)
 int
 perfMain(const char *jsonPath, const char *checkPath)
 {
+    // Ring mode bounds memory during the long measurement while still
+    // exercising the real per-delivery journaling path.
+    record::RecorderConfig ringCfg;
+    ringCfg.chunkRecords = 1 << 14;
+    ringCfg.maxChunks = 8;
+    record::FlightRecorder ringRec(ringCfg);
+
     const Result results[] = {
         perfEventKernel("event_kernel_4x4", 4, 4'000'000),
         perfEventKernel("event_kernel_6x6", 6, 4'000'000),
         perfNocSteady("noc_steady_4x4", 4, 200'000),
         perfNocSteady("noc_steady_6x6", 6, 200'000),
+        perfNocSteady("noc_steady_6x6_recorded", 6, 200'000, &ringRec),
     };
 
     // Gate before overwriting: each config's throughput must stay
     // within 3% of the recorded run.
     int regressions = 0;
     if (checkPath) {
+        // Paired overhead gate: recording ON vs OFF, both measured
+        // this invocation, so the bound holds on any machine without
+        // a recorded baseline for the new config.
+        const double off = results[3].packetsPerSec();
+        const double on = results[4].packetsPerSec();
+        if (off > 0.0) {
+            const double ratio = on / off;
+            const bool bad = ratio < 0.95;
+            std::printf("perf-check %-18s %12.3e vs %12.3e  %+.1f%%%s\n",
+                        "recording_overhead", on, off,
+                        (ratio - 1.0) * 100.0,
+                        bad ? "  REGRESSION (>5% overhead)" : "");
+            if (bad)
+                ++regressions;
+        }
         for (const Result &r : results) {
             const bool noc = r.packets > 0;
             const double recorded =

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <numeric>
 
+#include "record/provenance.hpp"
+#include "record/recorder.hpp"
 #include "sim/logging.hpp"
 
 namespace blitz::blitzcoin {
@@ -86,9 +88,29 @@ ClusterAudit::reconcile()
         ++assigned;
     }
 
+    const sim::Tick tick = clock_ ? clock_() : 0;
     for (std::size_t i = 0; i < alive.size(); ++i) {
-        if (share[i] != 0)
-            alive[i]->setHas(alive[i]->has() + sign * share[i]);
+        if (share[i] == 0)
+            continue;
+        alive[i]->setHas(alive[i]->has() + sign * share[i]);
+        const auto tile = alive[i]->self();
+        if (sign > 0) {
+            // A remint consumes lost lineages oldest-first, so the
+            // recorded lineage range names the crashes it repairs.
+            std::uint64_t lineage = record::ProvenanceLedger::kNoLineage;
+            if (prov_)
+                lineage = prov_->remint(tile, share[i], tick);
+            if (recorder_)
+                recorder_->mint(tick, tile, share[i],
+                                static_cast<std::int64_t>(lineage),
+                                static_cast<std::int64_t>(lineage),
+                                /*remintFlag=*/true);
+        } else {
+            if (prov_)
+                prov_->burn(tile, share[i], tick);
+            if (recorder_)
+                recorder_->burn(tick, tile, share[i]);
+        }
     }
     ++gapsClosed_;
     if (sign > 0)
@@ -96,6 +118,12 @@ ClusterAudit::reconcile()
     else
         burned_ += magnitude;
     return r;
+}
+
+std::string
+ClusterAudit::describeGap() const
+{
+    return prov_ ? prov_->gapReport() : std::string{};
 }
 
 } // namespace blitz::blitzcoin

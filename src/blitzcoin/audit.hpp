@@ -22,10 +22,17 @@
 #define BLITZ_BLITZCOIN_AUDIT_HPP
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "coin/ledger.hpp"
 #include "unit.hpp"
+
+namespace blitz::record {
+class FlightRecorder;
+class ProvenanceLedger;
+}
 
 namespace blitz::blitzcoin {
 
@@ -83,9 +90,42 @@ class ClusterAudit
     /** Total coins burned (negative gaps) across all sweeps. */
     coin::Coins coinsBurned() const { return burned_; }
 
+    /**
+     * Attach the flight recorder / provenance ledger. reconcile()
+     * then journals every correction as Remint/Burn records and
+     * threads audit remints through the ledger's lost-lineage FIFO —
+     * the link that turns "gap of N" into a causal chain.
+     */
+    void
+    setRecorder(record::FlightRecorder *rec,
+                record::ProvenanceLedger *prov = nullptr)
+    {
+        recorder_ = rec;
+        prov_ = prov;
+    }
+
+    /** Tick source for journaled corrections (harness-provided). */
+    void
+    setClock(std::function<sim::Tick()> clock)
+    {
+        clock_ = std::move(clock);
+    }
+
+    /**
+     * The causal chains behind any conservation violation the ledger
+     * has seen: which lineages were destroyed where, how they got
+     * there, and whether a sweep has reminted them yet. Empty when no
+     * ledger is attached or nothing was ever lost.
+     */
+    std::string describeGap() const;
+
   private:
     coin::Coins expected_;
     std::vector<BlitzCoinUnit *> units_;
+    record::FlightRecorder *recorder_ = nullptr;
+    record::ProvenanceLedger *prov_ = nullptr;
+    /** Tick source for journaled corrections (see setClock). */
+    std::function<sim::Tick()> clock_;
     std::uint64_t gapsClosed_ = 0;
     coin::Coins minted_ = 0;
     coin::Coins burned_ = 0;

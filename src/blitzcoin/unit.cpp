@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "record/provenance.hpp"
+#include "record/recorder.hpp"
 #include "trace/tracer.hpp"
 
 namespace blitz::blitzcoin {
@@ -138,6 +140,10 @@ BlitzCoinUnit::crash()
     if (tracer_)
         tracer_->instant("fault", "unit_crash", self_, eq_.now(),
                          {{"coins_lost", state_.has}});
+    if (recorder_)
+        recorder_->crash(eq_.now(), self_, state_.has);
+    if (prov_)
+        prov_->crash(self_, eq_.now());
     stop();
     crashed_ = true;
     // Architectural registers and all protocol tracking are lost. The
@@ -166,6 +172,8 @@ BlitzCoinUnit::restart()
     crashed_ = false;
     if (tracer_)
         tracer_->instant("fault", "unit_restart", self_, eq_.now());
+    if (recorder_)
+        recorder_->restart(eq_.now(), self_, 0);
     timer_ = coin::BackoffTimer(cfg_.backoff);
     // nextXid_ deliberately keeps counting across the crash: a partner
     // still holding pre-crash entries in its served log must never
@@ -230,6 +238,10 @@ BlitzCoinUnit::onExchangeTimeout(std::uint64_t xid)
             {{"xid", static_cast<std::int64_t>(xid)},
              {"partner",
               static_cast<std::int64_t>(pending_->partner)}});
+    if (recorder_)
+        recorder_->exchange(eq_.now(), record::kOutcomeTimeout, self_,
+                            pending_->partner,
+                            static_cast<std::int64_t>(xid), 0);
     timer_.onExchange(false); // failures back the cadence off too
     if (unresolved_.size() >= maxUnresolved) {
         // Backlog full (the network is effectively down): the oldest
@@ -237,6 +249,11 @@ BlitzCoinUnit::onExchangeTimeout(std::uint64_t xid)
         ++abandoned_;
         if (tracer_)
             traceExchange(unresolved_.front(), 0, "abandoned");
+        if (recorder_)
+            recorder_->exchange(
+                eq_.now(), record::kOutcomeAbandoned, self_,
+                unresolved_.front().partner,
+                static_cast<std::int64_t>(unresolved_.front().xid), 0);
         unresolved_.erase(unresolved_.begin());
     }
     unresolved_.push_back(*pending_);
@@ -260,6 +277,10 @@ BlitzCoinUnit::pumpRecovery(std::uint64_t xid)
         ++abandoned_;
         if (tracer_)
             traceExchange(*it, 0, "abandoned");
+        if (recorder_)
+            recorder_->exchange(eq_.now(), record::kOutcomeAbandoned,
+                                self_, it->partner,
+                                static_cast<std::int64_t>(it->xid), 0);
         unresolved_.erase(it);
         return;
     }
@@ -375,6 +396,15 @@ BlitzCoinUnit::serveStatus(const noc::Packet &pkt)
             state_.has += delta;
             coinsChanged();
         }
+        // The partner's apply is where coins settle: journal the
+        // served half and book the lineage movement (delta > 0 means
+        // the initiator's coins flowed here).
+        if (recorder_)
+            recorder_->exchange(eq_.now(), record::kOutcomeServed,
+                                pkt.src, self_,
+                                static_cast<std::int64_t>(xid), delta);
+        if (prov_ && delta != 0)
+            prov_->transfer(pkt.src, self_, delta, xid, eq_.now());
         timer_.onExchange(delta != 0);
         iso_.onExchange(delta != 0, remote.max);
         // Receiving coins is evidence of a transition in flight: bring
@@ -447,6 +477,11 @@ BlitzCoinUnit::applyUpdate(const noc::Packet &pkt)
         // The normal path: the update resolves the in-flight exchange.
         if (tracer_)
             traceExchange(*pending_, pkt.payload[0], "ok");
+        if (recorder_)
+            recorder_->exchange(eq_.now(), record::kOutcomeOk, self_,
+                                pending_->partner,
+                                static_cast<std::int64_t>(xid),
+                                pkt.payload[0]);
         pending_.reset();
         awaitingUpdate_ = false;
         applyResolvedDelta(pkt.payload[0], pkt.payload[2]);
@@ -477,6 +512,10 @@ BlitzCoinUnit::applyUpdate(const noc::Packet &pkt)
         ++abandoned_;
         if (tracer_)
             traceExchange(resolved, 0, "unknown");
+        if (recorder_)
+            recorder_->exchange(eq_.now(), record::kOutcomeUnknown,
+                                self_, resolved.partner,
+                                static_cast<std::int64_t>(xid), 0);
         return;
     }
     // A late or recovered update: the exchange concludes off the
@@ -484,6 +523,11 @@ BlitzCoinUnit::applyUpdate(const noc::Packet &pkt)
     ++recovered_;
     if (tracer_)
         traceExchange(resolved, pkt.payload[0], "recovered");
+    if (recorder_)
+        recorder_->exchange(eq_.now(), record::kOutcomeRecovered, self_,
+                            resolved.partner,
+                            static_cast<std::int64_t>(xid),
+                            pkt.payload[0]);
     applyResolvedDelta(pkt.payload[0], pkt.payload[2]);
     if (running_ && !awaitingUpdate_)
         scheduleNext(timer_.intervalFor(discontent() || isolated()));
@@ -512,6 +556,12 @@ BlitzCoinUnit::applyGroupUpdate(const noc::Packet &pkt)
         ++moved_;
         coinsChanged();
     }
+    if (recorder_)
+        recorder_->exchange(eq_.now(), record::kOutcomeServed, pkt.src,
+                            self_, static_cast<std::int64_t>(tag),
+                            delta);
+    if (prov_ && delta != 0)
+        prov_->transfer(pkt.src, self_, delta, tag, eq_.now());
     timer_.onExchange(delta != 0);
     iso_.onExchange(delta != 0, pkt.payload[2]);
     if (delta != 0 && running_ && !awaitingUpdate_)

@@ -49,6 +49,11 @@ namespace blitz::trace {
 class Tracer;
 }
 
+namespace blitz::record {
+class FlightRecorder;
+class ProvenanceLedger;
+}
+
 namespace blitz::blitzcoin {
 
 /** Configuration of one BlitzCoin unit. */
@@ -211,6 +216,24 @@ class BlitzCoinUnit
      */
     void setTrace(trace::Tracer *t) { tracer_ = t; }
 
+    /**
+     * Attach the flight recorder (and optionally the provenance
+     * ledger). When set, the unit journals every protocol milestone —
+     * served exchanges, resolutions (ok/recovered/unknown), timeouts,
+     * abandonments, crash/restart edges — and books settled coin
+     * movements against the ledger's per-tile lineage FIFOs. Both are
+     * pure observers (no RNG, no state reads the protocol depends
+     * on), so attached runs stay bit-identical to detached ones.
+     * Nullptr detaches; the disabled path is one branch per milestone.
+     */
+    void
+    setRecorder(record::FlightRecorder *rec,
+                record::ProvenanceLedger *prov = nullptr)
+    {
+        recorder_ = rec;
+        prov_ = prov;
+    }
+
   private:
     /** One 1-way exchange this initiator has not yet resolved. */
     struct PendingExchange
@@ -279,6 +302,8 @@ class BlitzCoinUnit
     sim::EventQueue &eq_;
     noc::Network &net_;
     trace::Tracer *tracer_ = nullptr;
+    record::FlightRecorder *recorder_ = nullptr;
+    record::ProvenanceLedger *prov_ = nullptr;
     noc::NodeId self_;
     UnitConfig cfg_;
     sim::Rng rng_;

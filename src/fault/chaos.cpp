@@ -5,6 +5,9 @@
 #include <cstdio>
 
 #include "coin/neighborhood.hpp"
+#include "record/provenance.hpp"
+#include "record/recorder.hpp"
+#include "sim/digest.hpp"
 #include "sim/logging.hpp"
 #include "trace/metrics.hpp"
 #include "trace/tracer.hpp"
@@ -166,6 +169,50 @@ ChaosCluster::attachTrace(trace::Tracer *t)
 }
 
 void
+ChaosCluster::attachRecorder(record::FlightRecorder *rec,
+                             record::ProvenanceLedger *prov,
+                             sim::Tick snapshotEvery)
+{
+    recorder_ = rec;
+    prov_ = prov;
+    net_.setRecorder(rec);
+    plane_.setRecorder(rec);
+    for (auto &u : units_)
+        u->setRecorder(rec, prov);
+    audit_.setRecorder(rec, prov);
+    audit_.setClock([this] { return eq_.now(); });
+    if (prov_)
+        prov_->reset(units_.size());
+    snapshotEvery_ = snapshotEvery;
+    if (recorder_ && snapshotEvery_ > 0) {
+        BLITZ_ASSERT(snapshotEvery_ >= 1, "snapshot cadence is empty");
+        scheduleSnapshot();
+    }
+}
+
+void
+ChaosCluster::scheduleSnapshot()
+{
+    eq_.scheduleIn(snapshotEvery_, [this] {
+        const sim::Tick now = eq_.now();
+        sim::Fnv1a digest;
+        for (std::size_t i = 0; i < units_.size(); ++i) {
+            const auto &u = *units_[i];
+            const coin::Coins has = u.crashed() ? 0 : u.has();
+            recorder_->snapshot(now, static_cast<std::int64_t>(i),
+                                static_cast<std::int64_t>(has),
+                                snapshotEpoch_);
+            digest.i64(static_cast<std::int64_t>(has));
+        }
+        recorder_->snapshotMark(
+            now, snapshotEpoch_,
+            static_cast<std::int64_t>(units_.size()), digest.value());
+        ++snapshotEpoch_;
+        scheduleSnapshot();
+    }, sim::Priority::Stats);
+}
+
+void
 ChaosCluster::onCrash(noc::NodeId node)
 {
     maxAtCrash_[node] = units_[node]->max();
@@ -185,6 +232,19 @@ void
 ChaosCluster::setHas(std::size_t i, coin::Coins has)
 {
     units_[i]->setHas(has);
+    // Provisioning is a mint: journal it so a replayed log opens with
+    // the same coin population (attachRecorder comes before seeding).
+    if (has > 0 && (recorder_ || prov_)) {
+        const sim::Tick now = eq_.now();
+        std::uint64_t lineage = record::ProvenanceLedger::kNoLineage;
+        if (prov_)
+            lineage = prov_->mint(static_cast<std::uint32_t>(i), has,
+                                  now);
+        if (recorder_)
+            recorder_->mint(now, static_cast<std::int64_t>(i), has,
+                            static_cast<std::int64_t>(lineage),
+                            static_cast<std::int64_t>(lineage));
+    }
 }
 
 void

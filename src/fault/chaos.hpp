@@ -28,6 +28,11 @@ class Registry;
 class Tracer;
 }
 
+namespace blitz::record {
+class FlightRecorder;
+class ProvenanceLedger;
+}
+
 namespace blitz::fault {
 
 /** ChaosCluster construction parameters. */
@@ -137,6 +142,24 @@ class ChaosCluster
      */
     void attachTrace(trace::Tracer *t);
 
+    /**
+     * Wire the flight recorder (and optionally the provenance ledger)
+     * into every layer: NoC deliveries, fault-plane decisions, unit
+     * exchange milestones, crash/restart transitions, and audit
+     * remints/burns all journal into @p rec. Call *before* seeding
+     * coins so the provisioning mints are on the log too — replay
+     * depends on the log opening with the full provisioned state.
+     *
+     * @p snapshotEvery > 0 additionally schedules a self-repeating
+     * Priority::Stats sweep that journals every tile's balance plus a
+     * digest-carrying epoch mark — the bisector's binary-search keys.
+     * Like attachMetrics, the recorder is passive: golden digests are
+     * bit-identical with and without it (locked by tests).
+     */
+    void attachRecorder(record::FlightRecorder *rec,
+                        record::ProvenanceLedger *prov = nullptr,
+                        sim::Tick snapshotEvery = 0);
+
     /** One audit watchdog sweep (mint/burn any gap). */
     blitzcoin::AuditReport reconcile() { return audit_.reconcile(); }
 
@@ -154,6 +177,7 @@ class ChaosCluster
     void onRestart(noc::NodeId node);
     void scheduleAudit();
     void scheduleSample();
+    void scheduleSnapshot();
 
     ChaosConfig cfg_;
     sim::EventQueue eq_;
@@ -166,6 +190,10 @@ class ChaosCluster
     std::vector<coin::Coins> maxAtCrash_;
     trace::Registry *metrics_ = nullptr;
     sim::Tick sampleEvery_ = 0;
+    record::FlightRecorder *recorder_ = nullptr;
+    record::ProvenanceLedger *prov_ = nullptr;
+    sim::Tick snapshotEvery_ = 0;
+    std::int64_t snapshotEpoch_ = 0;
 };
 
 } // namespace blitz::fault

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "record/recorder.hpp"
 #include "trace/tracer.hpp"
 
 namespace blitz::fault {
@@ -145,6 +146,11 @@ FaultPlane::applyRates(noc::Packet &pkt, const FaultRates &r,
             tracer_->instant("fault", "inject_drop", pkt.dst, now,
                              {{"src",
                                static_cast<std::int64_t>(pkt.src)}});
+        if (recorder_)
+            recorder_->fault(now, record::RecordKind::FaultDrop,
+                             record::kSiteInject,
+                             static_cast<int>(pkt.type), pkt.src,
+                             pkt.dst, static_cast<std::int64_t>(pkt.seq));
         return fd;
     }
     if (r.delay > 0.0 && rng_.chance(r.delay)) {
@@ -155,6 +161,12 @@ FaultPlane::applyRates(noc::Packet &pkt, const FaultRates &r,
             tracer_->instant(
                 "fault", "inject_delay", pkt.dst, now,
                 {{"ticks", static_cast<std::int64_t>(fd.delay)}});
+        if (recorder_)
+            recorder_->fault(now, record::RecordKind::FaultDelay,
+                             record::kSiteInject,
+                             static_cast<int>(pkt.type), pkt.src,
+                             pkt.dst, static_cast<std::int64_t>(pkt.seq),
+                             static_cast<std::int64_t>(fd.delay));
     }
     // Duplication is a delivery-stage artifact (endpoint retransmit);
     // duplicating mid-route would multiply copies at every hop.
@@ -163,6 +175,11 @@ FaultPlane::applyRates(noc::Packet &pkt, const FaultRates &r,
         fd.duplicate = true;
         if (tracer_)
             tracer_->instant("fault", "inject_duplicate", pkt.dst, now);
+        if (recorder_)
+            recorder_->fault(now, record::RecordKind::FaultDuplicate,
+                             record::kSiteInject,
+                             static_cast<int>(pkt.type), pkt.src,
+                             pkt.dst, static_cast<std::int64_t>(pkt.seq));
     }
     if (r.corrupt > 0.0 && rng_.chance(r.corrupt)) {
         ++stats_.corruptions;
@@ -172,6 +189,13 @@ FaultPlane::applyRates(noc::Packet &pkt, const FaultRates &r,
         pkt.corrupted = true; // the link CRC catches the damage
         if (tracer_)
             tracer_->instant("fault", "inject_corrupt", pkt.dst, now);
+        if (recorder_)
+            recorder_->fault(now, record::RecordKind::FaultCorrupt,
+                             record::kSiteInject,
+                             static_cast<int>(pkt.type), pkt.src,
+                             pkt.dst, static_cast<std::int64_t>(pkt.seq),
+                             static_cast<std::int64_t>(
+                                 word * 64 + static_cast<std::size_t>(bit)));
     }
     return fd;
 }
@@ -182,10 +206,20 @@ FaultPlane::onLink(noc::Packet &pkt, noc::NodeId from, noc::NodeId to,
 {
     if (nodeDown(pkt.src, now) || nodeDown(pkt.dst, now)) {
         ++stats_.outageDrops;
+        if (recorder_)
+            recorder_->fault(now, record::RecordKind::FaultDrop,
+                             record::kSiteOutage,
+                             static_cast<int>(pkt.type), pkt.src,
+                             pkt.dst, static_cast<std::int64_t>(pkt.seq));
         return {.drop = true};
     }
     if (linkCut(from, to, now)) {
         ++stats_.partitionDrops;
+        if (recorder_)
+            recorder_->fault(now, record::RecordKind::FaultDrop,
+                             record::kSitePartition,
+                             static_cast<int>(pkt.type), from, to,
+                             static_cast<std::int64_t>(pkt.seq));
         return {.drop = true};
     }
     if (cfg_.endpointOnly)
@@ -225,6 +259,11 @@ FaultPlane::onDeliver(noc::Packet &pkt, noc::NodeId at, sim::Tick now)
 {
     if (nodeDown(pkt.src, now) || nodeDown(at, now)) {
         ++stats_.outageDrops;
+        if (recorder_)
+            recorder_->fault(now, record::RecordKind::FaultDrop,
+                             record::kSiteOutage,
+                             static_cast<int>(pkt.type), pkt.src, at,
+                             static_cast<std::int64_t>(pkt.seq));
         return {.drop = true};
     }
     return applyRates(pkt, ratesFor(pkt, at, at), true, now);

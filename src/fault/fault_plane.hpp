@@ -34,6 +34,10 @@ namespace blitz::trace {
 class Tracer;
 }
 
+namespace blitz::record {
+class FlightRecorder;
+}
+
 namespace blitz::fault {
 
 /** Fault rates applied at one scope (global, plane, node, or link). */
@@ -168,6 +172,17 @@ class FaultPlane : public noc::FaultHook
     void setTrace(trace::Tracer *t);
 
     /**
+     * Attach the flight recorder (or detach with nullptr). Every fault
+     * *decision* — rate-based drop/delay/duplicate/corrupt, outage
+     * discard, partition discard — is journaled with the packet's
+     * endpoints, sequence number, and the site it fired at. The
+     * network records deliveries; the plane records why a packet did
+     * not arrive, so a replay diff can separate "the fault pattern
+     * changed" from "the protocol reacted differently".
+     */
+    void setRecorder(record::FlightRecorder *rec) { recorder_ = rec; }
+
+    /**
      * Schedule the outage transitions on @p eq, invoking onNodeDown /
      * onNodeUp (when set) at each non-freeze window edge so the
      * harness can crash and restart the affected unit. Freeze windows
@@ -205,6 +220,7 @@ class FaultPlane : public noc::FaultHook
     sim::Rng rng_;
     FaultStats stats_;
     trace::Tracer *tracer_ = nullptr;
+    record::FlightRecorder *recorder_ = nullptr;
 };
 
 /**

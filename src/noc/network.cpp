@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "record/recorder.hpp"
 #include "trace/noc_trace.hpp"
 
 namespace blitz::noc {
@@ -134,6 +135,11 @@ Network::finishDelivery(PacketEvent *pe)
     if (trace_)
         trace_->onDeliver(pe->at, static_cast<int>(pe->pkt.type),
                           pe->pkt.injectTick, eq_.now());
+    if (recorder_)
+        recorder_->nocDeliver(eq_.now(), pe->at,
+                              static_cast<int>(pe->pkt.plane),
+                              static_cast<int>(pe->pkt.type),
+                              pe->pkt.seq, pe->pkt.injectTick);
     // Pin the handler installed *now*: a handler replacing itself (or
     // being replaced reentrantly) must not destroy the one executing.
     std::shared_ptr<const Handler> h = handlers_[pe->at];

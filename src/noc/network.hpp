@@ -38,6 +38,10 @@ namespace blitz::trace {
 class NocTrace;
 }
 
+namespace blitz::record {
+class FlightRecorder;
+}
+
 namespace blitz::noc {
 
 /**
@@ -93,6 +97,14 @@ class Network
      * attaching it leaves packet timing and ordering untouched.
      */
     void setTrace(trace::NocTrace *probe) { trace_ = probe; }
+
+    /**
+     * Install (or clear, with nullptr) the flight recorder. When set,
+     * every endpoint delivery is journaled (dst, plane, type, seq,
+     * inject tick). Passive like the trace probe: one branch per
+     * delivery when detached, never on the per-hop path.
+     */
+    void setRecorder(record::FlightRecorder *rec) { recorder_ = rec; }
 
     /** Number of (node, dir, plane) link slots, for probe sizing. */
     std::size_t
@@ -205,6 +217,7 @@ class Network
     std::vector<std::shared_ptr<const Handler>> handlers_;
     FaultHook *fault_ = nullptr;
     trace::NocTrace *trace_ = nullptr;
+    record::FlightRecorder *recorder_ = nullptr;
     /** Earliest tick each output link is free, per (node, dir, plane). */
     std::vector<sim::Tick> linkFree_;
     /** Earliest tick each ejection port is free, per (node, plane). */

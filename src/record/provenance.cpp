@@ -1,0 +1,242 @@
+#include "provenance.hpp"
+
+#include <cstdio>
+
+namespace blitz::record {
+
+void
+ProvenanceLedger::reset(std::size_t tiles)
+{
+    fifo_.assign(tiles, {});
+    held_.assign(tiles, 0);
+    lost_.clear();
+    history_.clear();
+    lostOutstanding_ = 0;
+    unsourced_ = 0;
+}
+
+void
+ProvenanceLedger::hop(std::uint64_t lineage, ProvenanceHop h)
+{
+    if (lineage < history_.size())
+        history_[lineage].push_back(h);
+}
+
+std::uint64_t
+ProvenanceLedger::mint(std::uint32_t tile, std::int64_t amount,
+                       sim::Tick tick)
+{
+    if (amount <= 0 || tile >= fifo_.size())
+        return kNoLineage;
+    const std::uint64_t lineage = history_.size();
+    history_.emplace_back();
+    fifo_[tile].push_back({lineage, amount});
+    held_[tile] += amount;
+    hop(lineage, {ProvenanceHop::Kind::Mint, tick, tile, tile, amount,
+                  0});
+    return lineage;
+}
+
+void
+ProvenanceLedger::transfer(std::uint32_t from, std::uint32_t to,
+                           std::int64_t amount, std::uint64_t xid,
+                           sim::Tick tick)
+{
+    if (amount == 0 || from >= fifo_.size() || to >= fifo_.size())
+        return;
+    if (amount < 0) {
+        // Negative delta: the coins flow the other way.
+        transfer(to, from, -amount, xid, tick);
+        return;
+    }
+    std::int64_t remaining = amount;
+    auto &src = fifo_[from];
+    auto &dst = fifo_[to];
+    while (remaining > 0 && !src.empty()) {
+        Slice &s = src.front();
+        const std::int64_t take =
+            s.amount <= remaining ? s.amount : remaining;
+        hop(s.lineage, {ProvenanceHop::Kind::Transfer, tick, from, to,
+                        take, xid});
+        dst.push_back({s.lineage, take});
+        s.amount -= take;
+        remaining -= take;
+        if (s.amount == 0)
+            src.pop_front();
+    }
+    if (remaining > 0) {
+        // Source underflow: the simulation moved coins the ledger
+        // never saw minted. Book them as an untracked lineage so the
+        // totals still reconcile, and count the mis-wiring.
+        unsourced_ += remaining;
+        const std::uint64_t lineage = history_.size();
+        history_.emplace_back();
+        dst.push_back({lineage, remaining});
+        hop(lineage, {ProvenanceHop::Kind::Transfer, tick, from, to,
+                      remaining, xid});
+    }
+    held_[from] -= amount;
+    held_[to] += amount;
+}
+
+void
+ProvenanceLedger::crash(std::uint32_t tile, sim::Tick tick)
+{
+    if (tile >= fifo_.size())
+        return;
+    auto &q = fifo_[tile];
+    while (!q.empty()) {
+        Slice s = q.front();
+        q.pop_front();
+        hop(s.lineage, {ProvenanceHop::Kind::Crash, tick, tile, tile,
+                        s.amount, 0});
+        lost_.push_back({s.lineage, s.amount});
+        lostOutstanding_ += s.amount;
+        held_[tile] -= s.amount;
+    }
+}
+
+void
+ProvenanceLedger::burn(std::uint32_t tile, std::int64_t amount,
+                       sim::Tick tick)
+{
+    if (amount <= 0 || tile >= fifo_.size())
+        return;
+    std::int64_t remaining = amount;
+    auto &q = fifo_[tile];
+    while (remaining > 0 && !q.empty()) {
+        Slice &s = q.front();
+        const std::int64_t take =
+            s.amount <= remaining ? s.amount : remaining;
+        hop(s.lineage, {ProvenanceHop::Kind::Burn, tick, tile, tile,
+                        take, 0});
+        s.amount -= take;
+        remaining -= take;
+        if (s.amount == 0)
+            q.pop_front();
+    }
+    unsourced_ += remaining;
+    held_[tile] -= amount - remaining;
+}
+
+std::uint64_t
+ProvenanceLedger::remint(std::uint32_t tile, std::int64_t amount,
+                         sim::Tick tick)
+{
+    if (amount <= 0 || tile >= fifo_.size())
+        return kNoLineage;
+    std::uint64_t first = kNoLineage;
+    std::int64_t remaining = amount;
+    while (remaining > 0 && !lost_.empty()) {
+        Lost &l = lost_.front();
+        const std::int64_t take =
+            l.amount <= remaining ? l.amount : remaining;
+        hop(l.lineage, {ProvenanceHop::Kind::Remint, tick, tile, tile,
+                        take, 0});
+        fifo_[tile].push_back({l.lineage, take});
+        if (first == kNoLineage)
+            first = l.lineage;
+        l.amount -= take;
+        remaining -= take;
+        lostOutstanding_ -= take;
+        if (l.amount == 0)
+            lost_.pop_front();
+    }
+    if (remaining > 0) {
+        const std::uint64_t fresh = mint(tile, remaining, tick);
+        held_[tile] -= remaining; // mint() booked it; rebook below
+        if (first == kNoLineage)
+            first = fresh;
+    }
+    held_[tile] += amount;
+    return first;
+}
+
+std::int64_t
+ProvenanceLedger::held(std::uint32_t tile) const
+{
+    return tile < held_.size() ? held_[tile] : 0;
+}
+
+const std::vector<ProvenanceHop> &
+ProvenanceLedger::history(std::uint64_t lineage) const
+{
+    static const std::vector<ProvenanceHop> empty;
+    return lineage < history_.size() ? history_[lineage] : empty;
+}
+
+std::vector<std::uint64_t>
+ProvenanceLedger::lostLineages() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(lost_.size());
+    for (const Lost &l : lost_)
+        out.push_back(l.lineage);
+    return out;
+}
+
+std::string
+ProvenanceLedger::describeLineage(std::uint64_t lineage) const
+{
+    std::string out;
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "lineage %llu:",
+                  static_cast<unsigned long long>(lineage));
+    out += buf;
+    for (const ProvenanceHop &h : history(lineage)) {
+        switch (h.kind) {
+        case ProvenanceHop::Kind::Mint:
+            std::snprintf(buf, sizeof buf,
+                          " minted %lld on tile %u @%llu",
+                          static_cast<long long>(h.amount), h.from,
+                          static_cast<unsigned long long>(h.tick));
+            break;
+        case ProvenanceHop::Kind::Transfer:
+            std::snprintf(buf, sizeof buf,
+                          " -> %lld moved %u->%u @%llu (xid %llu)",
+                          static_cast<long long>(h.amount), h.from,
+                          h.to,
+                          static_cast<unsigned long long>(h.tick),
+                          static_cast<unsigned long long>(h.xid));
+            break;
+        case ProvenanceHop::Kind::Crash:
+            std::snprintf(
+                buf, sizeof buf,
+                " -> %lld destroyed in crash of tile %u @%llu",
+                static_cast<long long>(h.amount), h.from,
+                static_cast<unsigned long long>(h.tick));
+            break;
+        case ProvenanceHop::Kind::Burn:
+            std::snprintf(buf, sizeof buf,
+                          " -> %lld burned on tile %u @%llu (audit)",
+                          static_cast<long long>(h.amount), h.from,
+                          static_cast<unsigned long long>(h.tick));
+            break;
+        case ProvenanceHop::Kind::Remint:
+            std::snprintf(buf, sizeof buf,
+                          " -> %lld reminted on tile %u @%llu (audit)",
+                          static_cast<long long>(h.amount), h.from,
+                          static_cast<unsigned long long>(h.tick));
+            break;
+        }
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+ProvenanceLedger::gapReport() const
+{
+    std::string out;
+    char buf[96];
+    for (const Lost &l : lost_) {
+        std::snprintf(buf, sizeof buf, "%lld coins outstanding, ",
+                      static_cast<long long>(l.amount));
+        out += buf;
+        out += describeLineage(l.lineage);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace blitz::record

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Per-coin provenance: lineage IDs stamped at mint and threaded
+ * through transfers, crashes, and audit remints.
+ *
+ * ClusterAudit's census can tell *that* coins vanished; it cannot say
+ * *which* coins or *how*. The ledger closes that gap: every mint
+ * creates a lineage (an ID covering the minted amount), transfers
+ * move lineage slices FIFO between per-tile queues, a crash moves the
+ * victim's slices to a lost list, and an audit remint consumes lost
+ * lineages oldest-first — so a conservation violation can be reported
+ * as a causal chain ("lineage 3, 12 coins, minted on tile 0 @0,
+ * moved 0→1 @812 (xid 27), destroyed in crash of 1 @3000") instead
+ * of a bare count.
+ *
+ * The ledger is an observer: it never touches simulation RNG or
+ * state, so attaching it leaves trial outcomes bit-identical. Its
+ * per-tile balances track the *settled* coin positions (a transfer is
+ * booked once, when the partner applies the delta), so after quiesce
+ * they equal the units' holdings exactly.
+ */
+
+#ifndef BLITZ_RECORD_PROVENANCE_HPP
+#define BLITZ_RECORD_PROVENANCE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace blitz::record {
+
+/** One step in a lineage's life. */
+struct ProvenanceHop
+{
+    enum class Kind : std::uint8_t
+    {
+        Mint,
+        Transfer,
+        Crash,
+        Burn,
+        Remint,
+    };
+
+    Kind kind;
+    sim::Tick tick;
+    std::uint32_t from; ///< tile (Mint/Burn/Crash/Remint: the tile)
+    std::uint32_t to;   ///< Transfer only
+    std::int64_t amount;
+    std::uint64_t xid; ///< Transfer only; 0 elsewhere
+};
+
+class ProvenanceLedger
+{
+  public:
+    explicit ProvenanceLedger(std::size_t tiles = 0) { reset(tiles); }
+
+    void reset(std::size_t tiles);
+
+    std::size_t tiles() const { return held_.size(); }
+
+    /** Create @p amount coins on @p tile as one new lineage.
+     *  @return the lineage id (kNoLineage when amount <= 0). */
+    std::uint64_t mint(std::uint32_t tile, std::int64_t amount,
+                       sim::Tick tick);
+
+    /** Move @p amount coins FIFO from @p from to @p to. */
+    void transfer(std::uint32_t from, std::uint32_t to,
+                  std::int64_t amount, std::uint64_t xid,
+                  sim::Tick tick);
+
+    /** Destroy @p tile's holdings (power loss); slices become lost. */
+    void crash(std::uint32_t tile, sim::Tick tick);
+
+    /** Destroy @p amount coins FIFO from @p tile (audit correction). */
+    void burn(std::uint32_t tile, std::int64_t amount, sim::Tick tick);
+
+    /**
+     * Audit watchdog re-creating @p amount coins on @p tile. Consumes
+     * lost lineages oldest-first (marking them reminted); any excess
+     * becomes a fresh lineage.
+     * @return the first lineage id touched.
+     */
+    std::uint64_t remint(std::uint32_t tile, std::int64_t amount,
+                         sim::Tick tick);
+
+    /** Settled coins the ledger books on @p tile. */
+    std::int64_t held(std::uint32_t tile) const;
+
+    /** Coins destroyed by crashes and not yet reminted. */
+    std::int64_t lostOutstanding() const { return lostOutstanding_; }
+
+    /** Transfers booked against tiles with no tracked coins —
+     *  non-zero means a hook site is mis-wired. */
+    std::int64_t unsourced() const { return unsourced_; }
+
+    std::uint64_t lineageCount() const { return history_.size(); }
+
+    static constexpr std::uint64_t kNoLineage = ~std::uint64_t{0};
+
+    /** Full hop history of @p lineage (empty for unknown ids). */
+    const std::vector<ProvenanceHop> &
+    history(std::uint64_t lineage) const;
+
+    /** Lost-but-not-reminted lineage ids, oldest first. */
+    std::vector<std::uint64_t> lostLineages() const;
+
+    /** Human-readable causal chain of one lineage. */
+    std::string describeLineage(std::uint64_t lineage) const;
+
+    /**
+     * Causal chains behind every outstanding lost coin — what
+     * ClusterAudit reports when the census finds a gap. Empty string
+     * when nothing is outstanding.
+     */
+    std::string gapReport() const;
+
+  private:
+    struct Slice
+    {
+        std::uint64_t lineage;
+        std::int64_t amount;
+    };
+
+    struct Lost
+    {
+        std::uint64_t lineage;
+        std::int64_t amount;
+    };
+
+    void hop(std::uint64_t lineage, ProvenanceHop h);
+
+    std::vector<std::deque<Slice>> fifo_; ///< per-tile, oldest front
+    std::vector<std::int64_t> held_;
+    std::deque<Lost> lost_; ///< oldest front
+    std::vector<std::vector<ProvenanceHop>> history_; ///< by lineage
+    std::int64_t lostOutstanding_ = 0;
+    std::int64_t unsourced_ = 0;
+};
+
+} // namespace blitz::record
+
+#endif // BLITZ_RECORD_PROVENANCE_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * FNV-1a streaming digest.
+ *
+ * The repo's determinism contract ("a (seed, config) pair fully
+ * determines a run") is enforced by comparing cheap order-sensitive
+ * digests of simulation state across thread counts, kernel versions,
+ * and record/replay round trips. This helper is that digest: FNV-1a
+ * over explicitly-fed words, so two streams match iff the same values
+ * arrived in the same order. Golden pins in tests/golden_trace_test.cpp
+ * and the flight recorder's log digests both build on it.
+ */
+
+#ifndef BLITZ_SIM_DIGEST_HPP
+#define BLITZ_SIM_DIGEST_HPP
+
+#include <cstdint>
+#include <cstring>
+
+namespace blitz::sim {
+
+/** Order-sensitive FNV-1a accumulator over 64-bit words. */
+class Fnv1a
+{
+  public:
+    Fnv1a &
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xff;
+            h_ *= 0x100000001b3ull;
+        }
+        return *this;
+    }
+
+    Fnv1a &
+    i64(std::int64_t v)
+    {
+        return u64(static_cast<std::uint64_t>(v));
+    }
+
+    /** Digest a double by bit pattern (exact, not by value). */
+    Fnv1a &
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        return u64(bits);
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+} // namespace blitz::sim
+
+#endif // BLITZ_SIM_DIGEST_HPP

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "record/recorder.hpp"
 #include "sim/logging.hpp"
 #include "trace/metrics.hpp"
 #include "trace/tracer.hpp"
@@ -54,6 +55,8 @@ Soc::installFaultPlane(fault::FaultPlane &plane)
     plane.armOutageSchedule(eq_);
     if (tracer_)
         plane.setTrace(tracer_);
+    if (recorder_)
+        plane.setRecorder(recorder_);
 }
 
 void
@@ -92,6 +95,17 @@ Soc::attachTrace(trace::Tracer *t)
     pm_->setTrace(t);
     if (fault_)
         fault_->setTrace(t);
+}
+
+void
+Soc::attachRecorder(record::FlightRecorder *rec)
+{
+    recorder_ = rec;
+    net_->setRecorder(rec);
+    for (auto &t : tileStore_)
+        t->setRecorder(rec);
+    if (fault_)
+        fault_->setRecorder(rec);
 }
 
 Soc::~Soc() = default;

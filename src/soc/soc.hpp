@@ -132,6 +132,14 @@ class Soc
      */
     void attachTrace(trace::Tracer *t);
 
+    /**
+     * Wire the flight recorder into the NoC (deliveries), every
+     * accelerator tile (PM actuations via the setFreqTargetMhz
+     * funnel), and any installed fault plane (injection decisions).
+     * Call before run(); nullptr detaches.
+     */
+    void attachRecorder(record::FlightRecorder *rec);
+
     /** Execute a workload to completion (or the horizon). */
     SocRunStats run(const workload::Dag &dag,
                     const SocRunOptions &opts = SocRunOptions{});
@@ -153,6 +161,7 @@ class Soc
     trace::Registry *metrics_ = nullptr; ///< not owned; may be null
     sim::Tick metricsEvery_ = 0;
     trace::Tracer *tracer_ = nullptr;    ///< not owned; may be null
+    record::FlightRecorder *recorder_ = nullptr; ///< not owned
 
     // Per-run scheduler state.
     workload::ActivityTrace *activityTrace_ = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "record/recorder.hpp"
 #include "sim/logging.hpp"
 
 namespace blitz::soc {
@@ -64,7 +65,10 @@ AcceleratorTile::setFreqTargetMhz(double freqMhz)
     // oscillator output, so the effective frequency can change at
     // this very tick, before any control-loop step runs.
     accrueProgress();
-    uvfr_.setTargetMhz(std::min(freqMhz, curve_->fMax()));
+    const double target = std::min(freqMhz, curve_->fMax());
+    uvfr_.setTargetMhz(target);
+    if (recorder_)
+        recorder_->pmActuation(eq_.now(), id_, target);
     accrualFreqMhz_ = this->freqMhz();
     scheduleCompletion();
     kickControlLoop();

@@ -23,6 +23,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/types.hpp"
 
+namespace blitz::record {
+class FlightRecorder;
+}
+
 namespace blitz::soc {
 
 /**
@@ -49,6 +53,14 @@ class AcceleratorTile
 
     /** Set the UVFR frequency target (MHz); from the PM layer. */
     void setFreqTargetMhz(double freqMhz);
+
+    /**
+     * Attach the flight recorder (nullptr detaches). Every frequency
+     * target programmed by the PM layer — this is the single actuation
+     * funnel all PM policies go through — is journaled as a
+     * PmActuation record in milli-MHz.
+     */
+    void setRecorder(record::FlightRecorder *rec) { recorder_ = rec; }
 
     /** Present clock frequency (MHz), after regulator dynamics. */
     double freqMhz() const { return uvfr_.freqMhz(); }
@@ -99,6 +111,7 @@ class AcceleratorTile
     std::string name_;
     const power::PfCurve *curve_;
     power::Uvfr uvfr_;
+    record::FlightRecorder *recorder_ = nullptr;
 
     bool busy_ = false;
     double remainingCycles_ = 0.0;

@@ -173,6 +173,26 @@ runSweepFold(std::size_t replications, std::uint64_t rootSeed, Fn &&fn,
     return acc;
 }
 
+/**
+ * Lane-merge fold for accumulators with an
+ * `absorb(const R &, std::uint32_t lane)` member (trace::Tracer,
+ * record::FlightRecorder): run the sweep and absorb each replication's
+ * result in index order, stamping the replication index as the lane.
+ * The merged stream is bit-identical for any thread count.
+ */
+template <typename Acc, typename Fn>
+Acc
+runSweepAbsorb(std::size_t replications, std::uint64_t rootSeed,
+               Fn &&fn, const SweepOptions &opts = {})
+{
+    auto results =
+        runSweep(replications, rootSeed, std::forward<Fn>(fn), opts);
+    Acc acc{};
+    for (std::size_t i = 0; i < results.size(); ++i)
+        acc.absorb(results[i], static_cast<std::uint32_t>(i));
+    return acc;
+}
+
 } // namespace blitz::sweep
 
 #endif // BLITZ_SWEEP_SWEEP_HPP

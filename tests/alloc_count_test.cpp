@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include "noc/network.hpp"
+#include "record/recorder.hpp"
 #include "sim/event_queue.hpp"
 
 namespace {
@@ -183,6 +184,40 @@ TEST(AllocCount, NocSteadyStateIsAllocationFree)
     // The audit must cover real traffic, not an idle queue.
     EXPECT_GT(net.packetsDelivered() - deliveredBefore, 50'000u);
     EXPECT_GT(sunk, 0u);
+}
+
+TEST(AllocCount, RingRecorderSteadyStateIsAllocationFree)
+{
+    // In ring mode the recorder recycles whole chunks once maxChunks
+    // are live, so after one full lap around the ring the append path
+    // must never touch the heap again — the property that makes
+    // always-on black-box recording safe inside the event kernel.
+    blitz::record::RecorderConfig cfg;
+    cfg.chunkRecords = 64;
+    cfg.maxChunks = 4;
+    blitz::record::FlightRecorder rec(cfg);
+
+    blitz::record::Record r{};
+    r.kind = blitz::record::RecordKind::Transfer;
+    // Warmup: allocate every chunk and enter recycling.
+    for (std::uint64_t i = 0; i < cfg.chunkRecords * cfg.maxChunks + 1;
+         ++i) {
+        r.tick = i;
+        rec.append(r);
+    }
+    ASSERT_GT(rec.droppedOldest(), 0u) << "ring never wrapped";
+
+    const std::uint64_t before = gAllocCount.load();
+    for (std::uint64_t i = 0; i < 100'000; ++i) {
+        r.tick = i;
+        rec.append(r);
+    }
+    EXPECT_EQ(gAllocCount.load() - before, 0u)
+        << "ring-mode recording allocated in steady state";
+    // The window is between maxChunks-1 full chunks plus one record
+    // and maxChunks full chunks, depending on ring position.
+    EXPECT_LE(rec.size(), cfg.chunkRecords * cfg.maxChunks);
+    EXPECT_GT(rec.size(), cfg.chunkRecords * (cfg.maxChunks - 1));
 }
 
 } // namespace

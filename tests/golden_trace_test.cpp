@@ -37,6 +37,7 @@
 #include "bench_common.hpp"
 #include "coin/engine.hpp"
 #include "fault/chaos.hpp"
+#include "record/recorder.hpp"
 #include "sweep/sweep.hpp"
 #include "trace/attach.hpp"
 #include "trace/metrics.hpp"
@@ -148,7 +149,8 @@ constexpr double convergedTol = 2.5;
 
 std::uint64_t
 chaosTrialDigest(const GoldenScenario &sc, std::uint64_t seed,
-                 bool observed = false)
+                 bool observed = false,
+                 record::FlightRecorder *rec = nullptr)
 {
     fault::ChaosConfig cc;
     cc.width = sc.d;
@@ -190,6 +192,8 @@ chaosTrialDigest(const GoldenScenario &sc, std::uint64_t seed,
         cluster.attachMetrics(&reg, /*interval=*/1024);
         cluster.net().setTrace(&nocProbe);
     }
+    if (rec)
+        cluster.attachRecorder(rec);
     coin::Coins demand = 0;
     for (std::size_t i = 0; i < n; ++i) {
         coin::Coins m = bench::typeLevel(static_cast<int>(i) % 4);
@@ -303,6 +307,24 @@ TEST(GoldenTrace, ObservedChaosTrialsMatchUnobservedDigests)
         EXPECT_EQ(chaosTrialDigest(sc, seed, /*observed=*/true),
                   chaosTrialDigest(sc, seed, /*observed=*/false))
             << "scenario " << scenarioIdx - 1;
+    }
+}
+
+TEST(GoldenTrace, RecordedChaosTrialsMatchUnrecordedDigests)
+{
+    // The flight recorder journals from hook points that read event
+    // arguments already computed; with recording ON every trial digest
+    // must stay pinned to the recording-OFF value, and the journal
+    // itself must be non-trivial (the pin is not vacuous).
+    std::uint64_t scenarioIdx = 0;
+    for (const GoldenScenario &sc : kScenarios) {
+        const std::uint64_t seed =
+            sweep::streamSeed(2026, scenarioIdx++);
+        record::FlightRecorder rec;
+        EXPECT_EQ(chaosTrialDigest(sc, seed, /*observed=*/false, &rec),
+                  chaosTrialDigest(sc, seed, /*observed=*/false))
+            << "scenario " << scenarioIdx - 1;
+        EXPECT_GT(rec.size(), 0u) << "scenario " << scenarioIdx - 1;
     }
 }
 
