@@ -18,6 +18,7 @@
  */
 
 #include <array>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -25,6 +26,7 @@
 #include "bench_common.hpp"
 #include "bench_obs.hpp"
 #include "fault/chaos.hpp"
+#include "sim/shard.hpp"
 #include "sweep/sweep.hpp"
 #include "trace/flush_guard.hpp"
 #include "trace/metrics.hpp"
@@ -95,6 +97,12 @@ runTrial(const Scenario &sc, std::uint64_t seed,
     cc.arena = &sim::threadArena();
     cc.seedBase = seed;
     cc.fault.seed = seed;
+    // BLITZ_SHARDS=K runs every trial's event kernel BSP-sharded over
+    // K column bands (K=1 is the bit-identity baseline; results are
+    // identical for every K by the sharded golden pins). Unset keeps
+    // the legacy single-queue path.
+    if (std::getenv("BLITZ_SHARDS"))
+        cc.shards = sim::defaultShards();
     cc.fault.coinTrafficOnly = true;
     cc.fault.base.drop = sc.drop;
     cc.fault.base.duplicate = sc.duplicate;

@@ -38,6 +38,7 @@
 #include "noc/network.hpp"
 #include "record/recorder.hpp"
 #include "sim/rng.hpp"
+#include "sim/shard.hpp"
 
 using namespace blitz;
 
@@ -313,6 +314,58 @@ perfNocSteady(const char *name, int d, std::uint64_t targetPackets,
 }
 
 /**
+ * Large-mesh NoC steady state under the BSP-sharded kernel: same
+ * traffic shape as perfNocSteady, but the mesh is partitioned into
+ * @p shards column bands run bulk-synchronously. Senders are pinned
+ * to their node's shard; deliveries execute at the destination's
+ * locus, so the per-node sink counters have one writing shard each.
+ */
+Result
+perfNocSharded(const char *name, int d, std::uint32_t shards,
+               std::uint64_t targetPackets)
+{
+    sim::EventQueue eq;
+    sim::ShardGroup group(
+        eq, shards,
+        sim::columnBands(static_cast<std::uint32_t>(d),
+                         static_cast<std::uint32_t>(d), shards));
+    noc::Network net(eq, noc::Topology(d, d, false));
+    net.enableSharding(group);
+    const auto n = static_cast<std::uint32_t>(d * d);
+    std::vector<std::uint64_t> sunk(n, 0);
+    std::uint64_t *sp = sunk.data();
+    for (noc::NodeId id = 0; id < n; ++id)
+        net.setHandler(id,
+                       [sp, id](const noc::Packet &) { ++sp[id]; });
+    for (noc::NodeId id = 0; id < n; ++id) {
+        eq.scheduleAtNode(
+            id, 1 + (id % 29),
+            SenderEvent{&net, &eq, id, 0x9e3779b9u + id, n, 32});
+    }
+    eq.runUntil(4096);
+
+    Result best{name};
+    for (int rep = 0; rep < 3; ++rep) {
+        std::uint64_t executed = 0;
+        const std::uint64_t packets0 = net.packetsDelivered();
+        const auto t0 = std::chrono::steady_clock::now();
+        while (net.packetsDelivered() - packets0 < targetPackets)
+            executed += eq.runUntil(eq.now() + 8192);
+        const double secs = secondsSince(t0);
+        const std::uint64_t packets =
+            net.packetsDelivered() - packets0;
+        if (best.seconds == 0.0 ||
+            secs / static_cast<double>(packets) <
+                best.seconds / static_cast<double>(best.packets)) {
+            best.events = executed;
+            best.packets = packets;
+            best.seconds = secs;
+        }
+    }
+    return best;
+}
+
+/**
  * Recorded throughput for @p name from a previous BENCH_ops.json:
  * events_per_sec for kernel configs, packets_per_sec for NoC configs.
  * Returns 0 when the file or the config is missing (nothing to gate
@@ -361,7 +414,28 @@ perfMain(const char *jsonPath, const char *checkPath)
         perfNocSteady("noc_steady_4x4", 4, 200'000),
         perfNocSteady("noc_steady_6x6", 6, 200'000),
         perfNocSteady("noc_steady_6x6_recorded", 6, 200'000, &ringRec),
+        // Large-mesh shard scaling: the same 16x16 workload at 1 and 4
+        // shards. s1 takes the single-active-shard inline path; s4
+        // runs real worker threads, so its wall-clock (and the
+        // s4-vs-s1 ratio printed below) is only meaningful on a
+        // machine with >= 4 cores — these entries are recorded but not
+        // gated by --perf-check.
+        perfNocSharded("noc_shard_16x16_s1", 16, 1, 200'000),
+        perfNocSharded("noc_shard_16x16_s4", 16, 4, 200'000),
     };
+
+    double shardS1 = 0.0, shardS4 = 0.0;
+    for (const Result &r : results) {
+        if (std::strcmp(r.name, "noc_shard_16x16_s1") == 0)
+            shardS1 = r.packetsPerSec();
+        if (std::strcmp(r.name, "noc_shard_16x16_s4") == 0)
+            shardS4 = r.packetsPerSec();
+    }
+    if (shardS1 > 0.0) {
+        std::printf("shard-scaling     noc_shard_16x16 s4/s1 = %.2fx "
+                    "(threads contend with the host; see comment)\n",
+                    shardS4 / shardS1);
+    }
 
     // Gate before overwriting: each config's throughput must stay
     // within 3% of the recorded run.
@@ -383,6 +457,11 @@ perfMain(const char *jsonPath, const char *checkPath)
                 ++regressions;
         }
         for (const Result &r : results) {
+            // Shard-scaling entries measure thread-level parallelism;
+            // their wall-clock depends on host core count and load, so
+            // they are recorded for inspection but never gated.
+            if (std::strncmp(r.name, "noc_shard_", 10) == 0)
+                continue;
             const bool noc = r.packets > 0;
             const double recorded =
                 recordedThroughput(checkPath, r.name, noc);

@@ -19,6 +19,19 @@ ChaosCluster::ChaosCluster(const ChaosConfig &cfg)
       net_(eq_, topo_, 1, cfg.arena), plane_(cfg.fault), audit_(0),
       maxAtCrash_(topo_.size(), 0)
 {
+    if (cfg_.shards >= 1) {
+        // Bind the shard group before anything schedules: the anchor
+        // must be empty, and the network/fault plane must flip to
+        // their partition-independent state layouts before the first
+        // packet.
+        group_ = std::make_unique<sim::ShardGroup>(
+            eq_, cfg_.shards,
+            sim::columnBands(static_cast<std::uint32_t>(cfg.width),
+                             static_cast<std::uint32_t>(cfg.height),
+                             cfg_.shards));
+        net_.enableSharding(*group_);
+        plane_.enableKeyedStreams(cfg_.shards);
+    }
     plane_.attach(net_);
     std::vector<bool> managed(topo_.size(), true);
     auto hoods = coin::managedNeighborhoods(topo_, managed);
@@ -173,6 +186,14 @@ ChaosCluster::attachRecorder(record::FlightRecorder *rec,
                              record::ProvenanceLedger *prov,
                              sim::Tick snapshotEvery)
 {
+    // The provenance ledger's lost-lineage FIFO is order-sensitive by
+    // design; a mutex would hide the race without making the result
+    // meaningful, so sharded runs must leave it detached.
+    BLITZ_ASSERT(!group_ || !prov,
+                 "provenance ledger is unsharded-only (order-"
+                 "sensitive lineage state)");
+    if (rec && group_)
+        rec->setConcurrent(true);
     recorder_ = rec;
     prov_ = prov;
     net_.setRecorder(rec);
@@ -250,6 +271,9 @@ ChaosCluster::setHas(std::size_t i, coin::Coins has)
 void
 ChaosCluster::setMax(std::size_t i, coin::Coins max)
 {
+    // setMax on a running unit fires an immediate exchange timer;
+    // scope it to the unit's locus like startAll().
+    sim::LocusScope scope(eq_, static_cast<noc::NodeId>(i));
     units_[i]->setMax(max);
 }
 
@@ -262,8 +286,14 @@ ChaosCluster::sealProvision()
 void
 ChaosCluster::startAll()
 {
-    for (auto &u : units_)
-        u->start();
+    // LocusScope pins each unit's initial timer to its own node's
+    // ordering locus (and shard leaf), so the schedule is a pure
+    // function of the node — identical for every shard count — and a
+    // no-op in legacy mode.
+    for (noc::NodeId id = 0; id < units_.size(); ++id) {
+        sim::LocusScope scope(eq_, id);
+        units_[id]->start();
+    }
 }
 
 coin::Coins

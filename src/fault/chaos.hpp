@@ -22,6 +22,7 @@
 #include "fault_plane.hpp"
 #include "noc/network.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/shard.hpp"
 
 namespace blitz::trace {
 class Registry;
@@ -68,6 +69,16 @@ struct ChaosConfig
      * live entirely inside one replication).
      */
     sim::Arena *arena = nullptr;
+    /**
+     * BSP shard count. 0 (the default) keeps the legacy single-queue
+     * kernel — existing golden pins are untouched. >= 1 runs the
+     * cluster on a sim::ShardGroup with that many parallel column
+     * bands (clamped to the mesh width) plus the serial observer
+     * lane; 1 is the bit-identity baseline the 2- and 4-shard runs
+     * are pinned against. Pass sim::defaultShards() to honor the
+     * BLITZ_SHARDS environment knob.
+     */
+    std::uint32_t shards = 0;
 };
 
 /**
@@ -89,6 +100,8 @@ class ChaosCluster
     const noc::Topology &topology() const { return topo_; }
     noc::Network &net() { return net_; }
     FaultPlane &plane() { return plane_; }
+    /** The BSP shard group, or nullptr in legacy mode. */
+    sim::ShardGroup *shardGroup() { return group_.get(); }
     blitzcoin::ClusterAudit &audit() { return audit_; }
     std::size_t size() const { return units_.size(); }
     blitzcoin::BlitzCoinUnit &unit(std::size_t i) { return *units_[i]; }
@@ -194,6 +207,12 @@ class ChaosCluster
     record::ProvenanceLedger *prov_ = nullptr;
     sim::Tick snapshotEvery_ = 0;
     std::int64_t snapshotEpoch_ = 0;
+    /**
+     * Declared last on purpose: the group must unbind the anchor and
+     * join its workers before any component it routes events for is
+     * destroyed.
+     */
+    std::unique_ptr<sim::ShardGroup> group_;
 };
 
 } // namespace blitz::fault

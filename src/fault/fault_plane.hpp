@@ -150,7 +150,25 @@ class FaultPlane : public noc::FaultHook
     explicit FaultPlane(FaultConfig cfg);
 
     const FaultConfig &config() const { return cfg_; }
-    const FaultStats &stats() const { return stats_; }
+
+    /**
+     * Injection counters. With keyed streams enabled the per-shard
+     * slots are merged on read (sum of integers — fold-order free),
+     * so the totals are identical for every shard count.
+     */
+    FaultStats stats() const;
+
+    /**
+     * Switch from the single sequential RNG stream to stateless keyed
+     * streams for sharded runs: every rate decision draws from a
+     * fresh generator seeded by hash(config seed, packet seq, site,
+     * stage) — a pure function of *what* is being decided, so the
+     * verdict cannot depend on how many draws other shards made
+     * first. Injection counters move to per-shard slots (indices
+     * 0..shards, last = serial lane). Call once, before any traffic,
+     * on a plane attached to a sharded network.
+     */
+    void enableKeyedStreams(std::uint32_t shards);
 
     /** Attach to a network (convenience for setFaultHook). */
     void
@@ -209,9 +227,18 @@ class FaultPlane : public noc::FaultHook
     const FaultRates &ratesFor(const noc::Packet &pkt, noc::NodeId from,
                                noc::NodeId to) const;
 
-    /** Rate-based faults shared by both stages. */
+    /**
+     * Rate-based faults shared by both stages. @p siteFrom/@p siteTo
+     * identify the decision site — they key the stateless stream when
+     * keyed mode is on and are ignored otherwise.
+     */
     noc::FaultDecision applyRates(noc::Packet &pkt, const FaultRates &r,
-                                  bool deliveryStage, sim::Tick now);
+                                  bool deliveryStage, sim::Tick now,
+                                  noc::NodeId siteFrom,
+                                  noc::NodeId siteTo);
+
+    /** The executing shard's counter slot (stats_ when unkeyed). */
+    FaultStats &statsSlot();
 
     bool coinMessage(const noc::Packet &pkt) const;
     bool linkCut(noc::NodeId a, noc::NodeId b, sim::Tick now) const;
@@ -219,6 +246,9 @@ class FaultPlane : public noc::FaultHook
     FaultConfig cfg_;
     sim::Rng rng_;
     FaultStats stats_;
+    bool keyed_ = false;
+    /** Per-shard counters (keyed mode); last slot = serial lane. */
+    std::vector<FaultStats> shardStats_;
     trace::Tracer *tracer_ = nullptr;
     record::FlightRecorder *recorder_ = nullptr;
 };

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "record/recorder.hpp"
+#include "sim/shard.hpp"
 #include "trace/noc_trace.hpp"
 
 namespace blitz::noc {
@@ -33,15 +34,45 @@ Network::Network(sim::EventQueue &eq, Topology topo, sim::Tick hopLatency,
     : eq_(eq), topo_(std::move(topo)), hopLatency_(hopLatency),
       handlers_(topo_.size()),
       linkFree_(topo_.size() * 4 * numPlanes, 0),
-      ejectFree_(topo_.size() * numPlanes, 0), arena_(arena)
+      ejectFree_(topo_.size() * numPlanes, 0), arena_(arena),
+      blocks_(1)
 {
     BLITZ_ASSERT(hopLatency_ >= 1, "hop latency must be at least 1 cycle");
+    blocks_[0].arena = arena_;
 }
 
 Network::~Network()
 {
-    for (PacketEvent *block : poolBlocks_)
-        ::operator delete(block);
+    for (Block &b : blocks_)
+        for (PacketEvent *block : b.poolBlocks)
+            ::operator delete(block);
+}
+
+void
+Network::enableSharding(sim::ShardGroup &group)
+{
+    BLITZ_ASSERT(!sharded_, "network already sharded");
+    BLITZ_ASSERT(!trace_, "NocTrace cannot observe a sharded network");
+    BLITZ_ASSERT(packetsSent() == 0,
+                 "enableSharding() must precede all traffic");
+    sharded_ = true;
+    group_ = &group;
+    // One state block per shard plus the serial lane; pools draw from
+    // the group's per-shard arenas so parallel-phase growth is
+    // thread-private by construction.
+    blocks_.assign(group.shards() + 1, Block{});
+    for (std::uint32_t s = 0; s <= group.shards(); ++s)
+        blocks_[s].arena = &group.shardArena(s);
+    srcSeq_.assign(topo_.size(), 0);
+}
+
+Network::Block &
+Network::curBlock()
+{
+    if (!sharded_)
+        return blocks_[0];
+    const sim::ShardContext *c = sim::tlsShardContext();
+    return blocks_[c ? c->shard : group_->shards()];
 }
 
 void
@@ -70,25 +101,29 @@ Network::ejectIndex(NodeId node, Plane p) const
 Network::PacketEvent *
 Network::acquireEvent(const Packet &pkt, NodeId at)
 {
-    if (!freeEvents_) {
+    Block &blk = curBlock();
+    if (!blk.freeEvents) {
         // Grow the pool by a block; nodes are recycled forever after.
+        sim::Arena *a = blk.arena;
         auto *block = static_cast<PacketEvent *>(
-            arena_ ? arena_->allocate(
-                         kPoolBlockEvents * sizeof(PacketEvent),
-                         alignof(PacketEvent))
-                   : ::operator new(kPoolBlockEvents *
-                                    sizeof(PacketEvent)));
+            a ? a->allocate(kPoolBlockEvents * sizeof(PacketEvent),
+                            alignof(PacketEvent))
+              : ::operator new(kPoolBlockEvents *
+                               sizeof(PacketEvent)));
+        const std::uint64_t epoch = a ? a->epoch() : 0;
         for (std::size_t i = 0; i < kPoolBlockEvents; ++i) {
             PacketEvent *pe =
                 ::new (static_cast<void *>(block + i)) PacketEvent;
-            pe->nextFree = freeEvents_;
-            freeEvents_ = pe;
+            pe->homeArena = a;
+            pe->poolEpoch = epoch;
+            pe->nextFree = blk.freeEvents;
+            blk.freeEvents = pe;
         }
-        if (!arena_)
-            poolBlocks_.push_back(block);
+        if (!a)
+            blk.poolBlocks.push_back(block);
     }
-    PacketEvent *pe = freeEvents_;
-    freeEvents_ = pe->nextFree;
+    PacketEvent *pe = blk.freeEvents;
+    blk.freeEvents = pe->nextFree;
     pe->pkt = pkt;
     pe->at = at;
     return pe;
@@ -97,8 +132,15 @@ Network::acquireEvent(const Packet &pkt, NodeId at)
 void
 Network::releaseEvent(PacketEvent *pe)
 {
-    pe->nextFree = freeEvents_;
-    freeEvents_ = pe;
+    // Use-after-reset tripwire: an arena-backed node must never be
+    // recycled after its home arena has been reset out from under it
+    // (e.g. a pooled event crossing a sweep-replication boundary).
+    BLITZ_ASSERT(!pe->homeArena ||
+                     pe->homeArena->epoch() == pe->poolEpoch,
+                 "packet event outlived its arena (use-after-reset)");
+    Block &blk = curBlock();
+    pe->nextFree = blk.freeEvents;
+    blk.freeEvents = pe;
 }
 
 std::uint64_t
@@ -106,9 +148,23 @@ Network::send(Packet pkt)
 {
     BLITZ_ASSERT(pkt.src < topo_.size() && pkt.dst < topo_.size(),
                  "packet endpoints out of range");
-    pkt.seq = nextSeq_++;
+    if (sharded_) {
+        // Per-source numbering: a pure function of the sending node,
+        // so sequence numbers cannot depend on the shard layout. The
+        // node-owned counter also keeps the write thread-private —
+        // enforced by the locus check below.
+        const sim::ShardContext *c = sim::tlsShardContext();
+        BLITZ_ASSERT(!c || c->serial ||
+                         group_->shardOf(pkt.src) == c->shard,
+                     "send() from a shard that does not own the "
+                     "source node");
+        pkt.seq = (static_cast<std::uint64_t>(pkt.src) + 1) << 40 |
+                  ++srcSeq_[pkt.src];
+    } else {
+        pkt.seq = nextSeq_++;
+    }
     pkt.injectTick = eq_.now();
-    ++packetsSent_;
+    ++curBlock().sent;
     hopNode(acquireEvent(pkt, pkt.src));
     return pkt.seq;
 }
@@ -121,17 +177,23 @@ Network::scheduleDelivery(const Packet &pkt, NodeId at,
     auto &free = ejectFree_[ejectIndex(at, pkt.plane)];
     sim::Tick depart = std::max(eq_.now() + extraDelay, free);
     free = depart + hopLatency_;
-    eq_.schedule(depart + hopLatency_,
-                 Deliver{this, acquireEvent(pkt, at)},
-                 sim::Priority::NocTransfer);
+    // Always executes at `at`, so this stays in the current shard.
+    eq_.scheduleAtNode(at, depart + hopLatency_,
+                       Deliver{this, acquireEvent(pkt, at)},
+                       sim::Priority::NocTransfer);
 }
 
 void
 Network::finishDelivery(PacketEvent *pe)
 {
-    ++packetsDelivered_;
-    latency_.add(
-        static_cast<double>(eq_.now() - pe->pkt.injectTick));
+    Block &blk = curBlock();
+    ++blk.delivered;
+    const sim::Tick lat = eq_.now() - pe->pkt.injectTick;
+    ++blk.latCount;
+    blk.latSum += lat;
+    blk.latMax = std::max(blk.latMax, lat);
+    if (!sharded_)
+        latency_.add(static_cast<double>(lat));
     if (trace_)
         trace_->onDeliver(pe->at, static_cast<int>(pe->pkt.type),
                           pe->pkt.injectTick, eq_.now());
@@ -177,12 +239,12 @@ Network::tryFlatten(PacketEvent *pe, sim::Tick now)
     auto &free = linkFree_[link];
     sim::Tick depart = std::max(now, free);
     free = depart + hopLatency_;
-    ++totalHops_;
+    ++curBlock().hops;
     if (trace_)
         trace_->onHop(link, depart);
     pe->at = pkt.dst;
-    eq_.schedule(depart + hopLatency_, Step{this, pe},
-                 sim::Priority::NocTransfer);
+    eq_.scheduleAtNode(pkt.dst, depart + hopLatency_, Step{this, pe},
+                       sim::Priority::NocTransfer);
     return true;
 }
 
@@ -198,7 +260,7 @@ Network::hopNode(PacketEvent *pe)
         if (fault_)
             fd = fault_->onDeliver(pkt, at, now);
         if (fd.drop) {
-            ++packetsDropped_;
+            ++curBlock().dropped;
             if (trace_)
                 trace_->onDrop(at, static_cast<int>(pkt.type), now);
         } else {
@@ -222,38 +284,43 @@ Network::hopNode(PacketEvent *pe)
     auto &free = linkFree_[link];
     sim::Tick depart = std::max(now, free);
     free = depart + hopLatency_;
-    ++totalHops_;
+    ++curBlock().hops;
     if (trace_)
         trace_->onHop(link, depart);
     if (fd.drop) {
         // The flit crossed the link (the slot is consumed) but never
         // arrives at the next router.
-        ++packetsDropped_;
+        ++curBlock().dropped;
         if (trace_)
             trace_->onDrop(at, static_cast<int>(pkt.type), now);
         releaseEvent(pe);
         return;
     }
     pe->at = next;
-    eq_.schedule(depart + hopLatency_ + fd.delay, Step{this, pe},
-                 sim::Priority::NocTransfer);
+    eq_.scheduleAtNode(next, depart + hopLatency_ + fd.delay,
+                       Step{this, pe}, sim::Priority::NocTransfer);
     if (fd.duplicate) {
         // Mid-route duplication (not produced by the delivery-stage
         // fault model, but honored for hook generality): forward an
         // independent copy behind the original.
-        eq_.schedule(depart + hopLatency_ + fd.delay,
-                     Step{this, acquireEvent(pkt, next)},
-                     sim::Priority::NocTransfer);
+        eq_.scheduleAtNode(next, depart + hopLatency_ + fd.delay,
+                           Step{this, acquireEvent(pkt, next)},
+                           sim::Priority::NocTransfer);
     }
 }
 
 void
 Network::resetStats()
 {
-    packetsSent_ = 0;
-    packetsDelivered_ = 0;
-    packetsDropped_ = 0;
-    totalHops_ = 0;
+    for (Block &b : blocks_) {
+        b.sent = 0;
+        b.delivered = 0;
+        b.dropped = 0;
+        b.hops = 0;
+        b.latCount = 0;
+        b.latSum = 0;
+        b.latMax = 0;
+    }
     latency_ = sim::Summary{};
 }
 

@@ -22,6 +22,7 @@
 #ifndef BLITZ_NOC_NETWORK_HPP
 #define BLITZ_NOC_NETWORK_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -33,6 +34,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 #include "topology.hpp"
+
+namespace blitz::sim {
+class ShardGroup;
+}
 
 namespace blitz::trace {
 class NocTrace;
@@ -96,7 +101,14 @@ class Network
      * passive — it never schedules events or consults RNG — so
      * attaching it leaves packet timing and ordering untouched.
      */
-    void setTrace(trace::NocTrace *probe) { trace_ = probe; }
+    void
+    setTrace(trace::NocTrace *probe)
+    {
+        BLITZ_ASSERT(!sharded_ || !probe,
+                     "NocTrace cannot observe a sharded network (its "
+                     "delivery summary is cross-shard shared state)");
+        trace_ = probe;
+    }
 
     /**
      * Install (or clear, with nullptr) the flight recorder. When set,
@@ -114,6 +126,20 @@ class Network
     }
 
     /**
+     * Switch the network to sharded operation on @p group (which must
+     * be bound to the same event queue): per-shard packet pools drawn
+     * from the group's shard arenas, per-shard traffic counters, and
+     * per-source packet sequence numbers — the state layout that lets
+     * parallel supersteps run without a single shared mutable word on
+     * the packet path. Call once, before any traffic, with no trace
+     * probe attached (the probe's delivery summary is inherently
+     * cross-shard). Sequence numbers switch from one global counter
+     * to (src + 1) << 40 | per-src counter, which is a pure function
+     * of the sending node — partition-independent by construction.
+     */
+    void enableSharding(sim::ShardGroup &group);
+
+    /**
      * Inject a packet at the current tick.
      * src/dst/plane/type/payload must be filled in by the caller;
      * seq and injectTick are assigned here.
@@ -122,19 +148,98 @@ class Network
     std::uint64_t send(Packet pkt);
 
     /** Total packets injected. */
-    std::uint64_t packetsSent() const { return packetsSent_; }
+    std::uint64_t
+    packetsSent() const
+    {
+        std::uint64_t n = 0;
+        for (const Block &b : blocks_)
+            n += b.sent;
+        return n;
+    }
 
     /** Total packets delivered to handlers. */
-    std::uint64_t packetsDelivered() const { return packetsDelivered_; }
+    std::uint64_t
+    packetsDelivered() const
+    {
+        std::uint64_t n = 0;
+        for (const Block &b : blocks_)
+            n += b.delivered;
+        return n;
+    }
 
     /** Packets discarded by the fault hook (link + ejection stages). */
-    std::uint64_t packetsDropped() const { return packetsDropped_; }
+    std::uint64_t
+    packetsDropped() const
+    {
+        std::uint64_t n = 0;
+        for (const Block &b : blocks_)
+            n += b.dropped;
+        return n;
+    }
 
     /** Total router-to-router hops traversed. */
-    std::uint64_t totalHops() const { return totalHops_; }
+    std::uint64_t
+    totalHops() const
+    {
+        std::uint64_t n = 0;
+        for (const Block &b : blocks_)
+            n += b.hops;
+        return n;
+    }
 
-    /** End-to-end latency distribution (ticks). */
-    const sim::Summary &latency() const { return latency_; }
+    /**
+     * End-to-end latency distribution (ticks). Unsharded only — the
+     * Welford accumulator's result depends on fold order, which a
+     * partition must not leak into. Sharded code reads the exact
+     * integer getters below instead.
+     */
+    const sim::Summary &
+    latency() const
+    {
+        BLITZ_ASSERT(!sharded_,
+                     "latency() summary is unsharded-only; use "
+                     "latencyCount/MeanTicks/MaxTicks");
+        return latency_;
+    }
+
+    /**
+     * Exact latency aggregates that work in both modes: integer
+     * count/sum/max fold identically no matter how deliveries are
+     * split across shards, so these are what sharded golden digests
+     * pin.
+     */
+    std::uint64_t
+    latencyCount() const
+    {
+        std::uint64_t n = 0;
+        for (const Block &b : blocks_)
+            n += b.latCount;
+        return n;
+    }
+    std::uint64_t
+    latencySumTicks() const
+    {
+        std::uint64_t n = 0;
+        for (const Block &b : blocks_)
+            n += b.latSum;
+        return n;
+    }
+    double
+    latencyMeanTicks() const
+    {
+        const std::uint64_t n = latencyCount();
+        return n ? static_cast<double>(latencySumTicks()) /
+                       static_cast<double>(n)
+                 : 0.0;
+    }
+    sim::Tick
+    latencyMaxTicks() const
+    {
+        sim::Tick m = 0;
+        for (const Block &b : blocks_)
+            m = std::max(m, b.latMax);
+        return m;
+    }
 
     /** Reset traffic counters (topology and handlers stay). */
     void resetStats();
@@ -144,12 +249,43 @@ class Network
      * Pooled in-flight packet state. One node carries a packet from
      * injection to delivery (or drop) — per-hop events reschedule the
      * same node instead of copying the packet into a fresh closure.
+     * When arena-backed, the node remembers its home arena and that
+     * arena's reset epoch: a node recycled after its arena reset is a
+     * use-after-reset, and the release-side assert turns that silent
+     * corruption into an immediate failure. In sharded mode nodes
+     * migrate freely between shard blocks (a boundary-crossing packet
+     * is released by the shard it lands in — every handoff crosses an
+     * epoch barrier, so the memory is never touched concurrently).
      */
     struct PacketEvent
     {
         Packet pkt;
         NodeId at;
         PacketEvent *nextFree;
+        sim::Arena *homeArena;
+        std::uint64_t poolEpoch;
+    };
+
+    /**
+     * Per-shard mutable network state (index shards() = the serial
+     * lane; legacy mode uses a single block). Everything a packet
+     * touches in flight that is not owned by a specific node lives
+     * here, so concurrent supersteps never share a counter or a free
+     * list.
+     */
+    struct Block
+    {
+        PacketEvent *freeEvents = nullptr;
+        sim::Arena *arena = nullptr;
+        /** Heap-owned pool blocks (empty when arena-backed). */
+        std::vector<PacketEvent *> poolBlocks;
+        std::uint64_t sent = 0;
+        std::uint64_t delivered = 0;
+        std::uint64_t dropped = 0;
+        std::uint64_t hops = 0;
+        std::uint64_t latCount = 0;
+        std::uint64_t latSum = 0;
+        sim::Tick latMax = 0;
     };
 
     /** Event callback: advance a pooled packet at its current router. */
@@ -173,6 +309,9 @@ class Network
 
     /** Local ejection-port reservation slot for (node, plane). */
     std::size_t ejectIndex(NodeId node, Plane p) const;
+
+    /** The executing shard's state block (blocks_[0] unsharded). */
+    Block &curBlock();
 
     PacketEvent *acquireEvent(const Packet &pkt, NodeId at);
     void releaseEvent(PacketEvent *pe);
@@ -218,20 +357,24 @@ class Network
     FaultHook *fault_ = nullptr;
     trace::NocTrace *trace_ = nullptr;
     record::FlightRecorder *recorder_ = nullptr;
-    /** Earliest tick each output link is free, per (node, dir, plane). */
+    /**
+     * Earliest tick each output link is free, per (node, dir, plane).
+     * Shared across shards but node-owned: an element is only ever
+     * written by the shard executing at its node, so parallel phases
+     * touch disjoint entries.
+     */
     std::vector<sim::Tick> linkFree_;
     /** Earliest tick each ejection port is free, per (node, plane). */
     std::vector<sim::Tick> ejectFree_;
     sim::Arena *arena_;
-    PacketEvent *freeEvents_ = nullptr;
-    /** Heap-owned pool blocks (empty when arena-backed). */
-    std::vector<PacketEvent *> poolBlocks_;
-    std::uint64_t nextSeq_ = 1;
-    std::uint64_t packetsSent_ = 0;
-    std::uint64_t packetsDelivered_ = 0;
-    std::uint64_t packetsDropped_ = 0;
-    std::uint64_t totalHops_ = 0;
-    sim::Summary latency_;
+    /** Per-shard state; exactly one block while unsharded. */
+    std::vector<Block> blocks_;
+    bool sharded_ = false;
+    sim::ShardGroup *group_ = nullptr;
+    /** Per-source sequence counters (sharded mode; node-owned). */
+    std::vector<std::uint64_t> srcSeq_;
+    std::uint64_t nextSeq_ = 1; ///< global sequence (unsharded mode)
+    sim::Summary latency_;      ///< unsharded-only distribution
 };
 
 } // namespace blitz::noc

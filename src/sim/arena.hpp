@@ -19,6 +19,7 @@
 #define BLITZ_SIM_ARENA_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -60,7 +61,16 @@ class Arena
     {
         cur_ = 0;
         off_ = 0;
+        ++epoch_;
     }
+
+    /**
+     * Reset generation — bumped every reset(). Owners of arena-backed
+     * pools stamp the epoch at allocation time and assert it unchanged
+     * on later use, turning silent use-after-reset corruption into an
+     * immediate failure (see EventQueue::addChunk, noc pool release).
+     */
+    std::uint64_t epoch() const { return epoch_; }
 
     /** Total bytes of backing chunks held (capacity, not usage). */
     std::size_t bytesReserved() const;
@@ -76,6 +86,7 @@ class Arena
     std::size_t chunkBytes_;
     std::size_t cur_ = 0; ///< index of the chunk being bumped
     std::size_t off_ = 0; ///< bump offset within chunks_[cur_]
+    std::uint64_t epoch_ = 0;
 };
 
 /**

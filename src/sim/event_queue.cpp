@@ -1,6 +1,15 @@
 #include "event_queue.hpp"
 
+#include <cstring>
+
 namespace blitz::sim {
+
+ShardContext *&
+tlsShardContext()
+{
+    thread_local ShardContext *ctx = nullptr;
+    return ctx;
+}
 
 EventQueue::~EventQueue()
 {
@@ -17,6 +26,16 @@ EventQueue::~EventQueue()
 void
 EventQueue::addChunk()
 {
+    if (arena_) {
+        // Use-after-reset tripwire: arena-backed slab chunks become
+        // dangling the moment the arena resets, so growing the slab
+        // after a reset means the queue outlived its backing store.
+        if (chunks_.empty())
+            arenaEpoch_ = arena_->epoch();
+        else
+            BLITZ_ASSERT(arena_->epoch() == arenaEpoch_,
+                         "event slab grown after its arena was reset");
+    }
     void *mem =
         arena_ ? arena_->allocate(kChunkNodes * sizeof(Node),
                                   alignof(Node))
@@ -111,6 +130,9 @@ EventQueue::heapPopFront()
 bool
 EventQueue::runOne(Tick limit)
 {
+    BLITZ_ASSERT(!bind_.group,
+                 "runOne() is not supported on a sharded anchor — "
+                 "use runUntil()");
     while (!heap_.empty()) {
         const HeapEntry &top = heap_.front();
         const std::uint32_t slot = top.slot;
@@ -141,15 +163,48 @@ EventQueue::runOne(Tick limit)
             ~SlotGuard() { eq->releaseSlot(slot); }
         } guard{this, slot};
         ++executedTotal_;
+        if (ctx_)
+            ctx_->locus = n->locus;
         n->invoke(n->buf);
         return true;
     }
     return false;
 }
 
+void
+EventQueue::scheduleRaw(Tick when, std::uint64_t ord,
+                        std::uint32_t locus, void (*invoke)(void *),
+                        const void *payload, std::size_t bytes)
+{
+    BLITZ_ASSERT(when >= now_, "scheduling event in the past (", when,
+                 " < ", now_, ")");
+    BLITZ_ASSERT(bytes <= kInlineCallback,
+                 "raw event payload exceeds the inline buffer");
+    const std::uint32_t slot = acquireSlot();
+    Node &n = *node(slot);
+    n.state = kScheduled;
+    n.locus = locus;
+    n.invoke = invoke;
+    n.destroy = nullptr; // mailbox payloads are trivially copyable
+    std::memcpy(n.buf, payload, bytes);
+    heapPush({when, ord, slot});
+    ++pending_;
+    ++scheduledTotal_;
+}
+
 std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
+    // A sharded anchor holds no events itself: delegate to the group's
+    // bulk-synchronous superstep loop, then mirror the leaves' clock.
+    if (bind_.group) {
+        const std::uint64_t executed = bind_.runUntil(bind_.group,
+                                                      limit);
+        for (std::uint32_t s = 0; s <= bind_.shardCount; ++s)
+            if (bind_.leaves[s]->now_ > now_)
+                now_ = bind_.leaves[s]->now_;
+        return executed;
+    }
     // runOne(limit) re-inspects the heap root after every pop, so a
     // cancelled front event can never unlock execution of a later
     // event beyond the horizon, and the count reflects exactly the

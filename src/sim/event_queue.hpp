@@ -18,6 +18,14 @@
  * event performs zero allocations once the slab has warmed up.
  * Cancellation is O(1): the handle's generation is checked and the
  * node tombstoned; the heap discards tombstones at pop.
+ *
+ * Sharded mode (see DESIGN.md "BSP-sharded execution"): one queue can
+ * act as the *anchor* of a sim::ShardGroup — existing call sites keep
+ * scheduling through it, but events are routed to per-shard leaf
+ * queues keyed by (tick, priority, origin locus, per-locus counter),
+ * an ordering that is independent of how the mesh is partitioned. The
+ * anchor itself then holds no events; runUntil() delegates to the
+ * group's bulk-synchronous superstep loop.
  */
 
 #ifndef BLITZ_SIM_EVENT_QUEUE_HPP
@@ -46,6 +54,59 @@ enum class Priority : int
     Default = 10,
     Controller = 20,  ///< PM controllers act after state settles
     Stats = 30,       ///< sampling sees the post-update state
+};
+
+class EventQueue;
+class ShardGroup;
+
+/**
+ * Thread-local execution context of a sharded run: which leaf queue
+ * the current thread is driving, which shard it is, and the *locus* —
+ * the mesh node in whose context the executing event runs. Events
+ * scheduled while a context is active inherit its locus as the origin
+ * component of their sort key, so per-locus insertion counters stay
+ * owned by exactly one thread at a time.
+ */
+struct ShardContext
+{
+    EventQueue *queue = nullptr;
+    std::uint32_t shard = 0;
+    std::uint32_t locus = 0;
+    /**
+     * True when every shard is parked (setup code, the serial lane of
+     * a superstep): scheduling may then insert directly into any leaf
+     * instead of going through a mailbox.
+     */
+    bool serial = false;
+};
+
+/** The calling thread's active shard context (null outside a phase). */
+ShardContext *&tlsShardContext();
+
+/**
+ * Everything an anchor queue needs to route scheduling calls into a
+ * ShardGroup, expressed as plain pointers so the hot templates in this
+ * header never need the group's definition (see sim/shard.hpp).
+ */
+struct ShardBinding
+{
+    ShardGroup *group = nullptr;
+    /** shardCount leaf queues followed by the serial (global) lane. */
+    EventQueue *const *leaves = nullptr;
+    std::uint32_t shardCount = 0;
+    /** Owning shard of each mesh node (size nodeCount). */
+    const std::uint32_t *shardOfNode = nullptr;
+    std::uint32_t nodeCount = 0;
+    /** Per-locus insertion counters; index nodeCount = the serial lane. */
+    std::uint64_t *locusCounters = nullptr;
+    /** Park a cross-shard event in the (src, dst) mailbox. */
+    void (*crossPush)(ShardGroup *, std::uint32_t srcShard,
+                      std::uint32_t dstShard, Tick when,
+                      std::uint64_t ord, std::uint32_t locus,
+                      void (*invoke)(void *), const void *payload,
+                      std::size_t bytes) = nullptr;
+    /** The group's bulk-synchronous superstep loop. */
+    std::uint64_t (*runUntil)(ShardGroup *, Tick limit) = nullptr;
 };
 
 /**
@@ -79,8 +140,20 @@ class EventQueue
     EventQueue &operator=(const EventQueue &) = delete;
     ~EventQueue();
 
-    /** Current simulated time. */
-    Tick now() const { return now_; }
+    /**
+     * Current simulated time. On a sharded anchor this is the driving
+     * leaf's clock inside a phase and the group's high-water mark
+     * between supersteps.
+     */
+    Tick
+    now() const
+    {
+        if (bind_.group) {
+            if (const ShardContext *c = tlsShardContext())
+                return c->queue->now_;
+        }
+        return now_;
+    }
 
     /**
      * Schedule a callable at an absolute tick.
@@ -88,12 +161,15 @@ class EventQueue
      * @param fn callable to execute; stored inline in the event node
      *        when it fits kInlineCallback bytes (heap otherwise).
      * @param prio same-tick ordering class.
-     * @return handle usable with cancel().
+     * @return handle usable with cancel() (0 in sharded mode:
+     *         cross-thread cancellation is not supported).
      */
     template <typename Fn>
     EventId
     schedule(Tick when, Fn &&fn, Priority prio = Priority::Default)
     {
+        if (bind_.group)
+            return routeSchedule(when, std::forward<Fn>(fn), prio);
         BLITZ_ASSERT(when >= now_, "scheduling event in the past (",
                      when, " < ", now_, ")");
         const std::uint32_t slot = acquireSlot();
@@ -111,7 +187,75 @@ class EventQueue
     EventId
     scheduleIn(Tick delta, Fn &&fn, Priority prio = Priority::Default)
     {
-        return schedule(now_ + delta, std::forward<Fn>(fn), prio);
+        return schedule(now() + delta, std::forward<Fn>(fn), prio);
+    }
+
+    /**
+     * Schedule a callable that executes *in the context of* mesh node
+     * @p node — identical to schedule() on a plain queue, but on a
+     * sharded anchor the event is placed in the node's owning shard
+     * (through the epoch mailbox when the target is another shard mid-
+     * phase) and runs with its locus set to @p node. All NoC hop and
+     * delivery events route through here; a cross-shard @p when must
+     * respect the group's lookahead horizon (strictly after the
+     * current epoch tick).
+     */
+    template <typename Fn>
+    EventId
+    scheduleAtNode(std::uint32_t node, Tick when, Fn &&fn,
+                   Priority prio = Priority::Default)
+    {
+        if (!bind_.group)
+            return schedule(when, std::forward<Fn>(fn), prio);
+        ShardContext *c = tlsShardContext();
+        BLITZ_ASSERT(node < bind_.nodeCount,
+                     "scheduleAtNode target out of range");
+        // Origin = the executing locus; setup-time calls charge the
+        // target node's own counter (there is no executing event).
+        const std::uint32_t origin = c ? c->locus : node;
+        const std::uint64_t ord = packOrdSharded(
+            prio, origin, bind_.locusCounters[origin]++);
+        const std::uint32_t target = bind_.shardOfNode[node];
+        if (!c || c->serial || target == c->shard)
+            return bind_.leaves[target]->scheduleKeyed(
+                when, ord, node, std::forward<Fn>(fn));
+        using F = std::decay_t<Fn>;
+        static_assert(std::is_trivially_copyable_v<F> &&
+                          sizeof(F) <= kInlineCallback &&
+                          alignof(F) <= alignof(std::max_align_t),
+                      "cross-shard events must be small trivially "
+                      "copyable callables");
+        F f(std::forward<Fn>(fn));
+        bind_.crossPush(
+            bind_.group, c->shard, target, when, ord, node,
+            [](void *p) {
+                (*std::launder(reinterpret_cast<F *>(p)))();
+            },
+            &f, sizeof f);
+        return 0;
+    }
+
+    /**
+     * Leaf-queue insertion with a precomputed sharded sort key; used
+     * by the anchor's routing and the group's mailbox drain. The
+     * locus is stamped on the node so execution can restore it.
+     */
+    template <typename Fn>
+    EventId
+    scheduleKeyed(Tick when, std::uint64_t ord, std::uint32_t locus,
+                  Fn &&fn)
+    {
+        BLITZ_ASSERT(when >= now_, "scheduling event in the past (",
+                     when, " < ", now_, ")");
+        const std::uint32_t slot = acquireSlot();
+        Node &n = *node(slot);
+        n.state = kScheduled;
+        n.locus = locus;
+        emplaceCallback(n, std::forward<Fn>(fn));
+        heapPush({when, ord, slot});
+        ++pending_;
+        ++scheduledTotal_;
+        return (static_cast<EventId>(n.gen) << 32) | slot;
     }
 
     /**
@@ -121,10 +265,16 @@ class EventQueue
      * the spot, and a live node is tombstoned (callback destroyed
      * immediately, heap entry discarded when it surfaces). The token
      * count stays bounded by pending() across arbitrarily long runs.
+     *
+     * Unsupported on a sharded anchor (events live in leaf queues on
+     * other threads); sharded schedule() returns 0 and cancel(0) is
+     * always a harmless no-op.
      */
     void
     cancel(EventId id)
     {
+        BLITZ_ASSERT(!bind_.group || id == 0,
+                     "cancel() is not supported in sharded mode");
         const auto slot = static_cast<std::uint32_t>(id);
         if (slot >= slotCount_)
             return;
@@ -138,7 +288,16 @@ class EventQueue
     }
 
     /** Number of events still scheduled (including cancelled ones). */
-    std::size_t pending() const { return pending_; }
+    std::size_t
+    pending() const
+    {
+        if (!bind_.group)
+            return pending_;
+        std::size_t total = 0;
+        for (std::uint32_t s = 0; s <= bind_.shardCount; ++s)
+            total += bind_.leaves[s]->pending_;
+        return total;
+    }
 
     /**
      * Number of unconsumed cancellation tokens. Bounded by pending():
@@ -148,15 +307,61 @@ class EventQueue
     std::size_t cancelledTokens() const { return cancelledTokens_; }
 
     /** True when no runnable events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool
+    empty() const
+    {
+        if (!bind_.group)
+            return heap_.empty();
+        for (std::uint32_t s = 0; s <= bind_.shardCount; ++s)
+            if (!bind_.leaves[s]->heap_.empty())
+                return false;
+        return true;
+    }
 
     /**
      * Cumulative events scheduled / executed since construction —
      * always-on observability counters (a plain increment on paths
      * that already write the slab, so they cost nothing measurable).
+     * Summed over the leaves on a sharded anchor (read only between
+     * phases or from the serial lane).
      */
-    std::uint64_t totalScheduled() const { return scheduledTotal_; }
-    std::uint64_t totalExecuted() const { return executedTotal_; }
+    std::uint64_t
+    totalScheduled() const
+    {
+        if (!bind_.group)
+            return scheduledTotal_;
+        std::uint64_t total = 0;
+        for (std::uint32_t s = 0; s <= bind_.shardCount; ++s)
+            total += bind_.leaves[s]->scheduledTotal_;
+        return total;
+    }
+    std::uint64_t
+    totalExecuted() const
+    {
+        if (!bind_.group)
+            return executedTotal_;
+        std::uint64_t total = 0;
+        for (std::uint32_t s = 0; s <= bind_.shardCount; ++s)
+            total += bind_.leaves[s]->executedTotal_;
+        return total;
+    }
+
+    /**
+     * Turn this queue into the anchor of a shard group (or detach it
+     * again when @p b.group is null). The anchor must be empty: its
+     * own heap never holds events while bound — every scheduling call
+     * routes into the group's leaf queues.
+     */
+    void
+    bindShardGroup(const ShardBinding &b)
+    {
+        BLITZ_ASSERT(heap_.empty() && pending_ == 0,
+                     "anchor queue must be empty when (un)binding");
+        bind_ = b;
+    }
+
+    /** The active shard binding (group is null on a plain queue). */
+    const ShardBinding &binding() const { return bind_; }
 
     /**
      * Run events until the queue drains or @p limit is passed.
@@ -180,6 +385,9 @@ class EventQueue
     static constexpr std::size_t kInlineCallback = 96;
 
   private:
+    friend class ShardGroup; ///< drives the leaf queues directly
+    friend class LocusScope; ///< installs setup-time shard contexts
+
     enum NodeState : std::uint8_t
     {
         kFree = 0,
@@ -194,7 +402,8 @@ class EventQueue
      * managed explicitly through invoke/destroy function pointers.
      * The sort key lives in the heap entry, not here, so the hot
      * sift loops never dereference the slab; with the 96-byte inline
-     * callback buffer a node is exactly two cache lines.
+     * callback buffer a node is exactly two cache lines (the locus
+     * stamp rides in what used to be padding before the buffer).
      */
     struct Node
     {
@@ -202,6 +411,7 @@ class EventQueue
         void (*destroy)(void *); ///< null when nothing to destroy
         std::uint32_t gen;
         std::uint32_t nextFree;
+        std::uint32_t locus; ///< execution locus (sharded mode only)
         NodeState state;
         alignas(std::max_align_t) unsigned char buf[kInlineCallback];
     };
@@ -229,6 +439,81 @@ class EventQueue
                      "insertion sequence overflow");
         return (static_cast<std::uint64_t>(p) << 48) | seq;
     }
+
+    /**
+     * Sharded same-tick sort key: (priority, origin locus, per-locus
+     * counter) packed into the same 64-bit ord word the legacy
+     * (priority, seq) key uses — 8 bits of priority over a 20-bit
+     * locus (1M mesh nodes + the serial lane) over a 36-bit counter.
+     * The key is a pure function of *which mesh node scheduled the
+     * event and how many events that node had scheduled before*, so
+     * it is identical for every shard count — the property the golden
+     * digests pin. Origin counters are only ever bumped by the thread
+     * executing at that locus, so they need no synchronization.
+     */
+    static std::uint64_t
+    packOrdSharded(Priority prio, std::uint32_t locus,
+                   std::uint64_t counter)
+    {
+        const auto p = static_cast<std::int64_t>(prio);
+        BLITZ_ASSERT(p >= 0 && p < 0x100, "priority out of range");
+        BLITZ_ASSERT(locus < (1u << 20), "locus out of range");
+        BLITZ_ASSERT(counter < (std::uint64_t{1} << 36),
+                     "per-locus counter overflow");
+        return (static_cast<std::uint64_t>(p) << 56) |
+               (static_cast<std::uint64_t>(locus) << 36) | counter;
+    }
+
+    /**
+     * schedule() tail for a bound anchor: events from an executing
+     * shard context stay in that context's leaf at its locus; events
+     * from plain (setup / observer) code with no context go to the
+     * serial lane, which runs between supersteps in deterministic
+     * order — where periodic audits and stat samplers belong.
+     */
+    template <typename Fn>
+    EventId
+    routeSchedule(Tick when, Fn &&fn, Priority prio)
+    {
+        ShardContext *c = tlsShardContext();
+        const std::uint32_t locus = c ? c->locus : bind_.nodeCount;
+        EventQueue *leaf = c ? c->queue
+                             : bind_.leaves[bind_.shardCount];
+        return leaf->scheduleKeyed(
+            when,
+            packOrdSharded(prio, locus, bind_.locusCounters[locus]++),
+            locus, std::forward<Fn>(fn));
+    }
+
+    /**
+     * Type-erased variant of scheduleKeyed() for mailbox entries whose
+     * payload was captured as raw (trivially copyable) bytes.
+     */
+    void scheduleRaw(Tick when, std::uint64_t ord, std::uint32_t locus,
+                     void (*invoke)(void *), const void *payload,
+                     std::size_t bytes);
+
+    /** Earliest scheduled tick (maxTick when the leaf is empty). */
+    Tick
+    nextTick() const
+    {
+        return heap_.empty() ? maxTick : heap_.front().when;
+    }
+
+    /**
+     * Move a drained leaf's clock to the end of a phase so relative
+     * scheduling after the phase sees the same "time passed" semantics
+     * runUntil() provides on a plain queue.
+     */
+    void
+    advanceTo(Tick limit)
+    {
+        if (limit != maxTick && limit > now_)
+            now_ = limit;
+    }
+
+    /** Install the context runOne() stamps the executing locus into. */
+    void setContext(ShardContext *c) { ctx_ = c; }
 
     static bool
     entryBefore(const HeapEntry &a, const HeapEntry &b)
@@ -310,6 +595,53 @@ class EventQueue
     std::size_t cancelledTokens_ = 0;
     std::uint64_t scheduledTotal_ = 0;
     std::uint64_t executedTotal_ = 0;
+    std::uint64_t arenaEpoch_ = 0; ///< arena epoch at first chunk
+    ShardBinding bind_{};          ///< anchor routing (group == null
+                                   ///< on plain queues and leaves)
+    ShardContext *ctx_ = nullptr;  ///< leaf-side execution context
+};
+
+/**
+ * RAII shard context for setup-time code that schedules *on behalf of*
+ * a specific mesh node while no event is executing (startAll, audit
+ * repair actions): within the scope, scheduling through the anchor
+ * lands in @p node's owning leaf with @p node as the origin locus, so
+ * the resulting sort keys match what the node itself would have
+ * produced. No-op when the queue is not a sharded anchor.
+ */
+class LocusScope
+{
+  public:
+    LocusScope(EventQueue &anchor, std::uint32_t node)
+        : saved_(tlsShardContext())
+    {
+        const ShardBinding &b = anchor.bind_;
+        if (!b.group)
+            return;
+        BLITZ_ASSERT(!saved_ || saved_->serial,
+                     "LocusScope inside a parallel phase");
+        ctx_.queue = b.leaves[b.shardOfNode[node]];
+        ctx_.shard = b.shardOfNode[node];
+        ctx_.locus = node;
+        ctx_.serial = true;
+        // The borrowed leaf may have idled for many supersteps, so its
+        // clock can lag the caller's present; lift it before lending
+        // the context out, or relative scheduling (hop latencies, timer
+        // periods) would be anchored at the leaf's last active tick and
+        // land in other leaves' past. Safe: an idle leaf has no pending
+        // event at or before the present — it would have run this
+        // superstep otherwise.
+        ctx_.queue->advanceTo(saved_ ? saved_->queue->now_
+                                     : anchor.now_);
+        tlsShardContext() = &ctx_;
+    }
+    ~LocusScope() { tlsShardContext() = saved_; }
+    LocusScope(const LocusScope &) = delete;
+    LocusScope &operator=(const LocusScope &) = delete;
+
+  private:
+    ShardContext *saved_;
+    ShardContext ctx_{};
 };
 
 } // namespace blitz::sim

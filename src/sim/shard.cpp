@@ -1,0 +1,282 @@
+#include "shard.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "logging.hpp"
+
+namespace blitz::sim {
+
+std::uint32_t
+defaultShards()
+{
+    if (const char *env = std::getenv("BLITZ_SHARDS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<std::uint32_t>(v);
+    }
+    return 1;
+}
+
+std::vector<std::uint32_t>
+columnBands(std::uint32_t width, std::uint32_t height,
+            std::uint32_t shards)
+{
+    BLITZ_ASSERT(width > 0 && height > 0 && shards > 0,
+                 "columnBands needs a non-empty mesh and >= 1 shard");
+    const std::uint32_t bands = std::min(shards, width);
+    std::vector<std::uint32_t> map(static_cast<std::size_t>(width) *
+                                   height);
+    for (std::uint32_t y = 0; y < height; ++y)
+        for (std::uint32_t x = 0; x < width; ++x)
+            map[static_cast<std::size_t>(y) * width + x] =
+                x * bands / width;
+    return map;
+}
+
+ShardGroup::ShardGroup(EventQueue &anchor, std::uint32_t shards,
+                       std::vector<std::uint32_t> shardOfNode)
+    : anchor_(anchor), shards_(shards),
+      nodeCount_(static_cast<std::uint32_t>(shardOfNode.size())),
+      shardOfNode_(std::move(shardOfNode))
+{
+    BLITZ_ASSERT(shards_ >= 1, "a shard group needs >= 1 shard");
+    BLITZ_ASSERT(nodeCount_ > 0, "a shard group needs a mesh");
+    for (std::uint32_t s : shardOfNode_)
+        BLITZ_ASSERT(s < shards_, "node mapped to nonexistent shard");
+
+    locusCounters_.assign(nodeCount_ + 1, 0);
+    arenas_.reserve(shards_ + 1);
+    leaves_.reserve(shards_ + 1);
+    leafPtrs_.reserve(shards_ + 1);
+    for (std::uint32_t s = 0; s <= shards_; ++s) {
+        arenas_.push_back(std::make_unique<Arena>());
+        leaves_.push_back(
+            std::make_unique<EventQueue>(arenas_.back().get()));
+        leafPtrs_.push_back(leaves_.back().get());
+        // Leaves inherit the anchor's clock so a group created
+        // mid-simulation starts from the right "now".
+        leaves_.back()->now_ = anchor_.now_;
+    }
+    mail_.resize(static_cast<std::size_t>(shards_) * shards_);
+    shardActive_.assign(shards_, 0);
+    workerSeq_.assign(shards_, 0);
+    phaseExecuted_.assign(shards_, 0);
+
+    ShardBinding b;
+    b.group = this;
+    b.leaves = leafPtrs_.data();
+    b.shardCount = shards_;
+    b.shardOfNode = shardOfNode_.data();
+    b.nodeCount = nodeCount_;
+    b.locusCounters = locusCounters_.data();
+    b.crossPush = &crossPushHook;
+    b.runUntil = &runUntilHook;
+    anchor_.bindShardGroup(b);
+
+    // Shard 0's phase always runs on the calling thread, so only
+    // shards 1..N-1 get workers (and a 1-shard group spawns none —
+    // the whole superstep loop stays single-threaded).
+    for (std::uint32_t s = 1; s < shards_; ++s)
+        workers_.emplace_back([this, s] { workerMain(s); });
+}
+
+ShardGroup::~ShardGroup()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        shutdown_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+    anchor_.bindShardGroup(ShardBinding{});
+}
+
+void
+ShardGroup::crossPushHook(ShardGroup *g, std::uint32_t srcShard,
+                          std::uint32_t dstShard, Tick when,
+                          std::uint64_t ord, std::uint32_t locus,
+                          void (*invoke)(void *), const void *payload,
+                          std::size_t bytes)
+{
+    // The conservative-lookahead contract: nothing may cross a shard
+    // boundary inside the current superstep's tick. The NoC's 1-tick
+    // hop latency satisfies this by construction; anything else that
+    // trips it is a determinism bug, not a tuning knob.
+    BLITZ_ASSERT(when > g->epochTick_,
+                 "cross-shard event inside the lookahead horizon (",
+                 when, " <= ", g->epochTick_, ")");
+    BLITZ_ASSERT(bytes <= EventQueue::kInlineCallback,
+                 "cross-shard payload exceeds the inline buffer");
+    auto &box = g->mail_[static_cast<std::size_t>(srcShard) *
+                             g->shards_ +
+                         dstShard]
+                    .entries;
+    box.emplace_back();
+    CrossEvent &e = box.back();
+    e.when = when;
+    e.ord = ord;
+    e.locus = locus;
+    e.bytes = static_cast<std::uint32_t>(bytes);
+    e.invoke = invoke;
+    std::memcpy(e.buf, payload, bytes);
+}
+
+std::uint64_t
+ShardGroup::runUntilHook(ShardGroup *g, Tick limit)
+{
+    return g->runUntilImpl(limit);
+}
+
+std::uint64_t
+ShardGroup::runShardPhase(std::uint32_t shard, Tick t)
+{
+    ShardContext ctx;
+    ctx.queue = leafPtrs_[shard];
+    ctx.shard = shard;
+    ctx.locus = nodeCount_;
+    ctx.serial = false;
+    ShardContext *&tls = tlsShardContext();
+    ShardContext *saved = tls;
+    tls = &ctx;
+    leafPtrs_[shard]->setContext(&ctx);
+    const std::uint64_t n = leafPtrs_[shard]->runUntil(t);
+    leafPtrs_[shard]->setContext(nullptr);
+    tls = saved;
+    return n;
+}
+
+void
+ShardGroup::drainMail()
+{
+    // Fixed (src, dst) drain order — though the order is cosmetic:
+    // every entry carries its full partition-independent sort key, so
+    // the leaf heap produces the same execution order no matter how
+    // the mailboxes interleaved.
+    for (std::uint32_t src = 0; src < shards_; ++src) {
+        for (std::uint32_t dst = 0; dst < shards_; ++dst) {
+            auto &box =
+                mail_[static_cast<std::size_t>(src) * shards_ + dst]
+                    .entries;
+            for (const CrossEvent &e : box)
+                leafPtrs_[dst]->scheduleRaw(e.when, e.ord, e.locus,
+                                            e.invoke, e.buf, e.bytes);
+            crossEvents_ += box.size();
+            box.clear(); // keeps capacity: steady state allocates nothing
+        }
+    }
+}
+
+void
+ShardGroup::workerMain(std::uint32_t shard)
+{
+    std::uint64_t seenSeq = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        // Wait on this worker's *own* assignment slot, not a shared
+        // active[] array: a parked worker that is slow to wake must
+        // not consult per-superstep state the main thread has already
+        // moved past (the fast path rewrites it without the lock).
+        // workerSeq_[shard] changes only under mu_, and only while
+        // the barrier holds the main thread until this phase is done.
+        workCv_.wait(lk, [&] {
+            return shutdown_ || workerSeq_[shard] != seenSeq;
+        });
+        if (shutdown_)
+            return;
+        seenSeq = workerSeq_[shard];
+        const Tick t = epochTick_;
+        lk.unlock();
+        const std::uint64_t n = runShardPhase(shard, t);
+        lk.lock();
+        phaseExecuted_[shard] = n;
+        if (--pendingWorkers_ == 0)
+            doneCv_.notify_one();
+    }
+}
+
+std::uint64_t
+ShardGroup::runUntilImpl(Tick limit)
+{
+    std::uint64_t executed = 0;
+    EventQueue *serial = leafPtrs_[shards_];
+    for (;;) {
+        // Next superstep tick: the globally earliest pending event.
+        // Mailboxes are empty here (drained before the previous
+        // superstep ended), so the leaves see everything.
+        Tick t = serial->nextTick();
+        for (std::uint32_t s = 0; s < shards_; ++s)
+            t = std::min(t, leafPtrs_[s]->nextTick());
+        if (t == maxTick || t > limit)
+            break;
+        ++epochs_;
+        epochTick_ = t;
+
+        std::uint32_t active = 0;
+        std::uint32_t first = shards_;
+        for (std::uint32_t s = 0; s < shards_; ++s) {
+            const bool a = leafPtrs_[s]->nextTick() <= t;
+            shardActive_[s] = a ? 1 : 0;
+            if (a) {
+                ++active;
+                if (first == shards_)
+                    first = s;
+            }
+        }
+        if (active == 1) {
+            // Fast path: one shard has work at this tick — run it
+            // inline, no barrier, no worker wakeups. Sparse-traffic
+            // phases (most of a chaos run) live here.
+            executed += runShardPhase(first, t);
+            drainMail();
+        } else if (active > 1) {
+            shardActive_[first] = 0; // driven inline below
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                pendingWorkers_ = active - 1;
+                ++phaseSeq_;
+                for (std::uint32_t s = 1; s < shards_; ++s)
+                    if (shardActive_[s])
+                        workerSeq_[s] = phaseSeq_;
+            }
+            workCv_.notify_all();
+            executed += runShardPhase(first, t);
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                doneCv_.wait(lk,
+                             [&] { return pendingWorkers_ == 0; });
+                for (std::uint32_t s = 0; s < shards_; ++s)
+                    if (shardActive_[s])
+                        executed += phaseExecuted_[s];
+            }
+            drainMail();
+        }
+
+        // Serial lane: mesh-global observers (audits, samplers) run
+        // between supersteps, after every shard has settled tick t.
+        if (serial->nextTick() <= t) {
+            ShardContext ctx;
+            ctx.queue = serial;
+            ctx.shard = shards_;
+            ctx.locus = nodeCount_;
+            ctx.serial = true;
+            ShardContext *&tls = tlsShardContext();
+            ShardContext *saved = tls;
+            tls = &ctx;
+            serial->setContext(&ctx);
+            executed += serial->runUntil(t);
+            serial->setContext(nullptr);
+            tls = saved;
+        }
+        // A serial event may have scheduled *at* tick t again (audit
+        // repair via LocusScope): the loop re-derives t and repeats
+        // the superstep at the same tick until it is truly drained.
+    }
+    for (std::uint32_t s = 0; s <= shards_; ++s)
+        leafPtrs_[s]->advanceTo(limit);
+    return executed;
+}
+
+} // namespace blitz::sim

@@ -102,16 +102,31 @@ BlitzCoinPm::start()
         coin::Coins grant = base + (leftover > 0 ? 1 : 0);
         if (leftover > 0)
             --leftover;
+        // Pin each unit's timer chains to its own node's shard; no-op
+        // on an unsharded queue.
+        sim::LocusScope scope(ctx_.eq, id);
         pt.unit->setHas(grant);
         pt.unit->start();
     }
+    // Sharded: the recurring audit sweep is armed up front from setup
+    // context so its chain lives in the serial lane — the only place
+    // reconcile() (which reads and repairs every unit) may run. The
+    // legacy path keeps the lazy arm on first crash recovery.
+    if (ctx_.eq.binding().group)
+        armAuditSweep();
 }
 
 void
 BlitzCoinPm::onTaskStart(noc::NodeId tile)
 {
     noteActivityChange();
-    unit(tile).setMax(maxCoins()[tile]);
+    {
+        // The max-register write can kick off exchange traffic; charge
+        // it to the tile's own locus so its ordering key (and shard)
+        // is partition-independent.
+        sim::LocusScope scope(ctx_.eq, tile);
+        unit(tile).setMax(maxCoins()[tile]);
+    }
     active_[tile] = true;
     armSettleProbe();
 }
@@ -120,7 +135,10 @@ void
 BlitzCoinPm::onTaskEnd(noc::NodeId tile)
 {
     noteActivityChange();
-    unit(tile).setMax(0);
+    {
+        sim::LocusScope scope(ctx_.eq, tile);
+        unit(tile).setMax(0);
+    }
     active_[tile] = false;
     armSettleProbe();
 }
@@ -188,6 +206,9 @@ BlitzCoinPm::onNodeCrash(noc::NodeId tile)
     auto it = units_.find(tile);
     if (it == units_.end())
         return; // outage on an unmanaged node: packets drop, no PM state
+    // No LocusScope here: the fault plane schedules outage edges at the
+    // affected node's own locus, so this already executes in the right
+    // shard (and a scope would trip the parallel-phase assert).
     it->second.unit->crash();
 }
 
@@ -198,13 +219,19 @@ BlitzCoinPm::onNodeRestart(noc::NodeId tile)
     if (it == units_.end())
         return;
     blitzcoin::BlitzCoinUnit &u = *it->second.unit;
+    // Executes at the tile's own locus (the fault plane pins outage
+    // edges there), so the unit mutations land in the owning shard.
     u.restart();
     // The max target is architectural configuration re-applied by the
     // scheduler side at power-up; the coins the tile held are gone and
     // only the audit sweep can remint them.
     u.setMax(active_[tile] ? maxCoins()[tile] : 0);
     u.start();
-    armAuditSweep();
+    // Sharded runs armed the sweep at start() — arming here would pin
+    // the recurring audit chain to this tile's locus, and reconcile()
+    // must only ever run in the serial lane (it touches every unit).
+    if (!ctx_.eq.binding().group)
+        armAuditSweep();
 }
 
 void
@@ -212,7 +239,7 @@ BlitzCoinPm::onNodeFrozen(noc::NodeId tile)
 {
     auto it = units_.find(tile);
     if (it != units_.end())
-        it->second.unit->stop();
+        it->second.unit->stop(); // already at the tile's locus
 }
 
 void
@@ -220,7 +247,7 @@ BlitzCoinPm::onNodeThawed(noc::NodeId tile)
 {
     auto it = units_.find(tile);
     if (it != units_.end())
-        it->second.unit->start();
+        it->second.unit->start(); // already at the tile's locus
 }
 
 void
@@ -250,7 +277,15 @@ BlitzCoinPm::coinsMoved()
 {
     // Fast path between probe samples: a movement that brings the
     // cluster under threshold (with actuation already done) is
-    // credited immediately.
+    // credited immediately. Sharded runs must not take it — the
+    // callback fires at the moving unit's locus, and summing every
+    // unit's registers from there reads other shards mid-superstep.
+    // There the serial-lane probe is the sole settle observer, which
+    // also makes the measured response partition-independent (the
+    // probe samples quiesced state on a fixed cadence, exactly the
+    // external-scope methodology the paper uses, Fig. 20).
+    if (ctx_.eq.binding().group)
+        return;
     if (awaitingSettle() && settleCondition() && tilesSettled())
         noteSettled();
 }

@@ -16,6 +16,21 @@ Soc::Soc(SocConfig config, const PmConfig &pmCfg, std::uint64_t seed)
     noc::Topology topo(config_.width, config_.height, /*wrap=*/false);
     net_ = std::make_unique<noc::Network>(eq_, topo);
 
+    if (config_.shards >= 1) {
+        // Sharding is only sound for the fully decentralized manager:
+        // per-node units own their state and packets execute at their
+        // destination's locus. The centralized schemes mutate one
+        // controller object from every node's deliveries.
+        BLITZ_ASSERT(pmCfg.kind == PmKind::BlitzCoin,
+                     "sharded Soc requires the decentralized BC manager");
+        group_ = std::make_unique<sim::ShardGroup>(
+            eq_, config_.shards,
+            sim::columnBands(static_cast<std::uint32_t>(config_.width),
+                             static_cast<std::uint32_t>(config_.height),
+                             config_.shards));
+        net_->enableSharding(*group_);
+    }
+
     tilesByNode_.assign(config_.size(), nullptr);
     for (noc::NodeId id = 0; id < config_.size(); ++id) {
         const TileSpec &spec = config_.tile(id);
@@ -52,6 +67,8 @@ Soc::installFaultPlane(fault::FaultPlane &plane)
     plane.onNodeUp = [this](noc::NodeId n) { pm_->onNodeRestart(n); };
     plane.onNodeFrozen = [this](noc::NodeId n) { pm_->onNodeFrozen(n); };
     plane.onNodeThawed = [this](noc::NodeId n) { pm_->onNodeThawed(n); };
+    if (group_)
+        plane.enableKeyedStreams(config_.shards);
     plane.armOutageSchedule(eq_);
     if (tracer_)
         plane.setTrace(tracer_);
@@ -101,6 +118,10 @@ void
 Soc::attachRecorder(record::FlightRecorder *rec)
 {
     recorder_ = rec;
+    // Sharded deliveries append from parallel phases; flip the
+    // recorder's mutex on before the first concurrent append.
+    if (rec && group_)
+        rec->setConcurrent(true);
     net_->setRecorder(rec);
     for (auto &t : tileStore_)
         t->setRecorder(rec);
@@ -156,23 +177,48 @@ Soc::dispatchReady()
         pm_->onTaskStart(node);
         if (activityTrace_)
             activityTrace_->record(eq_.now(), node, true);
-        tile->beginTask(t.workCycles, [this, id] { onTaskDone(id); });
+        if (group_) {
+            // The completion event fires at the tile's own locus (a
+            // coin arrival can re-aim it from there), where the global
+            // scheduler state is off-limits. Park the completion in
+            // the node's latch; the serial-lane scan picks it up.
+            tile->beginTask(t.workCycles, [this, id, node] {
+                pendingDoneTask_[node] = static_cast<std::uint32_t>(id) + 1;
+                pendingDoneTick_[node] = eq_.now();
+            });
+        } else {
+            tile->beginTask(t.workCycles,
+                            [this, id] { onTaskDone(id, eq_.now()); });
+        }
     }
 }
 
 void
-Soc::onTaskDone(workload::TaskId id)
+Soc::drainCompletions()
+{
+    for (noc::NodeId node = 0; node < pendingDoneTask_.size(); ++node) {
+        if (pendingDoneTask_[node] == 0)
+            continue;
+        const auto id = static_cast<workload::TaskId>(
+            pendingDoneTask_[node] - 1);
+        pendingDoneTask_[node] = 0;
+        onTaskDone(id, pendingDoneTick_[node]);
+    }
+}
+
+void
+Soc::onTaskDone(workload::TaskId id, sim::Tick completedAt)
 {
     const workload::Task &t = dag_->task(id);
     taskDone_[id] = true;
     ++tasksCompleted_;
-    lastCompletionTick_ = eq_.now();
+    lastCompletionTick_ = completedAt;
 
     // The tile goes idle unless more work is queued on it; either way
     // the manager sees the activity edge.
     pm_->onTaskEnd(t.tile);
     if (activityTrace_)
-        activityTrace_->record(eq_.now(), t.tile, false);
+        activityTrace_->record(completedAt, t.tile, false);
 
     for (workload::TaskId s : dag_->successors(id)) {
         BLITZ_ASSERT(remainingDeps_[s] > 0, "dependency underflow");
@@ -191,6 +237,8 @@ Soc::run(const workload::Dag &dag, const SocRunOptions &opts)
     remainingDeps_.assign(dag.size(), 0);
     taskDone_.assign(dag.size(), false);
     tileQueues_.assign(config_.size(), {});
+    pendingDoneTask_.assign(config_.size(), 0);
+    pendingDoneTick_.assign(config_.size(), 0);
     tasksCompleted_ = 0;
     lastCompletionTick_ = 0;
     for (const workload::Task &t : dag.tasks())
@@ -252,18 +300,54 @@ Soc::run(const workload::Dag &dag, const SocRunOptions &opts)
         eq_.schedule(0, *msampler, sim::Priority::Stats);
     }
 
+    // Sharded: the serial-lane completion scan. Completion latches are
+    // written at tile loci during parallel phases; this chain reads
+    // them between supersteps (quiesced, fixed node order) and runs
+    // the dispatcher — dispatch latency is quantized to the scan
+    // cadence, which is identical at every shard count.
+    auto cpoller = std::make_shared<std::function<void()>>();
+    if (group_) {
+        constexpr sim::Tick kCompletionScan = 32;
+        std::weak_ptr<std::function<void()>> weakC = cpoller;
+        *cpoller = [this, weakC, sampling] {
+            if (!*sampling)
+                return;
+            drainCompletions();
+            if (auto s = weakC.lock())
+                eq_.scheduleIn(kCompletionScan, *s,
+                               sim::Priority::Controller);
+        };
+        eq_.schedule(0, *cpoller, sim::Priority::Controller);
+    }
+
     pm_->start();
     eq_.scheduleIn(opts.dispatchLatency, [this] { dispatchReady(); },
                    sim::Priority::Controller);
 
     // Drive the event loop; stop pumping once all tasks completed and
     // the trailing PM traffic has had a short settling window.
-    while (tasksCompleted_ < dag.size() && eq_.now() < opts.maxTime &&
-           !eq_.empty()) {
-        eq_.runOne();
+    if (group_) {
+        // A sharded anchor has no runOne() (events live in leaf queues
+        // on worker threads), so pump bounded supersteps and test the
+        // completion predicate at each barrier. The stride only decides
+        // how far past completion the run coasts; it is identical at
+        // every shard count, so sharded results stay shard-count
+        // invariant (they differ from the legacy path, which stops on
+        // the exact completion event).
+        constexpr sim::Tick kStride = 512;
+        while (tasksCompleted_ < dag.size() && eq_.now() < opts.maxTime &&
+               !eq_.empty()) {
+            eq_.runUntil(std::min(opts.maxTime, eq_.now() + kStride));
+        }
+    } else {
+        while (tasksCompleted_ < dag.size() && eq_.now() < opts.maxTime &&
+               !eq_.empty()) {
+            eq_.runOne();
+        }
     }
     stats.completed = tasksCompleted_ == dag.size();
-    if (stats.completed && lastCompletionTick_ + 2000 < opts.maxTime) {
+    if (stats.completed && lastCompletionTick_ + 2000 < opts.maxTime &&
+        lastCompletionTick_ + 2000 > eq_.now()) {
         // Capture the post-workload power decay in the trace.
         eq_.runUntil(lastCompletionTick_ + 2000);
     }

@@ -23,6 +23,7 @@
 #include "pm.hpp"
 #include "power/power_trace.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/shard.hpp"
 #include "tile.hpp"
 #include "workload/dag.hpp"
 #include "workload/trace.hpp"
@@ -101,6 +102,9 @@ class Soc
     noc::Network &network() { return *net_; }
     sim::EventQueue &eventQueue() { return eq_; }
 
+    /** The shard group driving a sharded instance (null when legacy). */
+    sim::ShardGroup *shardGroup() { return group_.get(); }
+
     /** Accelerator tile at a node. @pre the node hosts an accelerator. */
     AcceleratorTile &tile(noc::NodeId id);
 
@@ -149,7 +153,8 @@ class Soc
 
   private:
     void dispatchReady();
-    void onTaskDone(workload::TaskId id);
+    void onTaskDone(workload::TaskId id, sim::Tick completedAt);
+    void drainCompletions();
 
     SocConfig config_;
     sim::EventQueue eq_;
@@ -171,6 +176,22 @@ class Soc
     std::vector<std::vector<workload::TaskId>> tileQueues_; ///< by node
     std::size_t tasksCompleted_ = 0;
     sim::Tick lastCompletionTick_ = 0;
+    /**
+     * Sharded completion latches, one per node: task id + 1 (0 =
+     * none) and the completion tick. A tile's completion event fires
+     * at its own node's locus, where the global scheduler state must
+     * not be touched — the completion is parked here (single writer:
+     * the owning shard) and collected by the serial-lane scan in
+     * drainCompletions(), the model of a CPU taking a completion
+     * interrupt off a per-device status register.
+     */
+    std::vector<std::uint32_t> pendingDoneTask_;
+    std::vector<sim::Tick> pendingDoneTick_;
+
+    // Declared last: destruction must unbind the anchor and join the
+    // worker threads before any component the group routes events for
+    // (network, tiles, manager) is torn down.
+    std::unique_ptr<sim::ShardGroup> group_;
 };
 
 } // namespace blitz::soc

@@ -38,6 +38,9 @@ printEscaped(std::ostream &os, const char *s)
 void
 Tracer::push(Event e, std::initializer_list<TraceArg> args)
 {
+    // Sole writer entry point — complete/instant/counter all funnel
+    // here, so this lock is the tracer's entire thread-safety story.
+    std::lock_guard<std::mutex> lock(pushMu_);
     if (events_.size() >= maxEvents_) {
         ++dropped_;
         return;

@@ -15,6 +15,13 @@
  * events at the method entry, which the golden-trace tests rely on.
  * Event capacity is bounded; overflow drops new events and counts them
  * (droppedEvents()), never silently.
+ *
+ * Thread safety: the append path (push) takes a mutex, so hook sites
+ * running in parallel shard phases (sim/shard.hpp) may share one
+ * tracer without racing the event vector. Interleaving across shards
+ * is arbitrary, so sharded golden digests must not pin event *order*
+ * — only counts. Readers (eventCount, writeJson, absorb) are not
+ * synchronized against concurrent appends; call them between runs.
  */
 
 #ifndef BLITZ_TRACE_TRACER_HPP
@@ -23,6 +30,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -122,6 +130,8 @@ class Tracer
     std::size_t maxEvents_;
     std::uint64_t dropped_ = 0;
     std::vector<Event> events_;
+    /** Serializes push() across parallel shard phases. */
+    std::mutex pushMu_;
 };
 
 } // namespace blitz::trace

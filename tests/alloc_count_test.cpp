@@ -25,6 +25,7 @@
 #include "noc/network.hpp"
 #include "record/recorder.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/shard.hpp"
 
 namespace {
 
@@ -184,6 +185,48 @@ TEST(AllocCount, NocSteadyStateIsAllocationFree)
     // The audit must cover real traffic, not an idle queue.
     EXPECT_GT(net.packetsDelivered() - deliveredBefore, 50'000u);
     EXPECT_GT(sunk, 0u);
+}
+
+TEST(AllocCount, ShardedNocSteadyStateIsAllocationFree)
+{
+    // The sharded kernel must keep the zero-allocation property: leaf
+    // slabs/heaps, per-shard packet pools, and the cross-shard
+    // mailboxes all reach a high-water mark during warmup, after
+    // which supersteps, boundary handoffs, and barrier crossings
+    // allocate nothing. Workers are real threads here, so this also
+    // covers the condvar barrier path.
+    sim::EventQueue eq;
+    sim::ShardGroup group(eq, 4, sim::columnBands(6, 6, 4));
+    noc::Topology topo(6, 6, false);
+    noc::Network net(eq, topo);
+    net.enableSharding(group);
+    // Per-node sinks: deliveries execute at their destination's locus,
+    // so each element has exactly one writing shard.
+    std::vector<std::uint64_t> sunk(topo.size(), 0);
+    std::uint64_t *sp = sunk.data();
+    for (noc::NodeId id = 0; id < topo.size(); ++id)
+        net.setHandler(id, [sp, id](const noc::Packet &) {
+            ++sp[id];
+        });
+    for (noc::NodeId id = 0; id < topo.size(); ++id) {
+        Sender s{&net, &eq, 0x9e3779b9u + id, id};
+        // scheduleAtNode pins each sender to its own shard; its
+        // self-rescheduling then stays there.
+        eq.scheduleAtNode(id, 1 + id % 29, s);
+    }
+    eq.runUntil(16384);
+
+    const std::uint64_t before = gAllocCount.load();
+    const std::uint64_t deliveredBefore = net.packetsDelivered();
+    eq.runUntil(131072);
+    EXPECT_EQ(gAllocCount.load() - before, 0u)
+        << "steady-state sharded NoC traffic allocated";
+    EXPECT_GT(net.packetsDelivered() - deliveredBefore, 50'000u);
+    EXPECT_GT(group.crossEvents(), 0u) << "no boundary traffic";
+    std::uint64_t total = 0;
+    for (std::uint64_t s : sunk)
+        total += s;
+    EXPECT_GT(total, 0u);
 }
 
 TEST(AllocCount, RingRecorderSteadyStateIsAllocationFree)

@@ -150,11 +150,13 @@ constexpr double convergedTol = 2.5;
 std::uint64_t
 chaosTrialDigest(const GoldenScenario &sc, std::uint64_t seed,
                  bool observed = false,
-                 record::FlightRecorder *rec = nullptr)
+                 record::FlightRecorder *rec = nullptr,
+                 std::uint32_t shards = 0)
 {
     fault::ChaosConfig cc;
     cc.width = sc.d;
     cc.height = sc.d;
+    cc.shards = shards;
     // Exercise the arena-backed slab path under the determinism pin
     // (backing store must never affect results).
     cc.arena = &sim::threadArena();
@@ -231,10 +233,19 @@ chaosTrialDigest(const GoldenScenario &sc, std::uint64_t seed,
     dg.u64(net.packetsDelivered());
     dg.u64(net.packetsDropped());
     dg.u64(net.totalHops());
-    dg.u64(net.latency().count());
-    dg.f64(net.latency().mean());
-    dg.f64(net.latency().max());
-    const auto &fs = cluster.plane().stats();
+    if (shards >= 1) {
+        // Sharded runs pin the exact integer latency aggregates; the
+        // Welford summary's fold order is partition-dependent and
+        // asserts if read.
+        dg.u64(net.latencyCount());
+        dg.u64(net.latencySumTicks());
+        dg.u64(net.latencyMaxTicks());
+    } else {
+        dg.u64(net.latency().count());
+        dg.f64(net.latency().mean());
+        dg.f64(net.latency().max());
+    }
+    const auto fs = cluster.plane().stats();
     dg.u64(fs.drops);
     dg.u64(fs.delays);
     dg.u64(fs.duplicates);
@@ -270,6 +281,28 @@ chaosDigest(std::size_t threads)
     return all.value();
 }
 
+/**
+ * Sharded pin: the same scenario matrix on the BSP shard kernel.
+ * Keyed fault streams and per-source sequence numbers make this a
+ * *different* (equally valid) fault pattern than the legacy pin, so
+ * it gets its own constant — what it freezes is that shard counts
+ * 1, 2 and 4 reproduce it bit-for-bit.
+ */
+std::uint64_t
+shardedChaosDigest(std::uint32_t shards)
+{
+    Digest all;
+    std::uint64_t scenarioIdx = 0;
+    for (const GoldenScenario &sc : kScenarios) {
+        for (std::uint64_t rep = 0; rep < 2; ++rep)
+            all.u64(chaosTrialDigest(
+                sc, sweep::streamSeed(2033, scenarioIdx * 16 + rep),
+                /*observed=*/false, /*rec=*/nullptr, shards));
+        ++scenarioIdx;
+    }
+    return all.value();
+}
+
 // Recorded against the reference kernel; see the file comment.
 #include "golden_digests.inc"
 
@@ -285,6 +318,13 @@ TEST(GoldenTrace, ChaosTrialsMatchRecordedDigest)
     for (std::size_t threads : {1u, 2u, 4u})
         EXPECT_EQ(chaosDigest(threads), kGoldenChaos)
             << "threads=" << threads;
+}
+
+TEST(GoldenTrace, ShardedChaosTrialsMatchRecordedDigestAtEveryShardCount)
+{
+    for (std::uint32_t shards : {1u, 2u, 4u})
+        EXPECT_EQ(shardedChaosDigest(shards), kGoldenChaosSharded)
+            << "shards=" << shards;
 }
 
 TEST(GoldenTrace, SampledFig01TrialMatchesUnsampledResult)
@@ -334,6 +374,7 @@ regenDigests()
 {
     const std::uint64_t fig01 = fig01Digest(1);
     const std::uint64_t chaos = chaosDigest(1);
+    const std::uint64_t sharded = shardedChaosDigest(1);
     const char *path = BLITZ_GOLDEN_DIGESTS_PATH;
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -348,16 +389,21 @@ regenDigests()
         "together\n"
         "// with the intended-behavior change that moved them.\n"
         "constexpr std::uint64_t kGoldenFig01 = %lluull;\n"
-        "constexpr std::uint64_t kGoldenChaos = %lluull;\n",
+        "constexpr std::uint64_t kGoldenChaos = %lluull;\n"
+        "constexpr std::uint64_t kGoldenChaosSharded = %lluull;\n",
         static_cast<unsigned long long>(fig01),
-        static_cast<unsigned long long>(chaos));
+        static_cast<unsigned long long>(chaos),
+        static_cast<unsigned long long>(sharded));
     std::fclose(f);
     std::printf("fig01: %llu (was %llu)\nchaos: %llu (was %llu)\n"
-                "wrote %s\n",
+                "chaos-sharded: %llu (was %llu)\nwrote %s\n",
                 static_cast<unsigned long long>(fig01),
                 static_cast<unsigned long long>(kGoldenFig01),
                 static_cast<unsigned long long>(chaos),
-                static_cast<unsigned long long>(kGoldenChaos), path);
+                static_cast<unsigned long long>(kGoldenChaos),
+                static_cast<unsigned long long>(sharded),
+                static_cast<unsigned long long>(kGoldenChaosSharded),
+                path);
     return 0;
 }
 
