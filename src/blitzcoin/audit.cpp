@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <numeric>
 
+#include "guardian.hpp"
 #include "record/provenance.hpp"
 #include "record/recorder.hpp"
 #include "sim/logging.hpp"
@@ -28,7 +29,9 @@ ClusterAudit::audit() const
     AuditReport r;
     r.expected = expected_;
     for (const BlitzCoinUnit *u : units_) {
-        if (u->crashed())
+        if (u->quarantined())
+            ++r.quarantinedUnits;
+        else if (u->crashed())
             ++r.crashedUnits;
         else
             r.counted += u->has();
@@ -46,7 +49,7 @@ ClusterAudit::reconcile()
 
     std::vector<BlitzCoinUnit *> alive;
     for (BlitzCoinUnit *u : units_) {
-        if (!u->crashed())
+        if (!u->crashed() && !u->quarantined())
             alive.push_back(u);
     }
     if (alive.empty())
@@ -94,16 +97,20 @@ ClusterAudit::reconcile()
             continue;
         alive[i]->setHas(alive[i]->has() + sign * share[i]);
         const auto tile = alive[i]->self();
+        if (guardian_)
+            guardian_->noteGrant(tile, sign * share[i]);
         if (sign > 0) {
             // A remint consumes lost lineages oldest-first, so the
             // recorded lineage range names the crashes it repairs.
-            std::uint64_t lineage = record::ProvenanceLedger::kNoLineage;
+            record::ProvenanceLedger::RemintRange span{
+                record::ProvenanceLedger::kNoLineage,
+                record::ProvenanceLedger::kNoLineage};
             if (prov_)
-                lineage = prov_->remint(tile, share[i], tick);
+                span = prov_->remint(tile, share[i], tick);
             if (recorder_)
                 recorder_->mint(tick, tile, share[i],
-                                static_cast<std::int64_t>(lineage),
-                                static_cast<std::int64_t>(lineage),
+                                static_cast<std::int64_t>(span.first),
+                                static_cast<std::int64_t>(span.last),
                                 /*remintFlag=*/true);
         } else {
             if (prov_)

@@ -36,6 +36,8 @@ class ProvenanceLedger;
 
 namespace blitz::blitzcoin {
 
+class IntegrityGuardian;
+
 /** Result of one audit sweep. */
 struct AuditReport
 {
@@ -47,6 +49,8 @@ struct AuditReport
     coin::Coins gap = 0;
     /** Units skipped because they were crashed at sweep time. */
     std::size_t crashedUnits = 0;
+    /** Units skipped because the guardian quarantined them. */
+    std::size_t quarantinedUnits = 0;
 };
 
 /**
@@ -112,6 +116,16 @@ class ClusterAudit
     }
 
     /**
+     * Attach the integrity guardian. reconcile() then reports every
+     * correction as a legitimate grant so the guardian's conservation
+     * books don't flag audit remints as counterfeit coins.
+     */
+    void setGuardian(IntegrityGuardian *guardian)
+    {
+        guardian_ = guardian;
+    }
+
+    /**
      * The causal chains behind any conservation violation the ledger
      * has seen: which lineages were destroyed where, how they got
      * there, and whether a sweep has reminted them yet. Empty when no
@@ -124,6 +138,7 @@ class ClusterAudit
     std::vector<BlitzCoinUnit *> units_;
     record::FlightRecorder *recorder_ = nullptr;
     record::ProvenanceLedger *prov_ = nullptr;
+    IntegrityGuardian *guardian_ = nullptr;
     /** Tick source for journaled corrections (see setClock). */
     std::function<sim::Tick()> clock_;
     std::uint64_t gapsClosed_ = 0;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "guardian.hpp"
 #include "record/provenance.hpp"
 #include "record/recorder.hpp"
 #include "trace/tracer.hpp"
 
 namespace blitz::blitzcoin {
+
+using namespace wire;
 
 namespace {
 
@@ -18,37 +21,6 @@ constexpr sim::Tick busyRetry = 4;
 
 /** Unresolved-exchange backlog bound (initiator side). */
 constexpr std::size_t maxUnresolved = 32;
-
-/**
- * payload[3] wire encoding shared by CoinStatus and CoinUpdate:
- * the low byte is a flag, the rest is a message tag — the exchange
- * stamp (xid) for 1-way traffic, the round generation for 4-way.
- */
-enum WireFlag : int
-{
-    FlagOneWay = 0,  ///< 1-way exchange; tag is the initiator's xid
-    FlagGroup = 1,   ///< 4-way reply / group update; tag is the round
-    FlagUnknown = 2, ///< recover reply: outcome evicted from the log
-};
-
-constexpr std::int64_t
-packTag(std::uint64_t tag, int flag)
-{
-    return static_cast<std::int64_t>((tag << 8) |
-                                     static_cast<std::uint64_t>(flag));
-}
-
-constexpr int
-tagFlag(std::int64_t word)
-{
-    return static_cast<int>(word & 0xff);
-}
-
-constexpr std::uint64_t
-tagValue(std::int64_t word)
-{
-    return static_cast<std::uint64_t>(word) >> 8;
-}
 
 } // namespace
 
@@ -109,7 +81,7 @@ BlitzCoinUnit::setMax(coin::Coins max)
 void
 BlitzCoinUnit::start()
 {
-    if (running_ || crashed_)
+    if (running_ || crashed_ || quarantined_)
         return;
     running_ = true;
     scheduleNext(1 + rng_.below(cfg_.backoff.baseInterval));
@@ -181,8 +153,78 @@ BlitzCoinUnit::restart()
 }
 
 void
+BlitzCoinUnit::quarantine()
+{
+    if (quarantined_)
+        return;
+    if (tracer_)
+        tracer_->instant("guardian", "unit_quarantined", self_,
+                         eq_.now(), {{"coins_fenced", state_.has}});
+    stop();
+    quarantined_ = true;
+    // Drop all in-flight tracking: a quarantined tile must not keep
+    // pumping recovery probes or resolve late updates. Its counter is
+    // left fenced (not zeroed) — the audit census excludes it.
+    awaitingUpdate_ = false;
+    pending_.reset();
+    unresolved_.clear();
+    gathered_.clear();
+    awaitedStatuses_ = 0;
+    snapshotHeld_ = false;
+    ++snapshotGen_;
+    ++fourWayGen_;
+}
+
+void
+BlitzCoinUnit::shun(noc::NodeId node)
+{
+    if (!shunned_.insert(node).second)
+        return;
+    auto strip = [node](std::vector<noc::NodeId> v) {
+        v.erase(std::remove(v.begin(), v.end(), node), v.end());
+        return v;
+    };
+    std::vector<noc::NodeId> neighbors = strip(selector_.neighbors());
+    std::vector<noc::NodeId> far = strip(selector_.far());
+    if (neighbors.empty() && !far.empty()) {
+        // The exchange neighborhood re-forms around the hole: far
+        // partners are promoted so the tile is never left mute.
+        neighbors = std::move(far);
+        far.clear();
+    }
+    if (neighbors.empty())
+        return; // fully cut off; exchanges will time out and abandon
+    selector_ = coin::PartnerSelector(std::move(neighbors),
+                                      std::move(far), cfg_.pairing,
+                                      rng_);
+}
+
+void
+BlitzCoinUnit::setServeThrottle(noc::NodeId initiator,
+                                std::uint32_t budget)
+{
+    throttle_[initiator] = ServeThrottle{budget, 0};
+}
+
+void
+BlitzCoinUnit::clearServeThrottle(noc::NodeId initiator)
+{
+    throttle_.erase(initiator);
+}
+
+void
+BlitzCoinUnit::resetThrottleWindow()
+{
+    for (auto &[node, th] : throttle_)
+        th.used = 0;
+}
+
+void
 BlitzCoinUnit::scheduleNext(sim::Tick delay)
 {
+    if (adversary_)
+        delay = std::max<sim::Tick>(adversary_->adviseInterval(delay),
+                                    1);
     const std::uint64_t gen = ++timerGen_;
     eq_.scheduleIn(delay, [this, gen] {
         if (gen != timerGen_ || !running_)
@@ -204,14 +246,21 @@ BlitzCoinUnit::initiate()
     }
     noc::NodeId partner = selector_.next(isolated());
     const std::uint64_t xid = nextXid_++;
+    // A compromised tile may advertise forged registers (soliciting
+    // coins it does not need, or hiding coins it hoards).
+    coin::Coins aHas = state_.has;
+    coin::Coins aMax = state_.max;
+    coin::Coins aCap = cfg_.thermalCap;
+    if (adversary_)
+        adversary_->adviseStatus(aHas, aMax, aCap);
     noc::Packet pkt;
     pkt.src = self_;
     pkt.dst = partner;
     pkt.plane = noc::Plane::Service;
     pkt.type = noc::MsgType::CoinStatus;
-    pkt.payload[0] = state_.has;
-    pkt.payload[1] = state_.max;
-    pkt.payload[2] = cfg_.thermalCap;
+    pkt.payload[0] = aHas;
+    pkt.payload[1] = aMax;
+    pkt.payload[2] = aCap;
     pkt.payload[3] = packTag(xid, FlagOneWay);
     net_.send(pkt);
     ++initiated_;
@@ -307,8 +356,12 @@ BlitzCoinUnit::pumpRecovery(std::uint64_t xid)
 void
 BlitzCoinUnit::handlePacket(const noc::Packet &pkt)
 {
-    if (crashed_)
-        return; // powered off: deaf to the service plane
+    if (crashed_ || quarantined_)
+        return; // powered off / fenced off: deaf to the service plane
+    if (!shunned_.empty() && shunned_.count(pkt.src) != 0) {
+        ++shunnedDrops_; // quarantined neighbor: drop unheard
+        return;
+    }
     if (pkt.corrupted) {
         // Link CRC flagged the flit as damaged; detected corruption is
         // a loss and rides the same recovery path.
@@ -365,8 +418,28 @@ BlitzCoinUnit::serveStatus(const noc::Packet &pkt)
 {
     // One FSM cycle to compute the rebalance (Section IV-A).
     eq_.scheduleIn(cfg_.fsmCycles, [this, pkt] {
-        if (crashed_)
+        if (crashed_ || quarantined_)
             return;
+        auto th = throttle_.find(pkt.src);
+        if (th != throttle_.end()) {
+            if (th->second.used >= th->second.budget) {
+                // Guardian throttle: this initiator exhausted its
+                // serve budget for the window. The attempt is still
+                // evidence, so the sentry keeps counting it — and the
+                // refusal is answered with a null update rather than
+                // silence, so the initiator's exchange resolves at its
+                // *own* cadence instead of collapsing into timeouts
+                // (a spammer keeps revealing its rate to the books, an
+                // honest initiator is merely served nothing).
+                ++throttledDrops_;
+                if (sentry_)
+                    sentry_->noteThrottled(pkt.src);
+                sendOneWayUpdate(pkt.src, tagValue(pkt.payload[3]), 0,
+                                 FlagOneWay);
+                return;
+            }
+            ++th->second.used;
+        }
         const std::uint64_t xid = tagValue(pkt.payload[3]);
         auto &log = servedLog_[pkt.src];
         for (const ServedExchange &e : log) {
@@ -382,6 +455,8 @@ BlitzCoinUnit::serveStatus(const noc::Packet &pkt)
                         {{"xid", static_cast<std::int64_t>(xid)},
                          {"initiator",
                           static_cast<std::int64_t>(pkt.src)}});
+                if (sentry_)
+                    sentry_->noteServed(pkt.src);
                 sendOneWayUpdate(pkt.src, xid, e.delta, FlagOneWay);
                 return;
             }
@@ -392,33 +467,49 @@ BlitzCoinUnit::serveStatus(const noc::Packet &pkt)
         coin::Coins delta = coin::pairwiseDelta(
             remote, state_, remote_cap, cfg_.thermalCap);
 
-        if (delta != 0) {
-            state_.has += delta;
+        // A compromised partner can split the exchange: apply one
+        // delta locally while reporting another. The honest split is
+        // (applied = delta, reported = -delta); anything else mints or
+        // destroys coins — the guardian's conservation books catch it.
+        coin::Coins applied = delta;
+        coin::Coins reported = -delta;
+        if (adversary_)
+            adversary_->adviseServe(pkt.src, xid, delta, applied,
+                                    reported);
+
+        if (applied != 0) {
+            state_.has += applied;
             coinsChanged();
         }
         // The partner's apply is where coins settle: journal the
-        // served half and book the lineage movement (delta > 0 means
+        // served half and book the lineage movement (applied > 0 means
         // the initiator's coins flowed here).
         if (recorder_)
             recorder_->exchange(eq_.now(), record::kOutcomeServed,
                                 pkt.src, self_,
-                                static_cast<std::int64_t>(xid), delta);
-        if (prov_ && delta != 0)
-            prov_->transfer(pkt.src, self_, delta, xid, eq_.now());
-        timer_.onExchange(delta != 0);
-        iso_.onExchange(delta != 0, remote.max);
+                                static_cast<std::int64_t>(xid),
+                                applied);
+        if (prov_ && applied != 0)
+            prov_->transfer(pkt.src, self_, applied, xid, eq_.now());
+        if (sentry_) {
+            if (applied != 0)
+                sentry_->noteFlow(pkt.src, applied);
+            sentry_->noteServed(pkt.src);
+        }
+        timer_.onExchange(applied != 0);
+        iso_.onExchange(applied != 0, remote.max);
         // Receiving coins is evidence of a transition in flight: bring
         // the next self-initiated exchange forward so the wave keeps
         // propagating (a backed-off wakeup may be far in the future).
-        if (delta != 0 && running_ && !awaitingUpdate_)
+        if (applied != 0 && running_ && !awaitingUpdate_)
             scheduleNext(timer_.intervalFor(discontent() || isolated()));
 
         // Remember the outcome so a duplicated status or a CoinRecover
         // probe can replay it without moving coins again.
-        log.push_back(ServedExchange{xid, -delta});
+        log.push_back(ServedExchange{xid, reported});
         while (log.size() > cfg_.servedLogDepth)
             log.pop_front();
-        sendOneWayUpdate(pkt.src, xid, -delta, FlagOneWay);
+        sendOneWayUpdate(pkt.src, xid, reported, FlagOneWay);
     });
 }
 
@@ -426,7 +517,7 @@ void
 BlitzCoinUnit::serveRecover(const noc::Packet &pkt)
 {
     eq_.scheduleIn(cfg_.fsmCycles, [this, pkt] {
-        if (crashed_)
+        if (crashed_ || quarantined_)
             return;
         const std::uint64_t xid =
             static_cast<std::uint64_t>(pkt.payload[0]);
@@ -454,12 +545,15 @@ BlitzCoinUnit::serveRecover(const noc::Packet &pkt)
 
 void
 BlitzCoinUnit::applyResolvedDelta(coin::Coins delta,
-                                  coin::Coins partnerMax)
+                                  coin::Coins partnerMax,
+                                  noc::NodeId partner)
 {
     if (delta != 0) {
         state_.has += delta;
         ++moved_;
         coinsChanged();
+        if (sentry_)
+            sentry_->noteFlow(partner, delta);
     }
     timer_.onExchange(delta != 0);
     iso_.onExchange(delta != 0, partnerMax);
@@ -484,7 +578,7 @@ BlitzCoinUnit::applyUpdate(const noc::Packet &pkt)
                                 pkt.payload[0]);
         pending_.reset();
         awaitingUpdate_ = false;
-        applyResolvedDelta(pkt.payload[0], pkt.payload[2]);
+        applyResolvedDelta(pkt.payload[0], pkt.payload[2], pkt.src);
         if (running_)
             scheduleNext(timer_.intervalFor(discontent() || isolated()));
         return;
@@ -498,6 +592,8 @@ BlitzCoinUnit::applyUpdate(const noc::Packet &pkt)
         // replayed recover answer for an already-resolved exchange, or
         // a stamp retired by a crash. Applying it would double-count.
         ++duplicatesIgnored_;
+        if (sentry_)
+            sentry_->noteStale(pkt.src);
         if (tracer_)
             tracer_->instant(
                 "coin", "stale_update_dropped", self_, eq_.now(),
@@ -528,7 +624,7 @@ BlitzCoinUnit::applyUpdate(const noc::Packet &pkt)
                             resolved.partner,
                             static_cast<std::int64_t>(xid),
                             pkt.payload[0]);
-    applyResolvedDelta(pkt.payload[0], pkt.payload[2]);
+    applyResolvedDelta(pkt.payload[0], pkt.payload[2], pkt.src);
     if (running_ && !awaitingUpdate_)
         scheduleNext(timer_.intervalFor(discontent() || isolated()));
 }
@@ -543,6 +639,8 @@ BlitzCoinUnit::applyGroupUpdate(const noc::Packet &pkt)
     std::uint64_t &last = groupSeen_[pkt.src];
     if (tag <= last) {
         ++duplicatesIgnored_; // duplicated delivery of this round
+        if (sentry_)
+            sentry_->noteStale(pkt.src);
         return;
     }
     last = tag;
@@ -555,6 +653,8 @@ BlitzCoinUnit::applyGroupUpdate(const noc::Packet &pkt)
         state_.has += delta;
         ++moved_;
         coinsChanged();
+        if (sentry_)
+            sentry_->noteFlow(pkt.src, delta);
     }
     if (recorder_)
         recorder_->exchange(eq_.now(), record::kOutcomeServed, pkt.src,

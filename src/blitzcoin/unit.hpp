@@ -35,6 +35,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 
 #include "coin/backoff.hpp"
 #include "coin/engine.hpp"
@@ -55,6 +56,89 @@ class ProvenanceLedger;
 }
 
 namespace blitz::blitzcoin {
+
+class GuardSentry; // guardian.hpp: per-tile neighbor observation taps
+
+/**
+ * payload[3] wire encoding shared by CoinStatus and CoinUpdate: the
+ * low byte is a flag, the rest is a message tag — the exchange stamp
+ * (xid) for 1-way traffic, the round generation for 4-way. Hoisted
+ * here (from unit.cpp) so adversary models can forge well-formed
+ * protocol packets without duplicating the encoding.
+ */
+namespace wire {
+
+enum WireFlag : int
+{
+    FlagOneWay = 0,  ///< 1-way exchange; tag is the initiator's xid
+    FlagGroup = 1,   ///< 4-way reply / group update; tag is the round
+    FlagUnknown = 2, ///< recover reply: outcome evicted from the log
+};
+
+constexpr std::int64_t
+packTag(std::uint64_t tag, int flag)
+{
+    return static_cast<std::int64_t>((tag << 8) |
+                                     static_cast<std::uint64_t>(flag));
+}
+
+constexpr int
+tagFlag(std::int64_t word)
+{
+    return static_cast<int>(word & 0xff);
+}
+
+constexpr std::uint64_t
+tagValue(std::int64_t word)
+{
+    return static_cast<std::uint64_t>(word) >> 8;
+}
+
+} // namespace wire
+
+/**
+ * Byzantine compromise of one unit: a hook consulted at the three
+ * seams where a lying tile can diverge from the protocol — the
+ * registers it advertises, the split between what a served exchange
+ * applies locally and what it reports on the wire, and the initiation
+ * cadence. The default implementations are the honest protocol, so a
+ * hook overriding nothing is a no-op. Hooks must be pure (no RNG, no
+ * scheduling): active behaviors (counterfeit pulses, stale replays)
+ * belong in the ByzantinePlan's locus-pinned drivers.
+ */
+class AdversaryHook
+{
+  public:
+    virtual ~AdversaryHook() = default;
+
+    /** Mutate the registers advertised in an outgoing CoinStatus. */
+    virtual void
+    adviseStatus(coin::Coins & /*has*/, coin::Coins & /*max*/,
+                 coin::Coins & /*cap*/)
+    {
+    }
+
+    /**
+     * Split a served 1-way exchange. @p honest is the pairwise delta
+     * this tile would gain; @p applied is what it actually adds to its
+     * counter, @p reported what it sends back (the initiator applies
+     * it verbatim). Honest behavior keeps applied == honest and
+     * reported == -honest; any other split mints or destroys coins.
+     */
+    virtual void
+    adviseServe(noc::NodeId /*initiator*/, std::uint64_t /*xid*/,
+                coin::Coins /*honest*/, coin::Coins & /*applied*/,
+                coin::Coins & /*reported*/)
+    {
+    }
+
+    /** Override the next initiation interval (request spamming). */
+    virtual sim::Tick
+    adviseInterval(sim::Tick honest)
+    {
+        return honest;
+    }
+};
 
 /** Configuration of one BlitzCoin unit. */
 struct UnitConfig
@@ -167,6 +251,71 @@ class BlitzCoinUnit
 
     /** True while crashed (deaf to packets, no initiation). */
     bool crashed() const { return crashed_; }
+
+    /**
+     * Quarantine the tile (integrity guardian verdict): initiation
+     * stops, the unit goes deaf, and all in-flight exchange tracking
+     * is dropped so recovery probes cannot keep pumping packets. The
+     * coin counter is left fenced in place — the ClusterAudit census
+     * excludes quarantined tiles, so the watchdog remints the honest
+     * share elsewhere and the fenced counter never re-enters the
+     * budget. Sticky: survives crash()/restart() and blocks start().
+     */
+    void quarantine();
+
+    /** True once quarantined (sticky). */
+    bool quarantined() const { return quarantined_; }
+
+    /**
+     * Stop exchanging with @p node (a quarantined neighbor): its
+     * packets are dropped at the demux and the partner selector is
+     * rebuilt without it (far partners are promoted if the neighbor
+     * list would empty — the mesh re-forms around the hole). If no
+     * partner remains at all the old selector is kept; exchanges
+     * aimed at the shunned node then time out and abandon.
+     */
+    void shun(noc::NodeId node);
+
+    /** True if @p node's packets are being dropped. */
+    bool
+    isShunned(noc::NodeId node) const
+    {
+        return shunned_.count(node) != 0;
+    }
+
+    /**
+     * Cap 1-way serves for @p initiator at @p budget per guardian
+     * window (escalation step between warn and quarantine). Serves
+     * past the budget are dropped (and counted for the sentry, so
+     * evidence keeps accruing while throttled).
+     */
+    void setServeThrottle(noc::NodeId initiator, std::uint32_t budget);
+
+    /** Lift the serve cap for @p initiator (guardian amnesty). */
+    void clearServeThrottle(noc::NodeId initiator);
+
+    /** Reset all per-window throttle counters (each guardian sweep). */
+    void resetThrottleWindow();
+
+    /** Packets dropped because their source is shunned. */
+    std::uint64_t shunnedDrops() const { return shunnedDrops_; }
+
+    /** Serves dropped by an exhausted throttle budget. */
+    std::uint64_t throttledDrops() const { return throttledDrops_; }
+
+    /** The live partner selection state (shun retarget tests). */
+    const coin::PartnerSelector &selector() const { return selector_; }
+
+    /** Install a Byzantine behavior hook (nullptr = honest). */
+    void setAdversary(AdversaryHook *a) { adversary_ = a; }
+
+    /**
+     * Attach the guardian's observation tap. Pure observer on the
+     * honest path: every write happens at this unit's locus, and the
+     * guardian reads/clears the window from the serial lane between
+     * supersteps, so sharded runs stay race-free and bit-identical.
+     */
+    void setSentry(GuardSentry *s) { sentry_ = s; }
 
     /** Service-plane packet delivery from the tile's demux. */
     void handlePacket(const noc::Packet &pkt);
@@ -293,7 +442,8 @@ class BlitzCoinUnit
     void pumpRecovery(std::uint64_t xid);
 
     /** Conclude a resolved 1-way exchange (normal or recovered). */
-    void applyResolvedDelta(coin::Coins delta, coin::Coins partnerMax);
+    void applyResolvedDelta(coin::Coins delta, coin::Coins partnerMax,
+                            noc::NodeId partner);
 
     /** Emit the exchange span for @p p resolving now as @p outcome. */
     void traceExchange(const PendingExchange &p, coin::Coins delta,
@@ -304,6 +454,8 @@ class BlitzCoinUnit
     trace::Tracer *tracer_ = nullptr;
     record::FlightRecorder *recorder_ = nullptr;
     record::ProvenanceLedger *prov_ = nullptr;
+    AdversaryHook *adversary_ = nullptr;
+    GuardSentry *sentry_ = nullptr;
     noc::NodeId self_;
     UnitConfig cfg_;
     sim::Rng rng_;
@@ -313,7 +465,17 @@ class BlitzCoinUnit
     coin::IsolationDetector iso_;
     bool running_ = false;
     bool crashed_ = false;
+    bool quarantined_ = false;
     bool awaitingUpdate_ = false;
+    /** Sources whose packets are dropped (quarantined neighbors). */
+    std::set<noc::NodeId> shunned_;
+    /** Per-initiator serve cap imposed by the guardian. */
+    struct ServeThrottle
+    {
+        std::uint32_t budget = 0;
+        std::uint32_t used = 0;
+    };
+    std::map<noc::NodeId, ServeThrottle> throttle_;
     /** Current in-flight 1-way exchange (at most one). */
     std::optional<PendingExchange> pending_;
     /** Timed-out exchanges being reconciled in the background. */
@@ -347,6 +509,8 @@ class BlitzCoinUnit
     std::uint64_t duplicatesIgnored_ = 0;
     std::uint64_t corruptedDropped_ = 0;
     std::uint64_t abandoned_ = 0;
+    std::uint64_t shunnedDrops_ = 0;
+    std::uint64_t throttledDrops_ = 0;
 };
 
 } // namespace blitz::blitzcoin

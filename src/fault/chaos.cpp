@@ -43,6 +43,23 @@ ChaosCluster::ChaosCluster(const ChaosConfig &cfg)
         });
         audit_.track(*units_.back());
     }
+    if (!cfg_.byzantine.specs.empty()) {
+        byzantine_ = std::make_unique<ByzantinePlan>(cfg_.byzantine);
+        for (auto &u : units_)
+            byzantine_->corrupt(*u);
+        byzantine_->arm(eq_, net_);
+    }
+    if (cfg_.guardianEnabled) {
+        BLITZ_ASSERT(cfg_.auditPeriod > 0,
+                     "guardian sweeps ride the audit cadence; set "
+                     "auditPeriod > 0 when guardianEnabled");
+        guardian_ = std::make_unique<blitzcoin::IntegrityGuardian>(
+            cfg_.guardian);
+        for (auto &u : units_)
+            guardian_->track(*u);
+        guardian_->setClock([this] { return eq_.now(); });
+        audit_.setGuardian(guardian_.get());
+    }
     plane_.onNodeDown = [this](noc::NodeId n) { onCrash(n); };
     plane_.onNodeUp = [this](noc::NodeId n) { onRestart(n); };
     // A freeze is a clock-gated stall: the unit keeps its registers but
@@ -59,6 +76,13 @@ void
 ChaosCluster::scheduleAudit()
 {
     eq_.scheduleIn(cfg_.auditPeriod, [this] {
+        // Guardian first: a quarantine decided this sweep must be
+        // visible to the census on the same tick, so the fenced coins
+        // drop out of the count and the same reconcile remints them.
+        // Both run in the serial lane (exclusive context) in sharded
+        // mode, so the cross-unit writes are race-free.
+        if (guardian_)
+            guardian_->sweep();
         audit_.reconcile();
         scheduleAudit();
     }, sim::Priority::Stats);
@@ -116,6 +140,28 @@ ChaosCluster::attachMetrics(trace::Registry *reg, sim::Tick interval)
     sumOf("coin.exchanges_abandoned", [](const auto &u) {
         return u.exchangesAbandoned();
     });
+    if (guardian_) {
+        reg->sampled("guardian.detections", [this] {
+            return static_cast<double>(guardian_->detections());
+        });
+        reg->sampled("guardian.warnings", [this] {
+            return static_cast<double>(guardian_->warnings());
+        });
+        reg->sampled("guardian.throttles", [this] {
+            return static_cast<double>(guardian_->throttles());
+        });
+        reg->sampled("guardian.quarantines", [this] {
+            return static_cast<double>(guardian_->quarantines());
+        });
+    }
+    if (byzantine_) {
+        reg->sampled("byzantine.counterfeited", [this] {
+            return static_cast<double>(byzantine_->stats().counterfeited);
+        });
+        reg->sampled("byzantine.stale_replays", [this] {
+            return static_cast<double>(byzantine_->stats().staleReplays);
+        });
+    }
     reg->sampled("audit.gaps_closed", [this] {
         return static_cast<double>(audit_.gapsClosed());
     });
@@ -179,6 +225,10 @@ ChaosCluster::attachTrace(trace::Tracer *t)
     plane_.setTrace(t);
     for (auto &u : units_)
         u->setTrace(t);
+    if (byzantine_)
+        byzantine_->setTrace(t);
+    if (guardian_)
+        guardian_->setTrace(t);
 }
 
 void
@@ -202,6 +252,10 @@ ChaosCluster::attachRecorder(record::FlightRecorder *rec,
         u->setRecorder(rec, prov);
     audit_.setRecorder(rec, prov);
     audit_.setClock([this] { return eq_.now(); });
+    if (byzantine_)
+        byzantine_->setRecorder(rec);
+    if (guardian_)
+        guardian_->setRecorder(rec, prov);
     if (prov_)
         prov_->reset(units_.size());
     snapshotEvery_ = snapshotEvery;
@@ -252,6 +306,11 @@ ChaosCluster::onRestart(noc::NodeId node)
 void
 ChaosCluster::setHas(std::size_t i, coin::Coins has)
 {
+    // Provisioning is legitimate: teach the guardian's shadow books
+    // about the delta or it would read as counterfeit.
+    if (guardian_)
+        guardian_->noteGrant(static_cast<noc::NodeId>(i),
+                             has - units_[i]->has());
     units_[i]->setHas(has);
     // Provisioning is a mint: journal it so a replayed log opens with
     // the same coin population (attachRecorder comes before seeding).
@@ -301,7 +360,7 @@ ChaosCluster::totalCoins() const
 {
     coin::Coins sum = 0;
     for (const auto &u : units_) {
-        if (!u->crashed())
+        if (!u->crashed() && !u->quarantined())
             sum += u->has();
     }
     return sum;
@@ -313,7 +372,7 @@ ChaosCluster::clusterError() const
     coin::Coins th = 0, tm = 0;
     std::size_t alive = 0;
     for (const auto &u : units_) {
-        if (u->crashed())
+        if (u->crashed() || u->quarantined())
             continue;
         th += u->has();
         tm += u->max();
@@ -325,7 +384,7 @@ ChaosCluster::clusterError() const
         static_cast<double>(th) / static_cast<double>(tm);
     double sum = 0.0;
     for (const auto &u : units_) {
-        if (u->crashed())
+        if (u->crashed() || u->quarantined())
             continue;
         sum += std::abs(static_cast<double>(u->has()) -
                         alpha * static_cast<double>(u->max()));

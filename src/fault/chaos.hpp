@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "blitzcoin/audit.hpp"
+#include "blitzcoin/guardian.hpp"
 #include "blitzcoin/unit.hpp"
+#include "byzantine.hpp"
 #include "fault_plane.hpp"
 #include "noc/network.hpp"
 #include "sim/event_queue.hpp"
@@ -62,6 +64,18 @@ struct ChaosConfig
      */
     sim::Tick auditPeriod = 0;
     /**
+     * Byzantine compromise schedule; empty specs leave every tile
+     * honest (no plan is constructed, golden pins untouched).
+     */
+    ByzantineConfig byzantine{};
+    /**
+     * Arm the integrity guardian: shadow accounting over every tile
+     * with the warn/throttle/quarantine ladder, swept on the audit
+     * cadence (auditPeriod must be > 0). Off by default.
+     */
+    bool guardianEnabled = false;
+    blitzcoin::GuardianConfig guardian{};
+    /**
      * Backing store for the event slab and NoC packet pool; nullptr
      * heap-allocates. Sweep trials pass &sim::threadArena() so
      * replications on the same worker reuse the same chunks — the
@@ -103,6 +117,10 @@ class ChaosCluster
     /** The BSP shard group, or nullptr in legacy mode. */
     sim::ShardGroup *shardGroup() { return group_.get(); }
     blitzcoin::ClusterAudit &audit() { return audit_; }
+    /** The attack plan, or nullptr when every tile is honest. */
+    ByzantinePlan *byzantinePlan() { return byzantine_.get(); }
+    /** The integrity guardian, or nullptr when disabled. */
+    blitzcoin::IntegrityGuardian *guardian() { return guardian_.get(); }
     std::size_t size() const { return units_.size(); }
     blitzcoin::BlitzCoinUnit &unit(std::size_t i) { return *units_[i]; }
     const blitzcoin::BlitzCoinUnit &
@@ -199,6 +217,8 @@ class ChaosCluster
     FaultPlane plane_;
     std::vector<std::unique_ptr<blitzcoin::BlitzCoinUnit>> units_;
     blitzcoin::ClusterAudit audit_;
+    std::unique_ptr<ByzantinePlan> byzantine_;
+    std::unique_ptr<blitzcoin::IntegrityGuardian> guardian_;
     /** Max target at crash time, restored on restart. */
     std::vector<coin::Coins> maxAtCrash_;
     trace::Registry *metrics_ = nullptr;

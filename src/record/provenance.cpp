@@ -119,13 +119,14 @@ ProvenanceLedger::burn(std::uint32_t tile, std::int64_t amount,
     held_[tile] -= amount - remaining;
 }
 
-std::uint64_t
+ProvenanceLedger::RemintRange
 ProvenanceLedger::remint(std::uint32_t tile, std::int64_t amount,
                          sim::Tick tick)
 {
     if (amount <= 0 || tile >= fifo_.size())
-        return kNoLineage;
+        return {kNoLineage, kNoLineage};
     std::uint64_t first = kNoLineage;
+    std::uint64_t last = kNoLineage;
     std::int64_t remaining = amount;
     while (remaining > 0 && !lost_.empty()) {
         Lost &l = lost_.front();
@@ -136,6 +137,7 @@ ProvenanceLedger::remint(std::uint32_t tile, std::int64_t amount,
         fifo_[tile].push_back({l.lineage, take});
         if (first == kNoLineage)
             first = l.lineage;
+        last = l.lineage;
         l.amount -= take;
         remaining -= take;
         lostOutstanding_ -= take;
@@ -147,9 +149,10 @@ ProvenanceLedger::remint(std::uint32_t tile, std::int64_t amount,
         held_[tile] -= remaining; // mint() booked it; rebook below
         if (first == kNoLineage)
             first = fresh;
+        last = fresh;
     }
     held_[tile] += amount;
-    return first;
+    return {first, last};
 }
 
 std::int64_t

@@ -77,14 +77,23 @@ class ProvenanceLedger
     /** Destroy @p amount coins FIFO from @p tile (audit correction). */
     void burn(std::uint32_t tile, std::int64_t amount, sim::Tick tick);
 
+    /** Lineage span one remint touched (both kNoLineage if none). */
+    struct RemintRange
+    {
+        std::uint64_t first;
+        std::uint64_t last;
+    };
+
     /**
      * Audit watchdog re-creating @p amount coins on @p tile. Consumes
      * lost lineages oldest-first (marking them reminted); any excess
      * becomes a fresh lineage.
-     * @return the first lineage id touched.
+     * @return the first and last lineage ids touched — the audit's
+     * remint log line carries the full span so a quarantine or crash
+     * reclamation is replay-auditable via blitz-replay.
      */
-    std::uint64_t remint(std::uint32_t tile, std::int64_t amount,
-                         sim::Tick tick);
+    RemintRange remint(std::uint32_t tile, std::int64_t amount,
+                       sim::Tick tick);
 
     /** Settled coins the ledger books on @p tile. */
     std::int64_t held(std::uint32_t tile) const;

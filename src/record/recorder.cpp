@@ -40,6 +40,10 @@ recordKindName(RecordKind k)
         return "snapshot";
     case RecordKind::SnapshotMark:
         return "snapshot-mark";
+    case RecordKind::Byzantine:
+        return "byzantine";
+    case RecordKind::Guardian:
+        return "guardian";
     }
     return "?";
 }

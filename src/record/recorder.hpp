@@ -244,6 +244,36 @@ class FlightRecorder
         append(r);
     }
 
+    void
+    byzantine(sim::Tick t, std::uint8_t behavior, std::int64_t node,
+              std::int64_t amount, std::int64_t extra = 0)
+    {
+        Record r;
+        r.tick = t;
+        r.kind = RecordKind::Byzantine;
+        r.flag = behavior;
+        r.p0 = node;
+        r.p1 = amount;
+        r.p2 = extra;
+        append(r);
+    }
+
+    void
+    guardian(sim::Tick t, std::uint8_t event, std::int64_t tile,
+             std::int64_t strikes, std::int64_t mask,
+             std::int64_t evidence)
+    {
+        Record r;
+        r.tick = t;
+        r.kind = RecordKind::Guardian;
+        r.flag = event;
+        r.p0 = tile;
+        r.p1 = strikes;
+        r.p2 = mask;
+        r.p3 = evidence;
+        append(r);
+    }
+
     // ---- introspection ----
 
     /** Records currently retained (ring mode may have dropped some). */

@@ -60,6 +60,10 @@ enum class RecordKind : std::uint8_t
     Snapshot = 13,
     /** Epoch marker closing a snapshot: carries the state digest. */
     SnapshotMark = 14,
+    /** Byzantine plan action (counterfeit pulse, stale replay...). */
+    Byzantine = 15,
+    /** Integrity guardian detection or escalation decision. */
+    Guardian = 16,
 };
 
 const char *recordKindName(RecordKind k);
@@ -100,6 +104,10 @@ enum : std::uint8_t
  *   PmActuation    p0=tile p1=freq target in milli-MHz
  *   Snapshot       p0=tile p1=has p2=epoch
  *   SnapshotMark   p0=epoch p1=tiles p3=state digest
+ *   Byzantine      p0=node p1=amount p2=extra flag=behavior code
+ *   Guardian       p0=tile p1=strikes p2=detector mask p3=evidence
+ *                  flag=event (0 detect, 1 warn, 2 throttle,
+ *                  3 quarantine)
  */
 struct Record
 {

@@ -76,6 +76,8 @@ recordTiles(const Record &r, std::int64_t out[2])
         out[1] = r.p1;
         break;
       case RecordKind::NocDeliver:
+      case RecordKind::Byzantine:
+      case RecordKind::Guardian:
         out[0] = r.p0;
         break;
       case RecordKind::SnapshotMark:
@@ -487,6 +489,22 @@ describeRecord(const Record &r, std::uint64_t index)
              static_cast<long long>(r.p0),
              static_cast<long long>(r.p1),
              static_cast<unsigned long long>(r.p3));
+        break;
+      case RecordKind::Byzantine:
+        rest(" behavior %u node %lld amount %lld extra %lld",
+             static_cast<unsigned>(r.flag),
+             static_cast<long long>(r.p0),
+             static_cast<long long>(r.p1),
+             static_cast<long long>(r.p2));
+        break;
+      case RecordKind::Guardian:
+        rest(" event %u tile %lld strikes %lld mask %lld "
+             "evidence %lld",
+             static_cast<unsigned>(r.flag),
+             static_cast<long long>(r.p0),
+             static_cast<long long>(r.p1),
+             static_cast<long long>(r.p2),
+             static_cast<long long>(r.p3));
         break;
     }
     return buf;

@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "blitzcoin/guardian.hpp"
 #include "blitzcoin/unit.hpp"
 #include "coin/allocation.hpp"
 #include "config.hpp"
@@ -36,6 +37,10 @@
 namespace blitz::trace {
 class Registry;
 class Tracer;
+}
+
+namespace blitz::fault {
+class ByzantinePlan;
 }
 
 namespace blitz::soc {
@@ -82,6 +87,20 @@ struct PmConfig
      * benches pass the DAG's tile set; empty means all managed tiles.
      */
     std::vector<noc::NodeId> staticParticipants;
+    /**
+     * BC: arm the runtime integrity guardian over the managed cluster
+     * (shadow books + warn/throttle/quarantine ladder, swept on the
+     * audit cadence). Ignored by the centralized schemes.
+     */
+    bool guardianEnabled = false;
+    blitzcoin::GuardianConfig guardian{};
+    /**
+     * BC: fixed safe operating point a quarantined tile is parked at
+     * (MHz) — graceful degradation: the tile keeps computing at a
+     * budget-safe frequency while its coins are reclaimed and its
+     * neighbors re-form the exchange neighborhood around it.
+     */
+    double quarantineSafeFreqMhz = 200.0;
 };
 
 /** Everything a manager needs from the SoC; references stay owned
@@ -142,6 +161,17 @@ class PowerManager
     {
         (void)at;
         (void)pkt;
+    }
+
+    /**
+     * Compromise the scheme's per-tile state with @p plan (see
+     * Soc::installByzantinePlan). Only BlitzCoin has per-tile protocol
+     * state to corrupt; the centralized schemes ignore the plan.
+     */
+    virtual void
+    installByzantine(fault::ByzantinePlan &plan)
+    {
+        (void)plan;
     }
 
     /**

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 
+#include "fault/byzantine.hpp"
 #include "pm_impl.hpp"
 #include "trace/metrics.hpp"
 #include "trace/tracer.hpp"
@@ -41,6 +42,33 @@ BlitzCoinPm::BlitzCoinPm(const PmContext &ctx, const PmConfig &cfg)
     }
     for (auto &[id, pt] : units_)
         audit_.track(*pt.unit);
+    if (cfg_.guardianEnabled) {
+        guardian_ = std::make_unique<blitzcoin::IntegrityGuardian>(
+            cfg_.guardian);
+        for (auto &[id, pt] : units_)
+            guardian_->track(*pt.unit);
+        guardian_->setClock([this] { return ctx_.eq.now(); });
+        audit_.setGuardian(guardian_.get());
+        guardian_->onEscalate = [this](noc::NodeId tile,
+                                       blitzcoin::TileHealth h) {
+            // Graceful degradation: a quarantined tile is parked at a
+            // fixed budget-safe operating point — it keeps computing,
+            // but no longer participates in the coin economy (its
+            // neighbors shun it and re-form the neighborhood; the
+            // audit remints its share to the honest tiles).
+            if (h == blitzcoin::TileHealth::Quarantined)
+                ctx_.tiles[tile]->setFreqTargetMhz(
+                    cfg_.quarantineSafeFreqMhz);
+        };
+    }
+}
+
+void
+BlitzCoinPm::installByzantine(fault::ByzantinePlan &plan)
+{
+    for (auto &[id, pt] : units_)
+        plan.corrupt(*pt.unit);
+    plan.arm(ctx_.eq, ctx_.net);
 }
 
 void
@@ -49,6 +77,8 @@ BlitzCoinPm::setTrace(trace::Tracer *t)
     PowerManager::setTrace(t);
     for (auto &[id, pt] : units_)
         pt.unit->setTrace(t);
+    if (guardian_)
+        guardian_->setTrace(t);
 }
 
 void
@@ -68,6 +98,14 @@ BlitzCoinPm::registerMetrics(trace::Registry &reg)
             return unit->crashed()
                        ? 0.0
                        : static_cast<double>(unit->has());
+        });
+    }
+    if (guardian_) {
+        reg.sampled("guardian.detections", [this] {
+            return static_cast<double>(guardian_->detections());
+        });
+        reg.sampled("guardian.quarantines", [this] {
+            return static_cast<double>(guardian_->quarantines());
         });
     }
     reg.sampled("audit.gaps_closed", [this] {
@@ -104,6 +142,10 @@ BlitzCoinPm::start()
             --leftover;
         // Pin each unit's timer chains to its own node's shard; no-op
         // on an unsharded queue.
+        // The initial spread is a legitimate grant; without this the
+        // guardian's shadow books would read it as counterfeit.
+        if (guardian_)
+            guardian_->noteGrant(id, grant);
         sim::LocusScope scope(ctx_.eq, id);
         pt.unit->setHas(grant);
         pt.unit->start();
@@ -111,8 +153,10 @@ BlitzCoinPm::start()
     // Sharded: the recurring audit sweep is armed up front from setup
     // context so its chain lives in the serial lane — the only place
     // reconcile() (which reads and repairs every unit) may run. The
-    // legacy path keeps the lazy arm on first crash recovery.
-    if (ctx_.eq.binding().group)
+    // legacy path keeps the lazy arm on first crash recovery — unless
+    // the guardian is on, whose sweeps ride the same cadence and must
+    // run from tick one regardless of crashes.
+    if (ctx_.eq.binding().group || guardian_)
         armAuditSweep();
 }
 
@@ -166,11 +210,15 @@ BlitzCoinPm::clusterError() const
 {
     coin::Coins total_has = 0;
     coin::Coins total_max = 0;
+    std::size_t counted = 0;
     for (const auto &[id, pt] : units_) {
+        if (pt.unit->quarantined())
+            continue; // fenced coins are outside the economy
         total_has += pt.unit->has();
         total_max += pt.unit->max();
+        ++counted;
     }
-    if (total_max == 0)
+    if (total_max == 0 || counted == 0)
         return 0.0; // nothing active: no distribution to converge to
     const double alpha = static_cast<double>(total_has) /
                          static_cast<double>(total_max);
@@ -182,21 +230,25 @@ BlitzCoinPm::clusterError() const
     // for the surplus to reach exact proportionality.
     double sum = 0.0;
     for (const auto &[id, pt] : units_) {
+        if (pt.unit->quarantined())
+            continue;
         const double m = static_cast<double>(pt.unit->max());
         const double has_eff = std::clamp(
             static_cast<double>(pt.unit->has()), 0.0, m);
         const double want_eff = std::clamp(alpha * m, 0.0, m);
         sum += std::abs(has_eff - want_eff);
     }
-    return sum / static_cast<double>(units_.size());
+    return sum / static_cast<double>(counted);
 }
 
 coin::Coins
 BlitzCoinPm::clusterCoins() const
 {
     coin::Coins total = 0;
-    for (const auto &[id, pt] : units_)
-        total += pt.unit->has();
+    for (const auto &[id, pt] : units_) {
+        if (!pt.unit->quarantined())
+            total += pt.unit->has();
+    }
     return total;
 }
 
@@ -266,6 +318,10 @@ BlitzCoinPm::auditTick()
     // in-flight deltas to the crash and over-mint, but the next sweep
     // observes the landed coins and burns the excess back.
     ctx_.eq.scheduleIn(cfg_.auditPeriod, [this] {
+        // Guardian verdicts land before the census so a quarantine
+        // decided this sweep is reclaimed by the same reconcile.
+        if (guardian_)
+            guardian_->sweep();
         audit_.reconcile();
         coinsMoved();
         auditTick();

@@ -13,6 +13,7 @@
 
 #include "blitzcoin/audit.hpp"
 #include "blitzcoin/coin_lut.hpp"
+#include "blitzcoin/guardian.hpp"
 #include "blitzcoin/unit.hpp"
 #include "coin/neighborhood.hpp"
 #include "pm.hpp"
@@ -39,9 +40,18 @@ class BlitzCoinPm : public PowerManager
     void onNodeRestart(noc::NodeId tile) override;
     void onNodeFrozen(noc::NodeId tile) override;
     void onNodeThawed(noc::NodeId tile) override;
+    void installByzantine(fault::ByzantinePlan &plan) override;
 
     /** The unit on a managed tile (test access). */
     blitzcoin::BlitzCoinUnit &unit(noc::NodeId tile);
+
+    /** The integrity guardian, or nullptr when disabled. */
+    blitzcoin::IntegrityGuardian *guardian() { return guardian_.get(); }
+    const blitzcoin::IntegrityGuardian *
+    guardian() const
+    {
+        return guardian_.get();
+    }
 
     /** The audit watchdog restoring the pool after crashes. */
     const blitzcoin::ClusterAudit &audit() const { return audit_; }
@@ -77,6 +87,7 @@ class BlitzCoinPm : public PowerManager
 
     std::map<noc::NodeId, PerTile> units_;
     blitzcoin::ClusterAudit audit_{0};
+    std::unique_ptr<blitzcoin::IntegrityGuardian> guardian_;
     bool auditArmed_ = false;
 };
 

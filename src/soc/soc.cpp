@@ -77,6 +77,19 @@ Soc::installFaultPlane(fault::FaultPlane &plane)
 }
 
 void
+Soc::installByzantinePlan(fault::ByzantinePlan &plan)
+{
+    BLITZ_ASSERT(byz_ == nullptr,
+                 "a byzantine plan is already installed");
+    byz_ = &plan;
+    pm_->installByzantine(plan);
+    if (tracer_)
+        plan.setTrace(tracer_);
+    if (recorder_)
+        plan.setRecorder(recorder_);
+}
+
+void
 Soc::attachMetrics(trace::Registry *reg, sim::Tick interval)
 {
     metrics_ = reg;
@@ -112,6 +125,8 @@ Soc::attachTrace(trace::Tracer *t)
     pm_->setTrace(t);
     if (fault_)
         fault_->setTrace(t);
+    if (byz_)
+        byz_->setTrace(t);
 }
 
 void
@@ -127,6 +142,8 @@ Soc::attachRecorder(record::FlightRecorder *rec)
         t->setRecorder(rec);
     if (fault_)
         fault_->setRecorder(rec);
+    if (byz_)
+        byz_->setRecorder(rec);
 }
 
 Soc::~Soc() = default;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "config.hpp"
+#include "fault/byzantine.hpp"
 #include "fault/fault_plane.hpp"
 #include "noc/network.hpp"
 #include "pm.hpp"
@@ -119,6 +120,16 @@ class Soc
     void installFaultPlane(fault::FaultPlane &plane);
 
     /**
+     * Attach a Byzantine attack plan: the PM's per-tile protocol state
+     * is compromised per the plan's specs and the active drivers are
+     * armed on the event queue. Call before run(); the plan must
+     * outlive this Soc, and at most one plan may be installed. Only
+     * the BlitzCoin scheme has per-tile state to corrupt — the
+     * centralized schemes ignore the plan.
+     */
+    void installByzantinePlan(fault::ByzantinePlan &plan);
+
+    /**
      * Register the instance's observables on @p reg (the PM's gauges —
      * for BC that includes per-unit coin balances — plus reconstructed
      * accelerator power, NoC packet counters, and event-kernel
@@ -163,6 +174,7 @@ class Soc
     std::vector<AcceleratorTile *> tilesByNode_;
     std::unique_ptr<PowerManager> pm_;
     fault::FaultPlane *fault_ = nullptr; ///< not owned; may be null
+    fault::ByzantinePlan *byz_ = nullptr; ///< not owned; may be null
     trace::Registry *metrics_ = nullptr; ///< not owned; may be null
     sim::Tick metricsEvery_ = 0;
     trace::Tracer *tracer_ = nullptr;    ///< not owned; may be null

@@ -303,6 +303,159 @@ shardedChaosDigest(std::uint32_t shards)
     return all.value();
 }
 
+// --------------------------------------------- byzantine configuration
+// Guardian-armed trials under the canned attacker roster of
+// bench_byzantine.cpp (Inflator@18, Spammer@1, StuckGreedy@2). The pin
+// covers attack injection, the shadow-accounting sweeps, the
+// escalation ladder (including amnesty), quarantine shunning, and the
+// remint reclaim — the whole robustness plane must be bit-identical at
+// every sweep thread count and every shard count.
+
+std::uint64_t
+byzantineTrialDigest(int attackers, std::uint64_t seed,
+                     std::uint32_t shards = 0)
+{
+    fault::ChaosConfig cc;
+    cc.width = 6;
+    cc.height = 6;
+    cc.shards = shards;
+    cc.arena = &sim::threadArena();
+    cc.seedBase = seed;
+    cc.fault.seed = seed;
+    cc.byzantine.seed = seed;
+    cc.guardianEnabled = true;
+    cc.auditPeriod = 4'096;
+    {
+        using fault::ByzantineBehavior;
+        fault::ByzantineSpec inflator;
+        inflator.node = 18;
+        inflator.behavior = ByzantineBehavior::Inflator;
+        inflator.amount = 8;
+        inflator.period = 512;
+        fault::ByzantineSpec spammer;
+        spammer.node = 1;
+        spammer.behavior = ByzantineBehavior::Spammer;
+        fault::ByzantineSpec greedy;
+        greedy.node = 2;
+        greedy.behavior = ByzantineBehavior::StuckGreedy;
+        const fault::ByzantineSpec roster[] = {inflator, spammer,
+                                               greedy};
+        for (int i = 0; i < attackers; ++i)
+            cc.byzantine.specs.push_back(roster[i]);
+    }
+
+    fault::ChaosCluster cluster(cc);
+    const auto n = static_cast<std::size_t>(cc.width * cc.height);
+    coin::Coins demand = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        coin::Coins m = bench::typeLevel(static_cast<int>(i) % 4);
+        cluster.setMax(i, m);
+        demand += m;
+    }
+    const coin::Coins pool = demand / 2;
+    const std::size_t quarter = std::max<std::size_t>(n / 4, 1);
+    for (std::size_t i = 0; i < quarter; ++i) {
+        coin::Coins share = pool / static_cast<coin::Coins>(quarter);
+        if (i < static_cast<std::size_t>(
+                    pool % static_cast<coin::Coins>(quarter)))
+            ++share;
+        cluster.setHas(i, share);
+    }
+    cluster.sealProvision();
+    cluster.startAll();
+
+    std::optional<sim::Tick> t =
+        cluster.runUntilConverged(convergedTol, 64, deadline);
+
+    Digest dg;
+    dg.u64(t ? *t : ~std::uint64_t{0});
+    for (std::size_t i = 0; i < n; ++i)
+        cluster.unit(i).stop();
+    cluster.eq().runUntil(cluster.eq().now() + 20'000);
+    cluster.reconcile();
+
+    const auto *g = cluster.guardian();
+    dg.u64(g->sweepsRun());
+    dg.u64(g->detections());
+    dg.u64(g->warnings());
+    dg.u64(g->throttles());
+    dg.u64(g->quarantines());
+    if (const auto *bp = cluster.byzantinePlan()) {
+        const auto bs = bp->stats();
+        dg.i64(bs.counterfeited);
+        dg.u64(bs.pulses);
+        dg.u64(bs.forgedReplies);
+        dg.u64(bs.refusedPayouts);
+        dg.u64(bs.staleReplays);
+        dg.u64(bs.lyingStatuses);
+    }
+    dg.i64(cluster.audit().coinsMinted());
+    dg.i64(cluster.audit().coinsBurned());
+    dg.i64(cluster.totalCoins() - pool);
+    dg.u64(cluster.eq().now());
+    const auto &net = cluster.net();
+    dg.u64(net.packetsSent());
+    dg.u64(net.packetsDelivered());
+    dg.u64(net.packetsDropped());
+    dg.u64(net.totalHops());
+    if (shards >= 1) {
+        dg.u64(net.latencyCount());
+        dg.u64(net.latencySumTicks());
+        dg.u64(net.latencyMaxTicks());
+    } else {
+        dg.u64(net.latency().count());
+        dg.f64(net.latency().mean());
+        dg.f64(net.latency().max());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto id = static_cast<noc::NodeId>(i);
+        dg.i64(cluster.unit(i).has());
+        dg.u64(static_cast<std::uint64_t>(g->health(id)));
+        dg.i64(g->strikes(id));
+        dg.u64(cluster.unit(i).shunnedDrops());
+        dg.u64(cluster.unit(i).throttledDrops());
+        dg.u64(cluster.unit(i).duplicatesIgnored());
+    }
+    return dg.value();
+}
+
+std::uint64_t
+byzantineDigest(std::size_t threads)
+{
+    Digest all;
+    std::uint64_t scenarioIdx = 0;
+    for (int attackers : {1, 3}) {
+        sweep::SweepOptions opts;
+        opts.threads = threads;
+        auto trials = sweep::runSweep(
+            /*trials=*/2, sweep::streamSeed(2040, scenarioIdx++),
+            [attackers](std::size_t, std::uint64_t seed) {
+                return byzantineTrialDigest(attackers, seed);
+            },
+            opts);
+        for (std::uint64_t d : trials)
+            all.u64(d);
+    }
+    return all.value();
+}
+
+/** Sharded byzantine pin; same caveat as shardedChaosDigest. */
+std::uint64_t
+shardedByzantineDigest(std::uint32_t shards)
+{
+    Digest all;
+    std::uint64_t scenarioIdx = 0;
+    for (int attackers : {1, 3}) {
+        for (std::uint64_t rep = 0; rep < 2; ++rep)
+            all.u64(byzantineTrialDigest(
+                attackers,
+                sweep::streamSeed(2047, scenarioIdx * 16 + rep),
+                shards));
+        ++scenarioIdx;
+    }
+    return all.value();
+}
+
 // Recorded against the reference kernel; see the file comment.
 #include "golden_digests.inc"
 
@@ -324,6 +477,20 @@ TEST(GoldenTrace, ShardedChaosTrialsMatchRecordedDigestAtEveryShardCount)
 {
     for (std::uint32_t shards : {1u, 2u, 4u})
         EXPECT_EQ(shardedChaosDigest(shards), kGoldenChaosSharded)
+            << "shards=" << shards;
+}
+
+TEST(GoldenTrace, ByzantineTrialsMatchRecordedDigest)
+{
+    for (std::size_t threads : {1u, 2u, 4u})
+        EXPECT_EQ(byzantineDigest(threads), kGoldenByzantine)
+            << "threads=" << threads;
+}
+
+TEST(GoldenTrace, ShardedByzantineTrialsMatchRecordedDigestAtEveryShardCount)
+{
+    for (std::uint32_t shards : {1u, 2u, 4u})
+        EXPECT_EQ(shardedByzantineDigest(shards), kGoldenByzantineSharded)
             << "shards=" << shards;
 }
 
@@ -375,6 +542,8 @@ regenDigests()
     const std::uint64_t fig01 = fig01Digest(1);
     const std::uint64_t chaos = chaosDigest(1);
     const std::uint64_t sharded = shardedChaosDigest(1);
+    const std::uint64_t byz = byzantineDigest(1);
+    const std::uint64_t byzSharded = shardedByzantineDigest(1);
     const char *path = BLITZ_GOLDEN_DIGESTS_PATH;
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -390,19 +559,29 @@ regenDigests()
         "// with the intended-behavior change that moved them.\n"
         "constexpr std::uint64_t kGoldenFig01 = %lluull;\n"
         "constexpr std::uint64_t kGoldenChaos = %lluull;\n"
-        "constexpr std::uint64_t kGoldenChaosSharded = %lluull;\n",
+        "constexpr std::uint64_t kGoldenChaosSharded = %lluull;\n"
+        "constexpr std::uint64_t kGoldenByzantine = %lluull;\n"
+        "constexpr std::uint64_t kGoldenByzantineSharded = %lluull;\n",
         static_cast<unsigned long long>(fig01),
         static_cast<unsigned long long>(chaos),
-        static_cast<unsigned long long>(sharded));
+        static_cast<unsigned long long>(sharded),
+        static_cast<unsigned long long>(byz),
+        static_cast<unsigned long long>(byzSharded));
     std::fclose(f);
     std::printf("fig01: %llu (was %llu)\nchaos: %llu (was %llu)\n"
-                "chaos-sharded: %llu (was %llu)\nwrote %s\n",
+                "chaos-sharded: %llu (was %llu)\n"
+                "byzantine: %llu (was %llu)\n"
+                "byzantine-sharded: %llu (was %llu)\nwrote %s\n",
                 static_cast<unsigned long long>(fig01),
                 static_cast<unsigned long long>(kGoldenFig01),
                 static_cast<unsigned long long>(chaos),
                 static_cast<unsigned long long>(kGoldenChaos),
                 static_cast<unsigned long long>(sharded),
                 static_cast<unsigned long long>(kGoldenChaosSharded),
+                static_cast<unsigned long long>(byz),
+                static_cast<unsigned long long>(kGoldenByzantine),
+                static_cast<unsigned long long>(byzSharded),
+                static_cast<unsigned long long>(kGoldenByzantineSharded),
                 path);
     return 0;
 }

@@ -230,11 +230,14 @@ TEST(Provenance, CrashThenRemintClosesTheLoopOldestFirst)
     EXPECT_NE(gap.find("lineage"), std::string::npos);
 
     // A partial remint consumes the oldest lost lineage first.
-    const std::uint64_t touched = led.remint(1, 6, 200);
-    EXPECT_EQ(touched, l0);
+    const auto touched = led.remint(1, 6, 200);
+    EXPECT_EQ(touched.first, l0);
+    EXPECT_EQ(touched.last, l0);
     EXPECT_EQ(led.lostOutstanding(), 4);
     EXPECT_EQ(led.lostLineages(), (std::vector<std::uint64_t>{l1}));
-    led.remint(1, 4, 300);
+    const auto rest = led.remint(1, 4, 300);
+    EXPECT_EQ(rest.first, l1);
+    EXPECT_EQ(rest.last, l1);
     EXPECT_EQ(led.lostOutstanding(), 0);
     EXPECT_TRUE(led.lostLineages().empty());
     EXPECT_EQ(led.held(1), 10);
@@ -244,6 +247,35 @@ TEST(Provenance, CrashThenRemintClosesTheLoopOldestFirst)
     EXPECT_NE(chain.find("mint"), std::string::npos);
     EXPECT_NE(chain.find("crash"), std::string::npos);
     EXPECT_NE(chain.find("remint"), std::string::npos);
+}
+
+TEST(Provenance, RemintRangeSpansConsumedLineages)
+{
+    ProvenanceLedger led(2);
+    const std::uint64_t l0 = led.mint(0, 3, 0);
+    const std::uint64_t l1 = led.mint(0, 2, 1);
+    led.crash(0, /*tick=*/10);
+
+    // One remint larger than the lost pool consumes both lost
+    // lineages and mints the excess fresh; the reported span runs
+    // from the oldest lost lineage to the fresh one, so the audit's
+    // log line names every lineage the correction touched.
+    const auto span = led.remint(1, 7, /*tick=*/20);
+    EXPECT_EQ(span.first, l0);
+    EXPECT_EQ(span.last, l1 + 1);
+    EXPECT_EQ(led.lostOutstanding(), 0);
+    EXPECT_EQ(led.held(1), 7);
+
+    // With nothing lost, a remint is a plain fresh mint and still
+    // reports its own (single-lineage) span.
+    const auto fresh = led.remint(1, 2, /*tick=*/30);
+    EXPECT_EQ(fresh.first, fresh.last);
+    EXPECT_NE(fresh.first, ProvenanceLedger::kNoLineage);
+
+    // A no-op remint reports the empty span.
+    const auto none = led.remint(1, 0, /*tick=*/40);
+    EXPECT_EQ(none.first, ProvenanceLedger::kNoLineage);
+    EXPECT_EQ(none.last, ProvenanceLedger::kNoLineage);
 }
 
 TEST(Provenance, BurnDestroysFifoWithoutLosingTrack)

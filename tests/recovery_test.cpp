@@ -375,6 +375,65 @@ TEST(Recovery, CombinedStormLossAccountingMatchesGroundTruth)
               static_cast<double>(ignored));
 }
 
+TEST(Recovery, CrashInsidePartitionRemintedAfterHeal)
+{
+    // Worst case for the remint watchdog: tile 4 (holding the whole
+    // pool) power-fails *while its entire column is partitioned off*,
+    // and even restarts before the partition heals. The audit census
+    // counts crashed tiles at zero, so the gap is visible and reminted
+    // to the reachable side while the column is still dark; after the
+    // heal the books must close exactly — no double remint when the
+    // restarted (empty) tile rejoins.
+    auto cfg = lossyConfig(3, 0.0);
+    cfg.fault.outages.push_back({4, 2000, 12000, false});
+    noc::Topology topo(3, 3, false);
+    // Cut both column boundaries: nodes {1, 4, 7} are unreachable for
+    // the whole crash window and well past the restart.
+    cfg.fault.partitions.push_back(
+        fault::columnPartition(topo, 0, 2000, 20000));
+    cfg.fault.partitions.push_back(
+        fault::columnPartition(topo, 1, 2000, 20000));
+    cfg.auditPeriod = 4096;
+    LossyCluster c(cfg);
+    const coin::Coins maxes[9] = {10, 20, 40, 10, 60, 20, 10, 20, 10};
+    for (std::size_t i = 0; i < 9; ++i)
+        c.unit(i).setMax(maxes[i]);
+    c.unit(4).setHas(95);
+    c.c.sealProvision();
+    c.startAll();
+
+    c.eq().runUntil(3000);
+    EXPECT_TRUE(c.unit(4).crashed());
+    EXPECT_LT(c.totalCoins(), 95) << "the crash destroyed no coins?";
+
+    // Restart happens at 12000, still inside the partition window: the
+    // tile is back up (empty registers) but unreachable over the NoC.
+    c.eq().runUntil(16000);
+    EXPECT_FALSE(c.unit(4).crashed());
+    // The periodic audit sweep runs in the serial lane, not over the
+    // mesh, so it has already reminted the loss — conservation does
+    // not wait for the heal.
+    EXPECT_GT(c.c.audit().coinsMinted(), 0)
+        << "no remint while the column was dark";
+    EXPECT_EQ(c.totalCoins(), 95) << "census missed the restarted tile";
+
+    // Heal, settle, and close the books exactly.
+    c.eq().runUntil(60000);
+    auto report = c.c.quiesce(70000);
+    EXPECT_EQ(report.gap, 0) << "books did not close after the heal";
+    EXPECT_EQ(c.totalCoins(), 95);
+
+    // And the healed cluster still converges proportionally.
+    c.eq().runUntil(c.eq().now() + 100000);
+    double alpha = 95.0 / 200.0;
+    for (std::size_t i = 0; i < 9; ++i) {
+        EXPECT_NEAR(static_cast<double>(c.unit(i).has()),
+                    alpha * static_cast<double>(maxes[i]), 6.0)
+            << "tile " << i;
+    }
+    EXPECT_EQ(c.totalCoins(), 95);
+}
+
 TEST(Recovery, FrozenTileKeepsItsCoins)
 {
     // A freeze window is a clock-gated stall, not a crash: the tile
