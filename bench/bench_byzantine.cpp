@@ -167,12 +167,17 @@ runTrial(const Scenario &sc, std::uint64_t seed)
 Row
 runScenario(const Scenario &sc, int trials, std::uint64_t rootSeed)
 {
+    // Pre-size from the replication count: one sample per trial, so
+    // the fold never regrows the accumulator's buffer.
+    Row acc0;
+    acc0.convergeTicks.reserve(static_cast<std::size_t>(trials));
     return sweep::runSweepFold<Row>(
         static_cast<std::size_t>(trials), rootSeed,
         [&sc](std::size_t, std::uint64_t seed) {
             return runTrial(sc, seed);
         },
-        [](Row &acc, Row &r, std::size_t) { acc.merge(std::move(r)); });
+        [](Row &acc, Row &r, std::size_t) { acc.merge(std::move(r)); },
+        std::move(acc0));
 }
 
 } // namespace

@@ -200,13 +200,20 @@ Row
 runScenario(const Scenario &sc, int trials, std::uint64_t rootSeed,
             const bench::ObsOptions &obs, std::uint32_t pidBase)
 {
+    // Pre-size from the replication count: the sample buffer gains at
+    // most one entry per trial, so the fold never regrows it.
+    Row acc0;
+    acc0.reconvergeTicks.reserve(static_cast<std::size_t>(trials));
+    if (obs.trace)
+        acc0.tracers.reserve(static_cast<std::size_t>(trials));
     return sweep::runSweepFold<Row>(
         static_cast<std::size_t>(trials), rootSeed,
         [&sc, &obs, pidBase](std::size_t i, std::uint64_t seed) {
             return runTrial(sc, seed, obs,
                             pidBase + static_cast<std::uint32_t>(i));
         },
-        [](Row &acc, Row &r, std::size_t) { acc.merge(std::move(r)); });
+        [](Row &acc, Row &r, std::size_t) { acc.merge(std::move(r)); },
+        std::move(acc0));
 }
 
 } // namespace

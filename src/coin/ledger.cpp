@@ -6,7 +6,7 @@
 namespace blitz::coin {
 
 Ledger::Ledger(std::size_t n)
-    : tiles_(n)
+    : has_(n, 0), max_(n, 0)
 {
     BLITZ_ASSERT(n > 0, "ledger needs at least one tile");
 }
@@ -14,28 +14,28 @@ Ledger::Ledger(std::size_t n)
 void
 Ledger::setMax(std::size_t i, Coins max)
 {
-    BLITZ_ASSERT(i < tiles_.size(), "tile index out of range");
+    BLITZ_ASSERT(i < max_.size(), "tile index out of range");
     BLITZ_ASSERT(max >= 0, "max coins cannot be negative");
-    totalMax_ += max - tiles_[i].max;
-    tiles_[i].max = max;
+    totalMax_ += max - max_[i];
+    max_[i] = max;
 }
 
 void
 Ledger::setHas(std::size_t i, Coins has)
 {
-    BLITZ_ASSERT(i < tiles_.size(), "tile index out of range");
-    totalHas_ += has - tiles_[i].has;
-    tiles_[i].has = has;
+    BLITZ_ASSERT(i < has_.size(), "tile index out of range");
+    totalHas_ += has - has_[i];
+    has_[i] = has;
 }
 
 void
 Ledger::transfer(std::size_t from, std::size_t to, Coins amount)
 {
-    BLITZ_ASSERT(from < tiles_.size() && to < tiles_.size(),
+    BLITZ_ASSERT(from < has_.size() && to < has_.size(),
                  "tile index out of range");
     BLITZ_ASSERT(from != to, "transfer to self");
-    tiles_[from].has -= amount;
-    tiles_[to].has += amount;
+    has_[from] -= amount;
+    has_[to] += amount;
     ++transfers_;
     coinsMoved_ += static_cast<std::uint64_t>(
         amount < 0 ? -amount : amount);
@@ -53,9 +53,9 @@ Ledger::alpha() const
 double
 Ledger::tileError(std::size_t i) const
 {
-    BLITZ_ASSERT(i < tiles_.size(), "tile index out of range");
-    return std::abs(static_cast<double>(tiles_[i].has) -
-                    alpha() * static_cast<double>(tiles_[i].max));
+    BLITZ_ASSERT(i < has_.size(), "tile index out of range");
+    return std::abs(static_cast<double>(has_[i]) -
+                    alpha() * static_cast<double>(max_[i]));
 }
 
 double
@@ -63,11 +63,12 @@ Ledger::globalError() const
 {
     double sum = 0.0;
     const double a = alpha();
-    for (const auto &t : tiles_) {
-        sum += std::abs(static_cast<double>(t.has) -
-                        a * static_cast<double>(t.max));
+    const std::size_t n = has_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += std::abs(static_cast<double>(has_[i]) -
+                        a * static_cast<double>(max_[i]));
     }
-    return sum / static_cast<double>(tiles_.size());
+    return sum / static_cast<double>(n);
 }
 
 double
@@ -75,10 +76,11 @@ Ledger::maxError() const
 {
     double worst = 0.0;
     const double a = alpha();
-    for (const auto &t : tiles_) {
+    const std::size_t n = has_.size();
+    for (std::size_t i = 0; i < n; ++i) {
         worst = std::max(worst,
-                         std::abs(static_cast<double>(t.has) -
-                                  a * static_cast<double>(t.max)));
+                         std::abs(static_cast<double>(has_[i]) -
+                                  a * static_cast<double>(max_[i])));
     }
     return worst;
 }
@@ -86,7 +88,8 @@ Ledger::maxError() const
 void
 Ledger::clear()
 {
-    std::fill(tiles_.begin(), tiles_.end(), TileCoins{});
+    std::fill(has_.begin(), has_.end(), 0);
+    std::fill(max_.begin(), max_.end(), 0);
     totalHas_ = 0;
     totalMax_ = 0;
     transfers_ = 0;

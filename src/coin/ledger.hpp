@@ -49,11 +49,31 @@ class Ledger
     /** Create a ledger of @p n tiles, all zeroed. */
     explicit Ledger(std::size_t n);
 
-    std::size_t size() const { return tiles_.size(); }
+    std::size_t size() const { return has_.size(); }
 
-    Coins has(std::size_t i) const { return tiles_[i].has; }
-    Coins max(std::size_t i) const { return tiles_[i].max; }
-    const TileCoins &tile(std::size_t i) const { return tiles_[i]; }
+    Coins has(std::size_t i) const { return has_[i]; }
+    Coins max(std::size_t i) const { return max_[i]; }
+
+    /**
+     * Both registers of one tile, as a value. The ledger stores its
+     * columns struct-of-arrays (the behavioral engine's inner loop
+     * reads long runs of one register at a time — alpha and error
+     * sweeps touch has/max as whole columns), so there is no TileCoins
+     * object to reference; the pair is assembled on the fly.
+     */
+    TileCoins
+    tile(std::size_t i) const
+    {
+        return TileCoins{has_[i], max_[i]};
+    }
+
+    /**
+     * Raw column views for vectorized consumers (error reductions,
+     * census scans). Indexed by tile; never reallocated after
+     * construction.
+     */
+    const Coins *hasData() const { return has_.data(); }
+    const Coins *maxData() const { return max_.data(); }
 
     /** Sum of held coins — invariant across exchanges. */
     Coins totalHas() const { return totalHas_; }
@@ -108,7 +128,9 @@ class Ledger
     void clear();
 
   private:
-    std::vector<TileCoins> tiles_;
+    /// Struct-of-arrays tile state: one contiguous column per register.
+    std::vector<Coins> has_;
+    std::vector<Coins> max_;
     Coins totalHas_ = 0;
     Coins totalMax_ = 0;
     std::uint64_t transfers_ = 0;

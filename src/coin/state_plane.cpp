@@ -1,0 +1,36 @@
+#include "state_plane.hpp"
+
+namespace blitz::coin {
+
+PlaneCensus
+StatePlane::census() const
+{
+    PlaneCensus c;
+    const std::size_t n = has_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const TilePhase p = phase_[i];
+        if (p == TilePhase::Quarantined) {
+            ++c.quarantined;
+        } else if (p == TilePhase::Crashed) {
+            ++c.crashed;
+        } else {
+            c.counted += has_[i];
+        }
+    }
+    return c;
+}
+
+Coins
+StatePlane::aliveCoins() const
+{
+    Coins total = 0;
+    const std::size_t n = has_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (phase_[i] != TilePhase::Quarantined &&
+            phase_[i] != TilePhase::Crashed)
+            total += has_[i];
+    }
+    return total;
+}
+
+} // namespace blitz::coin

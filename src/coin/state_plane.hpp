@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Struct-of-arrays mirror of the hot per-tile state.
+ *
+ * Mega-mesh observers (the audit census, cluster-error probes, metrics
+ * sampling) walk every tile's hot scalars — coin count, target,
+ * lifecycle phase, refresh interval, frequency target — once per sweep.
+ * With that state embedded in the per-tile objects, each read chases a
+ * unit pointer into a ~500-byte object and drags a cache line of cold
+ * protocol state (maps, logs, RNG) along with it; at 10^5..10^6 tiles
+ * the sweeps become pure cache-miss loops. The plane keeps one densely
+ * packed column per scalar, indexed by NodeId, so a census is a linear
+ * scan of exactly the bytes it needs.
+ *
+ * The plane is a write-through MIRROR, never the authority: the owning
+ * objects (BlitzCoinUnit, AcceleratorTile) push every change at the
+ * point of mutation, and nothing in the protocol ever reads it back.
+ * That makes attachment a pure observer — digests are bit-identical
+ * with and without a plane — and keeps the single-writer-per-locus
+ * discipline of sharded runs intact, since a tile only writes its own
+ * row. The soa_plane_test property test holds the mirror to the
+ * object state at audit cadence.
+ */
+
+#ifndef BLITZ_COIN_STATE_PLANE_HPP
+#define BLITZ_COIN_STATE_PLANE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ledger.hpp"
+#include "sim/logging.hpp"
+#include "sim/types.hpp"
+
+namespace blitz::coin {
+
+/**
+ * Tile lifecycle phase, one byte per tile. Quarantine dominates crash
+ * (it is sticky and fences the tile out of the economy either way);
+ * the census treats both as outside the alive sum, mirroring
+ * ClusterAudit's unit walk.
+ */
+enum class TilePhase : std::uint8_t
+{
+    Idle = 0,        ///< constructed / stopped, serving exchanges
+    Running = 1,     ///< initiating exchanges
+    Crashed = 2,     ///< registers lost, deaf until restart
+    Quarantined = 3, ///< fenced by the integrity guardian (sticky)
+};
+
+/** One audit sweep's worth of plane reductions. */
+struct PlaneCensus
+{
+    Coins counted = 0;           ///< coins across alive tiles
+    std::size_t crashed = 0;     ///< tiles in TilePhase::Crashed
+    std::size_t quarantined = 0; ///< tiles in TilePhase::Quarantined
+};
+
+/**
+ * The SoA state plane: one contiguous column per hot scalar.
+ *
+ * Rows are NodeIds over the full mesh; tiles that never attach (an
+ * unmanaged node, a CPU slot) keep the zero row, which is neutral in
+ * every reduction. All writers go through the write*() calls so a
+ * debug build can bounds-check every store.
+ */
+class StatePlane
+{
+  public:
+    /** Create a plane of @p n tiles, all columns zeroed. */
+    explicit StatePlane(std::size_t n)
+        : has_(n, 0), max_(n, 0), freqMhz_(n, 0.0),
+          backoff_(n, 0), phase_(n, TilePhase::Idle)
+    {
+        BLITZ_ASSERT(n > 0, "state plane needs at least one tile");
+    }
+
+    std::size_t size() const { return has_.size(); }
+
+    Coins has(std::size_t i) const { return has_[check(i)]; }
+    Coins max(std::size_t i) const { return max_[check(i)]; }
+    double freqMhz(std::size_t i) const { return freqMhz_[check(i)]; }
+    sim::Tick backoff(std::size_t i) const { return backoff_[check(i)]; }
+    TilePhase phase(std::size_t i) const { return phase_[check(i)]; }
+
+    /** Raw column views for vectorized consumers. */
+    const Coins *hasData() const { return has_.data(); }
+    const Coins *maxData() const { return max_.data(); }
+    const double *freqData() const { return freqMhz_.data(); }
+    const sim::Tick *backoffData() const { return backoff_.data(); }
+    const TilePhase *phaseData() const { return phase_.data(); }
+
+    void writeHas(std::size_t i, Coins v) { has_[check(i)] = v; }
+    void writeMax(std::size_t i, Coins v) { max_[check(i)] = v; }
+    void writeFreq(std::size_t i, double mhz) { freqMhz_[check(i)] = mhz; }
+    void writeBackoff(std::size_t i, sim::Tick t) { backoff_[check(i)] = t; }
+    void writePhase(std::size_t i, TilePhase p) { phase_[check(i)] = p; }
+
+    /**
+     * The audit census as a fused scan: sum of coins over alive tiles
+     * plus the crashed/quarantined counts, touching only the coin and
+     * phase columns. Matches ClusterAudit's unit walk exactly as long
+     * as every tracked unit writes through (the property test's
+     * claim); zero rows contribute nothing.
+     */
+    PlaneCensus census() const;
+
+    /**
+     * Sum of coins over alive tiles only — the clusterCoins gauge.
+     */
+    Coins aliveCoins() const;
+
+  private:
+    std::size_t
+    check(std::size_t i) const
+    {
+        BLITZ_ASSERT(i < has_.size(), "plane row ", i, " out of range");
+        return i;
+    }
+
+    std::vector<Coins> has_;
+    std::vector<Coins> max_;
+    std::vector<double> freqMhz_;
+    std::vector<sim::Tick> backoff_;
+    std::vector<TilePhase> phase_;
+};
+
+} // namespace blitz::coin
+
+#endif // BLITZ_COIN_STATE_PLANE_HPP

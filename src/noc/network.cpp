@@ -79,8 +79,11 @@ void
 Network::setHandler(NodeId node, Handler handler)
 {
     BLITZ_ASSERT(node < handlers_.size(), "handler node out of range");
-    handlers_[node] =
-        std::make_shared<const Handler>(std::move(handler));
+    auto fresh = std::make_shared<const Handler>(std::move(handler));
+    Block &blk = curBlock();
+    if (blk.deliveryDepth > 0 && handlers_[node])
+        blk.retired.push_back(std::move(handlers_[node]));
+    handlers_[node] = std::move(fresh);
 }
 
 std::size_t
@@ -99,9 +102,8 @@ Network::ejectIndex(NodeId node, Plane p) const
 }
 
 Network::PacketEvent *
-Network::acquireEvent(const Packet &pkt, NodeId at)
+Network::acquireEvent(const Packet &pkt, NodeId at, Block &blk)
 {
-    Block &blk = curBlock();
     if (!blk.freeEvents) {
         // Grow the pool by a block; nodes are recycled forever after.
         sim::Arena *a = blk.arena;
@@ -130,7 +132,7 @@ Network::acquireEvent(const Packet &pkt, NodeId at)
 }
 
 void
-Network::releaseEvent(PacketEvent *pe)
+Network::releaseEvent(PacketEvent *pe, Block &blk)
 {
     // Use-after-reset tripwire: an arena-backed node must never be
     // recycled after its home arena has been reset out from under it
@@ -138,7 +140,6 @@ Network::releaseEvent(PacketEvent *pe)
     BLITZ_ASSERT(!pe->homeArena ||
                      pe->homeArena->epoch() == pe->poolEpoch,
                  "packet event outlived its arena (use-after-reset)");
-    Block &blk = curBlock();
     pe->nextFree = blk.freeEvents;
     blk.freeEvents = pe;
 }
@@ -164,14 +165,15 @@ Network::send(Packet pkt)
         pkt.seq = nextSeq_++;
     }
     pkt.injectTick = eq_.now();
-    ++curBlock().sent;
-    hopNode(acquireEvent(pkt, pkt.src));
+    Block &blk = curBlock();
+    ++blk.sent;
+    hopNode(acquireEvent(pkt, pkt.src, blk));
     return pkt.seq;
 }
 
 void
 Network::scheduleDelivery(const Packet &pkt, NodeId at,
-                          sim::Tick extraDelay)
+                          sim::Tick extraDelay, Block &blk)
 {
     // Ejection port: serializes deliveries into the endpoint.
     auto &free = ejectFree_[ejectIndex(at, pkt.plane)];
@@ -179,7 +181,7 @@ Network::scheduleDelivery(const Packet &pkt, NodeId at,
     free = depart + hopLatency_;
     // Always executes at `at`, so this stays in the current shard.
     eq_.scheduleAtNode(at, depart + hopLatency_,
-                       Deliver{this, acquireEvent(pkt, at)},
+                       Deliver{this, acquireEvent(pkt, at, blk)},
                        sim::Priority::NocTransfer);
 }
 
@@ -202,28 +204,35 @@ Network::finishDelivery(PacketEvent *pe)
                               static_cast<int>(pe->pkt.plane),
                               static_cast<int>(pe->pkt.type),
                               pe->pkt.seq, pe->pkt.injectTick);
-    // Pin the handler installed *now*: a handler replacing itself (or
-    // being replaced reentrantly) must not destroy the one executing.
-    std::shared_ptr<const Handler> h = handlers_[pe->at];
+    // Pin the handler installed *now* by raw pointer: the delivery
+    // depth keeps setHandler() from destroying it reentrantly (the
+    // old handler parks in this block's graveyard until the depth
+    // returns to zero), so no shared_ptr copy — and no pair of atomic
+    // refcount ops — is paid per packet.
+    const Handler *h = handlers_[pe->at].get();
     const Packet pkt = pe->pkt;
-    releaseEvent(pe);
-    if (h && *h)
+    releaseEvent(pe, blk);
+    if (h && *h) {
+        ++blk.deliveryDepth;
         (*h)(pkt);
+        if (--blk.deliveryDepth == 0 && !blk.retired.empty())
+            blk.retired.clear();
+    }
 }
 
 void
 Network::deliverCopies(const Packet &pkt, NodeId at,
-                       const FaultDecision &fd)
+                       const FaultDecision &fd, Block &blk)
 {
     // A duplicated delivery is the original plus one copy, each
     // serialized through the ejection port in schedule order.
     const int copies = fd.duplicate ? 2 : 1;
     for (int k = 0; k < copies; ++k)
-        scheduleDelivery(pkt, at, fd.delay);
+        scheduleDelivery(pkt, at, fd.delay, blk);
 }
 
 bool
-Network::tryFlatten(PacketEvent *pe, sim::Tick now)
+Network::tryFlatten(PacketEvent *pe, sim::Tick now, Block &blk)
 {
     const Packet &pkt = pe->pkt;
     if (topo_.distance(pe->at, pkt.dst) != 1)
@@ -239,7 +248,7 @@ Network::tryFlatten(PacketEvent *pe, sim::Tick now)
     auto &free = linkFree_[link];
     sim::Tick depart = std::max(now, free);
     free = depart + hopLatency_;
-    ++curBlock().hops;
+    ++blk.hops;
     if (trace_)
         trace_->onHop(link, depart);
     pe->at = pkt.dst;
@@ -254,23 +263,24 @@ Network::hopNode(PacketEvent *pe)
     const sim::Tick now = eq_.now();
     Packet &pkt = pe->pkt;
     const NodeId at = pe->at;
+    Block &blk = curBlock();
 
     if (at == pkt.dst) {
         FaultDecision fd;
         if (fault_)
             fd = fault_->onDeliver(pkt, at, now);
         if (fd.drop) {
-            ++curBlock().dropped;
+            ++blk.dropped;
             if (trace_)
                 trace_->onDrop(at, static_cast<int>(pkt.type), now);
         } else {
-            deliverCopies(pkt, at, fd);
+            deliverCopies(pkt, at, fd, blk);
         }
-        releaseEvent(pe);
+        releaseEvent(pe, blk);
         return;
     }
 
-    if (tryFlatten(pe, now))
+    if (tryFlatten(pe, now, blk))
         return;
 
     // Exact per-hop step: consult the fault hook, reserve the link,
@@ -284,16 +294,16 @@ Network::hopNode(PacketEvent *pe)
     auto &free = linkFree_[link];
     sim::Tick depart = std::max(now, free);
     free = depart + hopLatency_;
-    ++curBlock().hops;
+    ++blk.hops;
     if (trace_)
         trace_->onHop(link, depart);
     if (fd.drop) {
         // The flit crossed the link (the slot is consumed) but never
         // arrives at the next router.
-        ++curBlock().dropped;
+        ++blk.dropped;
         if (trace_)
             trace_->onDrop(at, static_cast<int>(pkt.type), now);
-        releaseEvent(pe);
+        releaseEvent(pe, blk);
         return;
     }
     pe->at = next;
@@ -304,7 +314,7 @@ Network::hopNode(PacketEvent *pe)
         // fault model, but honored for hook generality): forward an
         // independent copy behind the original.
         eq_.scheduleAtNode(next, depart + hopLatency_ + fd.delay,
-                           Step{this, acquireEvent(pkt, next)},
+                           Step{this, acquireEvent(pkt, next, blk)},
                            sim::Priority::NocTransfer);
     }
 }

@@ -286,6 +286,16 @@ class Network
         std::uint64_t latCount = 0;
         std::uint64_t latSum = 0;
         sim::Tick latMax = 0;
+        /**
+         * Deliveries currently executing on this block's thread. While
+         * nonzero, a handler replaced by setHandler() parks in
+         * `retired` instead of being destroyed, so the raw pointer the
+         * in-flight delivery is invoking through stays valid without a
+         * per-delivery shared_ptr copy (two atomic refcount ops per
+         * packet on the old pin-by-copy path).
+         */
+        std::uint32_t deliveryDepth = 0;
+        std::vector<std::shared_ptr<const Handler>> retired;
     };
 
     /** Event callback: advance a pooled packet at its current router. */
@@ -310,11 +320,16 @@ class Network
     /** Local ejection-port reservation slot for (node, plane). */
     std::size_t ejectIndex(NodeId node, Plane p) const;
 
-    /** The executing shard's state block (blocks_[0] unsharded). */
+    /**
+     * The executing shard's state block (blocks_[0] unsharded).
+     * Sharded resolution reads the thread's shard context, so hot
+     * paths resolve the block once and pass it down rather than
+     * re-deriving it at every pool or counter touch.
+     */
     Block &curBlock();
 
-    PacketEvent *acquireEvent(const Packet &pkt, NodeId at);
-    void releaseEvent(PacketEvent *pe);
+    PacketEvent *acquireEvent(const Packet &pkt, NodeId at, Block &blk);
+    void releaseEvent(PacketEvent *pe, Block &blk);
 
     /** Advance a packet at its current router (arrival or injection). */
     void hopNode(PacketEvent *pe);
@@ -333,15 +348,15 @@ class Network
      * trace) when the route is longer or the hook may act; the caller
      * then steps one hop the exact way.
      */
-    bool tryFlatten(PacketEvent *pe, sim::Tick now);
+    bool tryFlatten(PacketEvent *pe, sim::Tick now, Block &blk);
 
     /** Apply a delivery verdict: schedule 1 + duplicate copies. */
     void deliverCopies(const Packet &pkt, NodeId at,
-                       const FaultDecision &fd);
+                       const FaultDecision &fd, Block &blk);
 
     /** Reserve the ejection port and schedule one handler invocation. */
     void scheduleDelivery(const Packet &pkt, NodeId at,
-                          sim::Tick extraDelay);
+                          sim::Tick extraDelay, Block &blk);
 
     void finishDelivery(PacketEvent *pe);
 
@@ -349,9 +364,11 @@ class Network
     Topology topo_;
     sim::Tick hopLatency_;
     /**
-     * Shared-ptr'd so a delivery can pin the handler it invokes
-     * without copying the std::function (reentrant replacement stays
-     * safe, and the steady-state path stays allocation-free).
+     * Shared-ptr'd so reentrant replacement stays safe without
+     * copying the std::function: a delivery invokes through the raw
+     * pointer, and setHandler() during a delivery parks the old
+     * handler in the executing block's graveyard (cleared when the
+     * delivery depth returns to zero) instead of destroying it.
      */
     std::vector<std::shared_ptr<const Handler>> handlers_;
     FaultHook *fault_ = nullptr;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "sim/types.hpp"
+
 namespace blitz::noc {
 
 const char *
@@ -19,46 +21,31 @@ dirName(Dir d)
 }
 
 Topology::Topology(int width, int height, bool wrap)
-    : width_(width), height_(height), wrap_(wrap)
+    : width_(width), height_(height), wrap_(wrap),
+      rowMagic_((std::uint64_t{1} << kRowShift) /
+                    static_cast<std::uint64_t>(width < 1 ? 1 : width) +
+                1)
 {
     if (width < 1 || height < 1)
         sim::fatal("topology dimensions must be positive, got ",
                    width, "x", height);
-}
-
-Coord
-Topology::coordOf(NodeId id) const
-{
-    BLITZ_ASSERT(id < size(), "node id ", id, " out of range");
-    return Coord{static_cast<int>(id) % width_,
-                 static_cast<int>(id) / width_};
-}
-
-NodeId
-Topology::idOf(Coord c) const
-{
-    BLITZ_ASSERT(contains(c), "coordinate (", c.x, ",", c.y,
-                 ") out of range");
-    return static_cast<NodeId>(c.y * width_ + c.x);
-}
-
-std::optional<NodeId>
-Topology::neighbor(NodeId id, Dir d) const
-{
-    Coord c = coordOf(id);
-    switch (d) {
-      case Dir::North: c.y -= 1; break;
-      case Dir::South: c.y += 1; break;
-      case Dir::East:  c.x += 1; break;
-      case Dir::West:  c.x -= 1; break;
+    // Index-width contract: node ids must fit the sharded event
+    // kernel's 20-bit locus key field (see sim::kMaxMeshNodes).
+    if (size() > sim::kMaxMeshNodes)
+        sim::fatal("mesh ", width, "x", height, " exceeds the ",
+                   sim::kMaxMeshNodes,
+                   "-node ceiling of the sharded ordering key");
+    // The round-up reciprocal is provably exact for this shift once
+    // id * width fits well under 2^kRowShift, but the routing layer
+    // leans on it for every hop, so verify the full id range outright
+    // — one multiply per node, a few ms even at a 1000x1000 mesh.
+    for (NodeId id = 0; id < size(); ++id) {
+        const auto y =
+            static_cast<std::uint64_t>((id * rowMagic_) >> kRowShift);
+        if (y != id / static_cast<std::uint64_t>(width_))
+            sim::fatal("row reciprocal inexact at id ", id, " for ",
+                       width, "x", height);
     }
-    if (!contains(c)) {
-        if (!wrap_)
-            return std::nullopt;
-        c.x = (c.x + width_) % width_;
-        c.y = (c.y + height_) % height_;
-    }
-    return idOf(c);
 }
 
 std::vector<NodeId>
@@ -76,49 +63,6 @@ Topology::neighbors(NodeId id) const
         }
     }
     return out;
-}
-
-int
-Topology::axisDelta(int from, int to, int span) const
-{
-    // Signed steps along one axis; in wrap mode pick the shorter way
-    // around the ring (ties resolve to the positive direction).
-    int delta = to - from;
-    if (!wrap_)
-        return delta;
-    int wrapped = delta > 0 ? delta - span : delta + span;
-    return std::abs(wrapped) < std::abs(delta) ? wrapped : delta;
-}
-
-int
-Topology::distance(NodeId a, NodeId b) const
-{
-    Coord ca = coordOf(a);
-    Coord cb = coordOf(b);
-    return std::abs(axisDelta(ca.x, cb.x, width_)) +
-           std::abs(axisDelta(ca.y, cb.y, height_));
-}
-
-Dir
-Topology::nextHopDir(NodeId from, NodeId to) const
-{
-    BLITZ_ASSERT(from != to, "routing a packet to itself");
-    Coord cf = coordOf(from);
-    Coord ct = coordOf(to);
-    int dx = axisDelta(cf.x, ct.x, width_);
-    if (dx != 0)
-        return dx > 0 ? Dir::East : Dir::West;
-    int dy = axisDelta(cf.y, ct.y, height_);
-    BLITZ_ASSERT(dy != 0, "zero route delta for distinct nodes");
-    return dy > 0 ? Dir::South : Dir::North;
-}
-
-NodeId
-Topology::nextHop(NodeId from, NodeId to) const
-{
-    auto n = neighbor(from, nextHopDir(from, to));
-    BLITZ_ASSERT(n.has_value(), "XY routing walked off the mesh edge");
-    return *n;
 }
 
 std::string

@@ -14,6 +14,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <vector>
@@ -79,11 +80,29 @@ class Topology
                static_cast<std::size_t>(height_);
     }
 
-    /** Coordinate of a node id. @pre id < size(). */
-    Coord coordOf(NodeId id) const;
+    /**
+     * Coordinate of a node id. @pre id < size(). Division-free: the
+     * row comes from a multiply-shift by a reciprocal precomputed at
+     * construction (and verified exact over the whole id range
+     * there), because this sits under every routing decision and a
+     * hardware divide per hop dominated the per-event profile.
+     */
+    Coord
+    coordOf(NodeId id) const
+    {
+        BLITZ_ASSERT(id < size(), "node id ", id, " out of range");
+        const int y = static_cast<int>((id * rowMagic_) >> kRowShift);
+        return Coord{static_cast<int>(id) - y * width_, y};
+    }
 
     /** Node id of a coordinate. @pre in bounds. */
-    NodeId idOf(Coord c) const;
+    NodeId
+    idOf(Coord c) const
+    {
+        BLITZ_ASSERT(contains(c), "coordinate (", c.x, ",", c.y,
+                     ") out of range");
+        return static_cast<NodeId>(c.y * width_ + c.x);
+    }
 
     /** True when the coordinate lies inside the grid. */
     bool
@@ -97,32 +116,89 @@ class Topology
      * In wrap mode every node has a neighbor in every direction (which,
      * on a 1-wide dimension, may be the node itself).
      */
-    std::optional<NodeId> neighbor(NodeId id, Dir d) const;
+    std::optional<NodeId>
+    neighbor(NodeId id, Dir d) const
+    {
+        Coord c = coordOf(id);
+        switch (d) {
+          case Dir::North: c.y -= 1; break;
+          case Dir::South: c.y += 1; break;
+          case Dir::East:  c.x += 1; break;
+          case Dir::West:  c.x -= 1; break;
+        }
+        if (!contains(c)) {
+            if (!wrap_)
+                return std::nullopt;
+            c.x = (c.x + width_) % width_;
+            c.y = (c.y + height_) % height_;
+        }
+        return idOf(c);
+    }
 
     /** All distinct neighbors of a node, in N,S,E,W order. */
     std::vector<NodeId> neighbors(NodeId id) const;
 
     /** Manhattan hop distance honoring wrap-around when enabled. */
-    int distance(NodeId a, NodeId b) const;
+    int
+    distance(NodeId a, NodeId b) const
+    {
+        Coord ca = coordOf(a);
+        Coord cb = coordOf(b);
+        return std::abs(axisDelta(ca.x, cb.x, width_)) +
+               std::abs(axisDelta(ca.y, cb.y, height_));
+    }
 
     /**
      * Next hop direction under dimension-ordered (X-then-Y) routing.
      * @pre from != to. Chooses the shorter way around in wrap mode.
      */
-    Dir nextHopDir(NodeId from, NodeId to) const;
+    Dir
+    nextHopDir(NodeId from, NodeId to) const
+    {
+        BLITZ_ASSERT(from != to, "routing a packet to itself");
+        Coord cf = coordOf(from);
+        Coord ct = coordOf(to);
+        int dx = axisDelta(cf.x, ct.x, width_);
+        if (dx != 0)
+            return dx > 0 ? Dir::East : Dir::West;
+        int dy = axisDelta(cf.y, ct.y, height_);
+        BLITZ_ASSERT(dy != 0, "zero route delta for distinct nodes");
+        return dy > 0 ? Dir::South : Dir::North;
+    }
 
     /** Next hop node id. @pre from != to. */
-    NodeId nextHop(NodeId from, NodeId to) const;
+    NodeId
+    nextHop(NodeId from, NodeId to) const
+    {
+        auto n = neighbor(from, nextHopDir(from, to));
+        BLITZ_ASSERT(n.has_value(),
+                     "XY routing walked off the mesh edge");
+        return *n;
+    }
 
     /** "3x3 mesh" / "20x20 torus" description for reports. */
     std::string describe() const;
 
   private:
-    int axisDelta(int from, int to, int span) const;
+    /** floor(id / width) as a multiply-shift; exact (see ctor). */
+    static constexpr unsigned kRowShift = 47;
+
+    int
+    axisDelta(int from, int to, int span) const
+    {
+        // Signed steps along one axis; in wrap mode pick the shorter
+        // way around the ring (ties resolve positive).
+        int delta = to - from;
+        if (!wrap_)
+            return delta;
+        int wrapped = delta > 0 ? delta - span : delta + span;
+        return std::abs(wrapped) < std::abs(delta) ? wrapped : delta;
+    }
 
     int width_;
     int height_;
     bool wrap_;
+    std::uint64_t rowMagic_;
 };
 
 } // namespace blitz::noc

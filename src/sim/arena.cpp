@@ -20,18 +20,27 @@ Arena::allocate(std::size_t bytes, std::size_t align)
             off_ = 0;
             continue;
         }
-        const std::size_t size = std::max(chunkBytes_, bytes + align);
+        // Geometric growth: each new chunk is at least as large as
+        // everything reserved so far, so total capacity doubles per
+        // growth. The slack this leaves is the steady-state allocation
+        // guarantee — pool high-water marks (NoC in-flight packets,
+        // event-slab nodes) creep slightly past their warmup peaks,
+        // and the doubling absorbs that creep without a new chunk.
+        const std::size_t size =
+            std::max({chunkBytes_, bytes + align, reserved_});
         chunks_.push_back({std::make_unique<std::byte[]>(size), size});
+        reserved_ += size;
     }
 }
 
-std::size_t
-Arena::bytesReserved() const
+void
+Arena::reserve(std::size_t bytes)
 {
-    std::size_t total = 0;
-    for (const Chunk &c : chunks_)
-        total += c.size;
-    return total;
+    if (reserved_ >= bytes)
+        return;
+    const std::size_t size = bytes - reserved_;
+    chunks_.push_back({std::make_unique<std::byte[]>(size), size});
+    reserved_ += size;
 }
 
 Arena &

@@ -72,8 +72,19 @@ class Arena
      */
     std::uint64_t epoch() const { return epoch_; }
 
+    /**
+     * Pre-size the arena to at least @p bytes of backing capacity in
+     * one allocation. Mega-mesh runs call this up front (sized from
+     * the topology) so slabs and pools never grow mid-simulation.
+     */
+    void reserve(std::size_t bytes);
+
     /** Total bytes of backing chunks held (capacity, not usage). */
-    std::size_t bytesReserved() const;
+    std::size_t
+    bytesReserved() const
+    {
+        return reserved_;
+    }
 
   private:
     struct Chunk
@@ -84,8 +95,9 @@ class Arena
 
     std::vector<Chunk> chunks_;
     std::size_t chunkBytes_;
-    std::size_t cur_ = 0; ///< index of the chunk being bumped
-    std::size_t off_ = 0; ///< bump offset within chunks_[cur_]
+    std::size_t cur_ = 0;      ///< index of the chunk being bumped
+    std::size_t off_ = 0;      ///< bump offset within chunks_[cur_]
+    std::size_t reserved_ = 0; ///< sum of chunk sizes
     std::uint64_t epoch_ = 0;
 };
 

@@ -4,13 +4,6 @@
 
 namespace blitz::sim {
 
-ShardContext *&
-tlsShardContext()
-{
-    thread_local ShardContext *ctx = nullptr;
-    return ctx;
-}
-
 EventQueue::~EventQueue()
 {
     // Destroy surviving callbacks (scheduled or tombstoned); the slab
@@ -20,6 +13,8 @@ EventQueue::~EventQueue()
     if (!arena_) {
         for (Node *chunk : chunks_)
             ::operator delete(chunk, std::align_val_t{alignof(Node)});
+        for (void *block : entryBlocks_)
+            ::operator delete(block);
     }
 }
 
@@ -30,7 +25,7 @@ EventQueue::addChunk()
         // Use-after-reset tripwire: arena-backed slab chunks become
         // dangling the moment the arena resets, so growing the slab
         // after a reset means the queue outlived its backing store.
-        if (chunks_.empty())
+        if (chunks_.empty() && entryChunksAllocated_ == 0)
             arenaEpoch_ = arena_->epoch();
         else
             BLITZ_ASSERT(arena_->epoch() == arenaEpoch_,
@@ -54,6 +49,35 @@ EventQueue::addChunk()
     chunks_.push_back(nodes);
     slotCount_ += kChunkNodes;
     freeHead_ = base;
+}
+
+void
+EventQueue::addEntryChunks()
+{
+    if (arena_) {
+        if (chunks_.empty() && entryChunksAllocated_ == 0)
+            arenaEpoch_ = arena_->epoch();
+        else
+            BLITZ_ASSERT(arena_->epoch() == arenaEpoch_,
+                         "bucket pool grown after its arena was reset");
+    }
+    // Double the pool each growth: chunk demand tracks the number of
+    // simultaneously occupied buckets, whose peak has high variance
+    // around its mean — geometric growth absorbs post-warmup creep the
+    // same way the old heap array's capacity doubling did.
+    const std::uint32_t n =
+        std::max(kEntryChunkBlock, entryChunksAllocated_);
+    void *mem = arena_ ? arena_->allocate(n * sizeof(EntryChunk),
+                                          alignof(EntryChunk))
+                       : ::operator new(n * sizeof(EntryChunk));
+    auto *block = static_cast<EntryChunk *>(mem);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        block[i].next = freeChunks_;
+        freeChunks_ = &block[i];
+    }
+    entryChunksAllocated_ += n;
+    if (!arena_)
+        entryBlocks_.push_back(mem);
 }
 
 std::uint32_t
@@ -80,26 +104,26 @@ EventQueue::releaseSlot(std::uint32_t slot)
 void
 EventQueue::heapPush(HeapEntry e)
 {
-    // Hole-based sift-up: the new entry is held in a register and
-    // parents slide down until its position is found (one store per
-    // level instead of a three-store swap).
-    std::size_t i = heap_.size();
-    heap_.push_back(e);
+    // Hole-based sift-up into the far-heap: the new entry is held in a
+    // register and parents slide down until its position is found (one
+    // store per level instead of a three-store swap).
+    std::size_t i = far_.size();
+    far_.push_back(e);
     while (i > 0) {
         const std::size_t parent = (i - 1) / 4;
-        if (!entryBefore(e, heap_[parent]))
+        if (!entryBefore(e, far_[parent]))
             break;
-        heap_[i] = heap_[parent];
+        far_[i] = far_[parent];
         i = parent;
     }
-    heap_[i] = e;
+    far_[i] = e;
 }
 
 void
 EventQueue::siftDown(std::size_t i)
 {
-    const std::size_t n = heap_.size();
-    const HeapEntry e = heap_[i];
+    const std::size_t n = far_.size();
+    const HeapEntry e = far_[i];
     for (;;) {
         const std::size_t first = 4 * i + 1;
         if (first >= n)
@@ -107,24 +131,248 @@ EventQueue::siftDown(std::size_t i)
         std::size_t best = first;
         const std::size_t last = std::min(first + 4, n);
         for (std::size_t c = first + 1; c < last; ++c) {
-            if (entryBefore(heap_[c], heap_[best]))
+            if (entryBefore(far_[c], far_[best]))
                 best = c;
         }
-        if (!entryBefore(heap_[best], e))
+        if (!entryBefore(far_[best], e))
             break;
-        heap_[i] = heap_[best];
+        far_[i] = far_[best];
         i = best;
     }
-    heap_[i] = e;
+    far_[i] = e;
 }
 
 void
 EventQueue::heapPopFront()
 {
-    heap_.front() = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty())
+    far_.front() = far_.back();
+    far_.pop_back();
+    if (!far_.empty())
         siftDown(0);
+}
+
+Tick
+EventQueue::wheelNext(std::uint32_t &idxOut) const
+{
+    if (!occSummary_)
+        return maxTick;
+    // Rotated two-level bitmap scan starting at now_'s bucket: every
+    // occupied bucket holds one tick in [now_, now_ + kWheelTicks), so
+    // ring order from the cursor is tick order.
+    const std::uint32_t start =
+        static_cast<std::uint32_t>(now_) & (kWheelTicks - 1);
+    const std::uint32_t w0 = start >> 6;
+    const std::uint32_t b0 = start & 63;
+    std::uint32_t idx;
+    if (const std::uint64_t head = occWords_[w0] & (~std::uint64_t{0}
+                                                    << b0)) {
+        idx = (w0 << 6) +
+              static_cast<std::uint32_t>(std::countr_zero(head));
+    } else {
+        const std::uint64_t hiMask =
+            w0 + 1 >= kWheelWords ? 0
+                                  : ~std::uint64_t{0} << (w0 + 1);
+        const std::uint64_t hi = occSummary_ & hiMask;
+        const std::uint64_t lo =
+            occSummary_ & ((std::uint64_t{1} << w0) - 1);
+        if (const std::uint64_t pick = hi ? hi : lo) {
+            const auto w = static_cast<std::uint32_t>(
+                std::countr_zero(pick));
+            idx = (w << 6) + static_cast<std::uint32_t>(
+                                 std::countr_zero(occWords_[w]));
+        } else {
+            const std::uint64_t tail =
+                occWords_[w0] & ((std::uint64_t{1} << b0) - 1);
+            if (!tail)
+                return maxTick;
+            idx = (w0 << 6) + static_cast<std::uint32_t>(
+                                  std::countr_zero(tail));
+        }
+    }
+    idxOut = idx;
+    return now_ + ((idx - start) & (kWheelTicks - 1));
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    Tick t = batchIdx_ < batch_.size() ? batchTick_ : maxTick;
+    std::uint32_t idx = 0;
+    const Tick w = wheelNext(idx);
+    if (w < t)
+        t = w;
+    if (!far_.empty() && far_.front().when < t)
+        t = far_.front().when;
+    return t;
+}
+
+bool
+EventQueue::refillBatch(Tick limit)
+{
+    batch_.clear();
+    batchIdx_ = 0;
+    for (;;) {
+        // Slide far events that now fall inside the window into their
+        // buckets (their keys keep them in exact order at drain time).
+        while (!far_.empty() && far_.front().when - now_ < kWheelTicks) {
+            const HeapEntry e = far_.front();
+            heapPopFront();
+            wheelAppend(e);
+        }
+        std::uint32_t idx = 0;
+        const Tick t = wheelNext(idx);
+        if (t != maxTick) {
+            Bucket &b = wheel_[idx];
+            // Gather the chunk chain into the shared batch buffer —
+            // one queue-global capacity high-water mark, like the old
+            // heap array, so a burst tick reuses capacity every other
+            // tick already paid for — and recycle the chunks. Grow
+            // geometrically: insert() into a cleared vector resizes to
+            // the exact requirement, which would turn every new
+            // per-tick burst record into a realloc.
+            if (b.count > batch_.capacity())
+                batch_.reserve(std::max(batch_.capacity() * 2,
+                                        std::size_t{b.count}));
+            // Keep the merge scratch in lockstep with batch_ capacity
+            // so a drain that needs sorting never allocates. Sorting
+            // is rare on (prio, seq) keys — only a cross-priority
+            // append breaks run order — so sizing the scratch lazily
+            // inside the sort would push its first allocation past
+            // any warmup into the audited steady state.
+            if (mergeCap_ < batch_.capacity()) {
+                mergeCap_ = batch_.capacity();
+                mergeBuf_ = std::make_unique<HeapEntry[]>(mergeCap_);
+            }
+            for (EntryChunk *c = b.head; c;) {
+                const std::uint32_t n =
+                    c == b.tail ? b.tailCount : kEntriesPerChunk;
+                batch_.insert(batch_.end(), c->e, c->e + n);
+                EntryChunk *nx = c->next;
+                putChunk(c);
+                c = nx;
+            }
+            const bool wasSorted = b.sorted;
+            b.head = b.tail = nullptr;
+            b.tailCount = 0;
+            b.count = 0;
+            b.sorted = true;
+            wheelClear(idx);
+            if (!wasSorted)
+                sortBatchByOrd();
+            // Purge leading tombstones without advancing time — the
+            // exact discard the old heap performed at pop, so a
+            // cancelled front never unlocks events beyond the horizon.
+            std::size_t k = 0;
+            while (k < batch_.size() &&
+                   node(batch_[k].slot)->state == kCancelled) {
+                --entryCount_;
+                --pending_;
+                --cancelledTokens_;
+                releaseSlot(batch_[k].slot);
+                ++k;
+            }
+            if (k == batch_.size()) {
+                batch_.clear();
+                continue;
+            }
+            if (t > limit) {
+                // Probed a tick past the horizon: re-file the
+                // survivors (already in ord order, so the bucket stays
+                // sorted) and stop without advancing time.
+                for (std::size_t i = k; i < batch_.size(); ++i)
+                    wheelAppend(batch_[i]);
+                batch_.clear();
+                return false;
+            }
+            BLITZ_ASSERT(t >= now_, "event queue went backwards");
+            now_ = t;
+            batchTick_ = t;
+            batchIdx_ = k;
+            return true;
+        }
+        if (far_.empty())
+            return false;
+        const HeapEntry top = far_.front();
+        Node *n = node(top.slot);
+        if (n->state == kCancelled) {
+            heapPopFront();
+            --entryCount_;
+            --pending_;
+            --cancelledTokens_;
+            releaseSlot(top.slot);
+            continue;
+        }
+        if (top.when > limit)
+            return false;
+        // The whole window is empty and the far front is live and
+        // within the horizon: jump the window to it; the next
+        // iteration migrates and drains it.
+        now_ = top.when;
+    }
+}
+
+void
+EventQueue::mergeRuns(const HeapEntry *a, const HeapEntry *aEnd,
+                      const HeapEntry *b, const HeapEntry *bEnd,
+                      HeapEntry *out)
+{
+    while (a != aEnd && b != bEnd) {
+        const bool takeA = a->ord <= b->ord;
+        const HeapEntry *s = takeA ? a : b;
+        *out++ = *s;
+        a += takeA;
+        b += 1 - static_cast<int>(takeA);
+    }
+    out = std::copy(a, aEnd, out);
+    std::copy(b, bEnd, out);
+}
+
+void
+EventQueue::sortBatchByOrd()
+{
+    const std::size_t n = batch_.size();
+    // Detect the ascending runs the appends formed. One linear scan
+    // over contiguous memory — trivial next to the merging it saves.
+    runBounds_.clear();
+    runBounds_.push_back(0);
+    for (std::size_t i = 1; i < n; ++i)
+        if (batch_[i].ord < batch_[i - 1].ord)
+            runBounds_.push_back(static_cast<std::uint32_t>(i));
+    runBounds_.push_back(static_cast<std::uint32_t>(n));
+    if (mergeCap_ < n) {
+        mergeCap_ = std::max(mergeCap_ * 2, n);
+        mergeBuf_ = std::make_unique<HeapEntry[]>(mergeCap_);
+    }
+    // Bottom-up passes: merge adjacent run pairs, ping-ponging between
+    // batch_ and the scratch buffer, halving the run count each pass.
+    // The pair merges within one pass are independent, so they overlap
+    // in the pipeline — a one-pass k-way tournament tree was measured
+    // slower here because its per-entry replay is one serial chain of
+    // dependent loads.
+    HeapEntry *src = batch_.data();
+    HeapEntry *dst = mergeBuf_.get();
+    while (runBounds_.size() > 2) {
+        std::size_t w = 0;
+        std::size_t r = 0;
+        for (; r + 2 < runBounds_.size(); r += 2) {
+            mergeRuns(src + runBounds_[r], src + runBounds_[r + 1],
+                      src + runBounds_[r + 1], src + runBounds_[r + 2],
+                      dst + runBounds_[r]);
+            runBounds_[w++] = runBounds_[r];
+        }
+        if (r + 2 == runBounds_.size()) {
+            // Odd run out: carry it into this pass's buffer unmerged.
+            std::memcpy(dst + runBounds_[r], src + runBounds_[r],
+                        (runBounds_[r + 1] - runBounds_[r]) *
+                            sizeof(HeapEntry));
+            runBounds_[w++] = runBounds_[r];
+        }
+        runBounds_[w++] = static_cast<std::uint32_t>(n);
+        runBounds_.resize(w);
+        std::swap(src, dst);
+    }
+    if (src != batch_.data())
+        std::memcpy(batch_.data(), src, n * sizeof(HeapEntry));
 }
 
 bool
@@ -133,42 +381,39 @@ EventQueue::runOne(Tick limit)
     BLITZ_ASSERT(!bind_.group,
                  "runOne() is not supported on a sharded anchor — "
                  "use runUntil()");
-    while (!heap_.empty()) {
-        const HeapEntry &top = heap_.front();
-        const std::uint32_t slot = top.slot;
-        Node *n = node(slot);
-        if (n->state == kCancelled) {
-            // Tombstoned entry: drop it without executing or advancing
-            // time, then look at the next candidate.
-            heapPopFront();
+    for (;;) {
+        while (batchIdx_ < batch_.size()) {
+            if (batchTick_ > limit)
+                return false;
+            const HeapEntry e = batch_[batchIdx_++];
+            Node *n = node(e.slot);
+            --entryCount_;
             --pending_;
-            --cancelledTokens_;
-            releaseSlot(slot);
-            continue;
+            if (n->state == kCancelled) {
+                --cancelledTokens_;
+                releaseSlot(e.slot);
+                continue;
+            }
+            // Executing state makes a self-cancel during the callback
+            // a no-op (the node is no longer Scheduled), matching the
+            // pre-slab kernel which dropped the live token before
+            // running.
+            n->state = kExecuting;
+            struct SlotGuard
+            {
+                EventQueue *eq;
+                std::uint32_t slot;
+                ~SlotGuard() { eq->releaseSlot(slot); }
+            } guard{this, e.slot};
+            ++executedTotal_;
+            if (ctx_)
+                ctx_->locus = n->locus;
+            n->invoke(n->buf);
+            return true;
         }
-        if (top.when > limit)
+        if (!refillBatch(limit))
             return false;
-        BLITZ_ASSERT(top.when >= now_, "event queue went backwards");
-        now_ = top.when;
-        heapPopFront();
-        --pending_;
-        // Executing state makes a self-cancel during the callback a
-        // no-op (the node is no longer Scheduled), matching the
-        // pre-slab kernel which dropped the live token before running.
-        n->state = kExecuting;
-        struct SlotGuard
-        {
-            EventQueue *eq;
-            std::uint32_t slot;
-            ~SlotGuard() { eq->releaseSlot(slot); }
-        } guard{this, slot};
-        ++executedTotal_;
-        if (ctx_)
-            ctx_->locus = n->locus;
-        n->invoke(n->buf);
-        return true;
     }
-    return false;
 }
 
 void
@@ -187,7 +432,7 @@ EventQueue::scheduleRaw(Tick when, std::uint64_t ord,
     n.invoke = invoke;
     n.destroy = nullptr; // mailbox payloads are trivially copyable
     std::memcpy(n.buf, payload, bytes);
-    heapPush({when, ord, slot});
+    enqueue({when, ord, slot});
     ++pending_;
     ++scheduledTotal_;
 }
@@ -205,13 +450,41 @@ EventQueue::runUntil(Tick limit)
                 now_ = bind_.leaves[s]->now_;
         return executed;
     }
-    // runOne(limit) re-inspects the heap root after every pop, so a
-    // cancelled front event can never unlock execution of a later
-    // event beyond the horizon, and the count reflects exactly the
-    // callbacks that ran.
+    // Drain whole tick batches in a tight loop; refillBatch() purges
+    // tombstones and enforces the horizon, so a cancelled front event
+    // can never unlock execution of a later event beyond the limit,
+    // and the count reflects exactly the callbacks that ran.
     std::uint64_t executed = 0;
-    while (runOne(limit))
-        ++executed;
+    for (;;) {
+        while (batchIdx_ < batch_.size()) {
+            if (batchTick_ > limit)
+                goto done;
+            const HeapEntry e = batch_[batchIdx_++];
+            Node *n = node(e.slot);
+            --entryCount_;
+            --pending_;
+            if (n->state == kCancelled) {
+                --cancelledTokens_;
+                releaseSlot(e.slot);
+                continue;
+            }
+            n->state = kExecuting;
+            struct SlotGuard
+            {
+                EventQueue *eq;
+                std::uint32_t slot;
+                ~SlotGuard() { eq->releaseSlot(slot); }
+            } guard{this, e.slot};
+            ++executedTotal_;
+            ++executed;
+            if (ctx_)
+                ctx_->locus = n->locus;
+            n->invoke(n->buf);
+        }
+        if (!refillBatch(limit))
+            break;
+    }
+done:
     // Advance time to the limit when asked to run to a horizon so that
     // repeated runUntil() calls observe monotonically increasing now().
     if (limit != maxTick && limit > now_)

@@ -9,15 +9,26 @@
  * pattern. The behavioral coin-exchange engine does not use this kernel;
  * it steps a global clock directly for Monte-Carlo speed.
  *
- * Internals (see DESIGN.md "Scheduler internals"): events live in
- * slab-allocated, generation-counted nodes ordered by a 4-ary min-heap
- * whose entries carry the full (tick, priority, insertion-seq) sort
- * key — sifting compares contiguous heap entries and never touches
- * the slab. Callbacks are stored in a small inline buffer inside the
- * node (heap fallback only for oversized functors), so scheduling an
- * event performs zero allocations once the slab has warmed up.
- * Cancellation is O(1): the handle's generation is checked and the
- * node tombstoned; the heap discards tombstones at pop.
+ * Internals (see DESIGN.md "Scheduler internals" and ch. 9 "Mega-mesh
+ * hot path"): events live in slab-allocated, generation-counted nodes.
+ * Ordering uses a calendar structure instead of a global heap: ticks
+ * within a kWheelTicks window of now() hash into per-tick wheel
+ * buckets (unsorted O(1) append), and a whole tick's bucket is drained
+ * as one *batch*, sorted by the 64-bit ord key only when appends
+ * arrived out of ord order (steady-state traffic appends in ascending
+ * ord, so the common case never sorts). Events beyond the window park
+ * in a small 4-ary far-heap and migrate into the wheel as time
+ * advances. Because every entry carries the full (tick, priority,
+ * insertion-seq) key and keys are unique, the drain order is exactly
+ * the total order the old heap produced — batching is invisible to
+ * the golden digests — but per-event cost no longer grows with the
+ * pending-event population, which is what makes 100x100..1000x1000
+ * meshes affordable. Callbacks are stored in a small inline buffer
+ * inside the node (heap fallback only for oversized functors), so
+ * scheduling an event performs zero allocations once the slab and the
+ * first wheel revolution have warmed up. Cancellation is O(1): the
+ * handle's generation is checked and the node tombstoned; drains
+ * discard tombstones.
  *
  * Sharded mode (see DESIGN.md "BSP-sharded execution"): one queue can
  * act as the *anchor* of a sim::ShardGroup — existing call sites keep
@@ -31,8 +42,12 @@
 #ifndef BLITZ_SIM_EVENT_QUEUE_HPP
 #define BLITZ_SIM_EVENT_QUEUE_HPP
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -80,8 +95,20 @@ struct ShardContext
     bool serial = false;
 };
 
-/** The calling thread's active shard context (null outside a phase). */
-ShardContext *&tlsShardContext();
+/**
+ * The calling thread's active shard context (null outside a phase).
+ * Inline on purpose: the sharded hot path consults it several times
+ * per event (scheduling, pool selection, now()), and an out-of-line
+ * definition would turn each of those into a function call instead of
+ * a single TLS-relative load. The pointee is trivially destructible,
+ * so the thread_local needs no init guard.
+ */
+inline ShardContext *&
+tlsShardContext()
+{
+    thread_local ShardContext *ctx = nullptr;
+    return ctx;
+}
 
 /**
  * Everything an anchor queue needs to route scheduling calls into a
@@ -134,7 +161,15 @@ class EventQueue
      *        recycle slab chunks across replications — the queue must
      *        then be destroyed before the arena resets.
      */
-    explicit EventQueue(Arena *arena = nullptr) : arena_(arena) {}
+    explicit EventQueue(Arena *arena = nullptr)
+        : arena_(arena), wheel_(kWheelTicks)
+    {
+        // Floor for the drain buffer: small meshes peak at a few dozen
+        // events per tick, and a warmup that tops out exactly at the
+        // buffer's capacity would leave zero margin for steady-state
+        // bursts one event larger. Growth past the floor doubles.
+        batch_.reserve(2 * kEntriesPerChunk);
+    }
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -176,7 +211,7 @@ class EventQueue
         Node &n = *node(slot);
         n.state = kScheduled;
         emplaceCallback(n, std::forward<Fn>(fn));
-        heapPush({when, packOrd(prio, nextSeq_++), slot});
+        enqueue({when, packOrd(prio, nextSeq_++), slot});
         ++pending_;
         ++scheduledTotal_;
         return (static_cast<EventId>(n.gen) << 32) | slot;
@@ -252,7 +287,7 @@ class EventQueue
         n.state = kScheduled;
         n.locus = locus;
         emplaceCallback(n, std::forward<Fn>(fn));
-        heapPush({when, ord, slot});
+        enqueue({when, ord, slot});
         ++pending_;
         ++scheduledTotal_;
         return (static_cast<EventId>(n.gen) << 32) | slot;
@@ -311,9 +346,9 @@ class EventQueue
     empty() const
     {
         if (!bind_.group)
-            return heap_.empty();
+            return entryCount_ == 0;
         for (std::uint32_t s = 0; s <= bind_.shardCount; ++s)
-            if (!bind_.leaves[s]->heap_.empty())
+            if (bind_.leaves[s]->entryCount_ != 0)
                 return false;
         return true;
     }
@@ -355,7 +390,7 @@ class EventQueue
     void
     bindShardGroup(const ShardBinding &b)
     {
-        BLITZ_ASSERT(heap_.empty() && pending_ == 0,
+        BLITZ_ASSERT(entryCount_ == 0 && pending_ == 0,
                      "anchor queue must be empty when (un)binding");
         bind_ = b;
     }
@@ -451,13 +486,22 @@ class EventQueue
      * digests pin. Origin counters are only ever bumped by the thread
      * executing at that locus, so they need no synchronization.
      */
+    /// Bits of the sharded ord key spent on the scheduling locus.
+    static constexpr unsigned kLocusBits = 20;
+
+    // The mesh-size contract: every mesh node plus the serial lane's
+    // locus (nodeCount, one past the mesh) must fit the locus field.
+    static_assert(kMaxMeshNodes + 1 <= (std::size_t{1} << kLocusBits),
+                  "kMaxMeshNodes no longer fits the sharded ord key's "
+                  "locus field");
+
     static std::uint64_t
     packOrdSharded(Priority prio, std::uint32_t locus,
                    std::uint64_t counter)
     {
         const auto p = static_cast<std::int64_t>(prio);
         BLITZ_ASSERT(p >= 0 && p < 0x100, "priority out of range");
-        BLITZ_ASSERT(locus < (1u << 20), "locus out of range");
+        BLITZ_ASSERT(locus < (1u << kLocusBits), "locus out of range");
         BLITZ_ASSERT(counter < (std::uint64_t{1} << 36),
                      "per-locus counter overflow");
         return (static_cast<std::uint64_t>(p) << 56) |
@@ -494,11 +538,7 @@ class EventQueue
                      std::size_t bytes);
 
     /** Earliest scheduled tick (maxTick when the leaf is empty). */
-    Tick
-    nextTick() const
-    {
-        return heap_.empty() ? maxTick : heap_.front().when;
-    }
+    Tick nextTick() const;
 
     /**
      * Move a drained leaf's clock to the end of a phase so relative
@@ -523,6 +563,55 @@ class EventQueue
 
     static constexpr std::uint32_t kNoSlot = 0xffffffffu;
     static constexpr std::uint32_t kChunkNodes = 256;
+
+    /**
+     * Calendar window in ticks (power of two). Ticks in
+     * [now, now + kWheelTicks) map to wheel buckets; later events park
+     * in the far-heap until the window slides over them. 4096 ticks is
+     * 5.1 us of simulated time — NoC hops (+1 tick) and most protocol
+     * timers land in the wheel; only long backoff/audit timers pay the
+     * (small) far-heap log cost.
+     */
+    static constexpr std::uint32_t kWheelTicks = 4096;
+    static constexpr std::uint32_t kWheelWords = kWheelTicks / 64;
+
+    /**
+     * Fixed-size slice of a bucket's entry list. Chunks come from a
+     * queue-global free pool, so storage high-water marks are shared
+     * across all buckets — a burst tick draws from the same pool every
+     * other tick warmed, keeping steady state allocation-free the way
+     * the old single heap array was (per-bucket vectors would ratchet
+     * 4096 independent capacities and realloc on every new local
+     * maximum).
+     */
+    struct EntryChunk
+    {
+        HeapEntry e[63];
+        EntryChunk *next;
+    };
+    static constexpr std::uint32_t kEntriesPerChunk = 63;
+    static constexpr std::uint32_t kEntryChunkBlock = 8;
+
+    /**
+     * One tick's pending events, appended in schedule order as a chunk
+     * chain. `sorted` tracks whether appends arrived in ascending ord
+     * — true for steady-state legacy-key traffic (ord grows with
+     * insertion sequence), so the drain skips ordering work entirely.
+     * Sharded (prio, locus, counter) keys instead arrive as a few
+     * ascending *runs* (the locus component restarts once per
+     * scheduling pass within a tick, and ejection-overflow buckets
+     * collect one run per source tick); the drain handles those with
+     * a natural merge over the detected runs, not a general sort.
+     */
+    struct Bucket
+    {
+        EntryChunk *head = nullptr;
+        EntryChunk *tail = nullptr;
+        std::uint64_t lastOrd = 0;
+        std::uint32_t tailCount = 0;
+        std::uint32_t count = 0; ///< total entries in the chain
+        bool sorted = true;
+    };
 
     Node *
     node(std::uint32_t slot)
@@ -577,16 +666,157 @@ class EventQueue
         }
     }
 
+    /**
+     * Route a fully keyed entry to its destination: the live batch
+     * (same-tick scheduling during that tick's drain — spliced into
+     * the un-executed tail by ord so ordering is preserved), a wheel
+     * bucket (within the window), or the far-heap.
+     */
+    void
+    enqueue(const HeapEntry &e)
+    {
+        ++entryCount_;
+        if (e.when == now_ && batchIdx_ < batch_.size()) {
+            const auto it = std::lower_bound(
+                batch_.begin() +
+                    static_cast<std::ptrdiff_t>(batchIdx_),
+                batch_.end(), e,
+                [](const HeapEntry &a, const HeapEntry &b) {
+                    return a.ord < b.ord;
+                });
+            batch_.insert(it, e);
+            return;
+        }
+        if (e.when - now_ < kWheelTicks)
+            wheelAppend(e);
+        else
+            heapPush(e);
+    }
+
+    /** Append into the bucket of e.when (must be inside the window). */
+    void
+    wheelAppend(const HeapEntry &e)
+    {
+        const std::uint32_t idx =
+            static_cast<std::uint32_t>(e.when) & (kWheelTicks - 1);
+        Bucket &b = wheel_[idx];
+        if (!b.head) {
+            occWords_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+            occSummary_ |= std::uint64_t{1} << (idx >> 6);
+            b.head = b.tail = takeChunk();
+            b.tailCount = 0;
+            b.count = 0;
+            b.sorted = true;
+        } else {
+            if (b.sorted && e.ord < b.lastOrd)
+                b.sorted = false;
+            if (b.tailCount == kEntriesPerChunk) {
+                EntryChunk *c = takeChunk();
+                b.tail->next = c;
+                b.tail = c;
+                b.tailCount = 0;
+            }
+        }
+        b.lastOrd = e.ord;
+        b.tail->e[b.tailCount++] = e;
+        ++b.count;
+    }
+
+    /** Pop an entry chunk from the free pool, growing it if dry. */
+    EntryChunk *
+    takeChunk()
+    {
+        if (!freeChunks_)
+            addEntryChunks();
+        EntryChunk *c = freeChunks_;
+        freeChunks_ = c->next;
+        c->next = nullptr;
+        return c;
+    }
+
+    void
+    putChunk(EntryChunk *c)
+    {
+        c->next = freeChunks_;
+        freeChunks_ = c;
+    }
+
+    /** Clear a drained bucket's occupancy bit. */
+    void
+    wheelClear(std::uint32_t idx)
+    {
+        occWords_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+        if (!occWords_[idx >> 6])
+            occSummary_ &= ~(std::uint64_t{1} << (idx >> 6));
+    }
+
+    /**
+     * Earliest occupied wheel tick at or after now_ (maxTick when the
+     * wheel is empty); @p idxOut receives its bucket index.
+     */
+    Tick wheelNext(std::uint32_t &idxOut) const;
+
+    /**
+     * Install the next drainable tick's events as the live batch:
+     * migrates far events into the window, sorts the bucket if appends
+     * arrived out of ord order, purges leading tombstones (exactly the
+     * old heap's pop-side discard), and refuses ticks past @p limit.
+     * Returns false when nothing runnable remains within the horizon.
+     */
+    bool refillBatch(Tick limit);
+
+    /**
+     * Merge two ascending-ord runs into @p out, branch-free in the
+     * inner loop. The runs carry near-random ord interleavings
+     * (opposite-direction hop packets), so a branchy merge mispredicts
+     * about every other entry; selecting the source via arithmetic
+     * keeps the pipeline full and lets independent run-pair merges
+     * within one pass overlap.
+     */
+    static void mergeRuns(const HeapEntry *a, const HeapEntry *aEnd,
+                          const HeapEntry *b, const HeapEntry *bEnd,
+                          HeapEntry *out);
+
+    /**
+     * Restore ascending-ord order in batch_ by a natural bottom-up
+     * merge over the ascending runs the appends formed. Sharded-key
+     * buckets concatenate ~30 short runs in mesh steady state
+     * (same-tick hops execute in origin-locus order but append keyed
+     * by the next router, so opposite-direction packets interleave
+     * descents); log2(runs) branch-free passes beat both std::sort and
+     * a one-pass k-way tournament tree here, the latter because its
+     * per-entry replay is a serial chain of dependent loads while the
+     * pair merges within a pass pipeline independently.
+     */
+    void sortBatchByOrd();
+
     std::uint32_t acquireSlot();
     void releaseSlot(std::uint32_t slot);
     void addChunk();
+    void addEntryChunks();
     void heapPush(HeapEntry e);
     void heapPopFront();
     void siftDown(std::size_t i);
 
     Arena *arena_;
     std::vector<Node *> chunks_;
-    std::vector<HeapEntry> heap_; ///< 4-ary min-heap, keys inline
+    std::vector<Bucket> wheel_; ///< kWheelTicks per-tick buckets
+    std::array<std::uint64_t, kWheelWords> occWords_{};
+    std::uint64_t occSummary_ = 0; ///< nonzero occWords_ bitmap
+    std::vector<HeapEntry> far_;   ///< 4-ary min-heap beyond the window
+    std::vector<HeapEntry> batch_; ///< the tick being drained, by ord
+    /// Scratch for the drain-time k-way run merge. A raw buffer, not a
+    /// vector: entries are written front to back and copied out, so
+    /// value-initializing the tail on every growth would be pure waste.
+    std::unique_ptr<HeapEntry[]> mergeBuf_;
+    std::size_t mergeCap_ = 0;             ///< mergeBuf_ capacity
+    std::vector<std::uint32_t> runBounds_; ///< run boundaries, reused
+    std::size_t batchIdx_ = 0;     ///< next batch entry to execute
+    Tick batchTick_ = 0;           ///< tick of the live batch
+    std::size_t entryCount_ = 0;   ///< wheel + far + batch remainder
+    EntryChunk *freeChunks_ = nullptr; ///< bucket-storage free pool
+    std::vector<void *> entryBlocks_;  ///< heap-owned chunk blocks
+    std::uint32_t entryChunksAllocated_ = 0;
     std::uint32_t slotCount_ = 0;
     std::uint32_t freeHead_ = kNoSlot;
     Tick now_ = 0;

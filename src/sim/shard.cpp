@@ -43,6 +43,11 @@ ShardGroup::ShardGroup(EventQueue &anchor, std::uint32_t shards,
 {
     BLITZ_ASSERT(shards_ >= 1, "a shard group needs >= 1 shard");
     BLITZ_ASSERT(nodeCount_ > 0, "a shard group needs a mesh");
+    // Index-width contract: the serial lane's locus is nodeCount_, one
+    // past the mesh, and both must fit the 20-bit ord key field.
+    BLITZ_ASSERT(nodeCount_ <= kMaxMeshNodes,
+                 "mesh exceeds the sharded ordering key's ",
+                 kMaxMeshNodes, "-node ceiling");
     for (std::uint32_t s : shardOfNode_)
         BLITZ_ASSERT(s < shards_, "node mapped to nonexistent shard");
 
@@ -50,8 +55,19 @@ ShardGroup::ShardGroup(EventQueue &anchor, std::uint32_t shards,
     arenas_.reserve(shards_ + 1);
     leaves_.reserve(shards_ + 1);
     leafPtrs_.reserve(shards_ + 1);
+    // Up-front arena sizing (growth policy): each shard's slab, bucket
+    // pool, and packet pool live in its arena, and their combined
+    // high-water mark creeps slightly past any warmup's peak. A
+    // per-node budget plus a generous floor keeps that whole footprint
+    // inside the first chunk, so steady state never grows a chunk —
+    // the allocation-free property the zero-alloc tests pin. Oversized
+    // meshes fall back to the arena's geometric chunk growth.
+    const std::size_t perShardReserve =
+        256 * 1024 +
+        2048 * (static_cast<std::size_t>(nodeCount_) / shards_ + 1);
     for (std::uint32_t s = 0; s <= shards_; ++s) {
         arenas_.push_back(std::make_unique<Arena>());
+        arenas_.back()->reserve(perShardReserve);
         leaves_.push_back(
             std::make_unique<EventQueue>(arenas_.back().get()));
         leafPtrs_.push_back(leaves_.back().get());
@@ -202,6 +218,61 @@ ShardGroup::runUntilImpl(Tick limit)
 {
     std::uint64_t executed = 0;
     EventQueue *serial = leafPtrs_[shards_];
+    if (shards_ == 1) {
+        // Single-shard groups keep the sharded sort keys (so digests
+        // stay bit-identical with s2/s4) but need none of the
+        // superstep machinery: with one shard the target of every
+        // scheduleAtNode equals the executing shard, so crossPush can
+        // never fire and the mailboxes stay empty by construction.
+        // The only ordering constraint left is that leaf events at
+        // tick T run before serial-lane events at T, and no serial
+        // event can be *created* while the leaf runs (every
+        // in-context schedule targets the leaf). So run the leaf in
+        // segments up to the next serial event instead of
+        // tick-at-a-time: one context install per segment, no
+        // active-shard scan, no barrier bookkeeping.
+        EventQueue *leaf = leafPtrs_[0];
+        ShardContext ctx;
+        ctx.queue = leaf;
+        ctx.shard = 0;
+        ctx.locus = nodeCount_;
+        ctx.serial = false;
+        ShardContext *&tls = tlsShardContext();
+        ShardContext *saved = tls;
+        for (;;) {
+            const Tick ts = serial->nextTick();
+            const Tick t = std::min(ts, leaf->nextTick());
+            if (t == maxTick || t > limit)
+                break;
+            ++epochs_;
+            const Tick stop = std::min(ts, limit);
+            epochTick_ = stop;
+            tls = &ctx;
+            leaf->setContext(&ctx);
+            executed += leaf->runUntil(stop);
+            leaf->setContext(nullptr);
+            tls = saved;
+            if (ts > limit)
+                break;
+            // Serial events at ts may schedule leaf events back at
+            // ts (audit repair via LocusScope); the outer loop then
+            // runs the leaf again at the same tick, exactly like the
+            // general superstep loop's same-tick repeat.
+            ShardContext sctx;
+            sctx.queue = serial;
+            sctx.shard = shards_;
+            sctx.locus = nodeCount_;
+            sctx.serial = true;
+            tls = &sctx;
+            serial->setContext(&sctx);
+            executed += serial->runUntil(ts);
+            serial->setContext(nullptr);
+            tls = saved;
+        }
+        leaf->advanceTo(limit);
+        serial->advanceTo(limit);
+        return executed;
+    }
     for (;;) {
         // Next superstep tick: the globally earliest pending event.
         // Mailboxes are empty here (drained before the previous

@@ -103,6 +103,15 @@ Percentiles::merge(const Percentiles &other)
         return;
     const std::size_t mid = samples_.size();
     const bool bothSorted = sorted_ && other.sorted_;
+    // Grow geometrically across a whole fold of merges: vector's own
+    // insert only guarantees amortized growth per call, and a sweep
+    // that folds R same-sized replications would otherwise reallocate
+    // (and copy the accumulated prefix) on nearly every merge once the
+    // accumulator dwarfs each increment. Mega-mesh sweeps fold millions
+    // of samples, so doubling here matters.
+    const std::size_t need = mid + other.samples_.size();
+    if (samples_.capacity() < need)
+        samples_.reserve(std::max(samples_.capacity() * 2, need));
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
     sum_ += other.sum_;

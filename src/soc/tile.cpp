@@ -67,6 +67,8 @@ AcceleratorTile::setFreqTargetMhz(double freqMhz)
     accrueProgress();
     const double target = std::min(freqMhz, curve_->fMax());
     uvfr_.setTargetMhz(target);
+    if (plane_)
+        plane_->writeFreq(id_, uvfr_.targetMhz());
     if (recorder_)
         recorder_->pmActuation(eq_.now(), id_, target);
     accrualFreqMhz_ = this->freqMhz();

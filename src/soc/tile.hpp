@@ -17,6 +17,7 @@
 #include <functional>
 #include <string>
 
+#include "coin/state_plane.hpp"
 #include "noc/topology.hpp"
 #include "power/pf_curve.hpp"
 #include "power/uvfr.hpp"
@@ -61,6 +62,20 @@ class AcceleratorTile
      * PmActuation record in milli-MHz.
      */
     void setRecorder(record::FlightRecorder *rec) { recorder_ = rec; }
+
+    /**
+     * Attach the SoA state plane (nullptr detaches). Every frequency
+     * target programmed through setFreqTargetMhz — the single
+     * actuation funnel — is mirrored into this tile's row of the
+     * plane's frequency column. Pure observer: nothing reads it back.
+     */
+    void
+    attachPlane(coin::StatePlane *plane)
+    {
+        plane_ = plane;
+        if (plane_)
+            plane_->writeFreq(id_, uvfr_.targetMhz());
+    }
 
     /** Present clock frequency (MHz), after regulator dynamics. */
     double freqMhz() const { return uvfr_.freqMhz(); }
@@ -112,6 +127,7 @@ class AcceleratorTile
     const power::PfCurve *curve_;
     power::Uvfr uvfr_;
     record::FlightRecorder *recorder_ = nullptr;
+    coin::StatePlane *plane_ = nullptr; ///< SoA mirror; may be null
 
     bool busy_ = false;
     double remainingCycles_ = 0.0;

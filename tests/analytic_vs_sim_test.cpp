@@ -166,6 +166,40 @@ TEST(AnalyticVsSim, BlitzCoinDiffusionFollowsSqrtLaw)
     }
 }
 
+TEST(AnalyticVsSim, MegaMesh100x100FollowsSqrtLawDirectly)
+{
+    // Direct mega-mesh validation of Eq. 5.1's sqrt(N) claim: fit the
+    // law on small meshes (d = 6..12, N <= 144) and then run a real
+    // 100x100 diffusion — a 70x extrapolation in N — rather than only
+    // interpolating within the fitted range. The measured convergence
+    // time must sit near the sqrt(N) prediction, and the wrong
+    // (linear, Eq. 5.2-shaped) exponent fitted on the same small
+    // meshes must miss the 10,000-node point by a wide margin — the
+    // discrimination that makes this a law test, not a tolerance test.
+    const auto small = blitzcoinSamples();
+    const ScalingLaw sqrtLaw = fitLaw(Scheme::BC, small);
+    const ScalingLaw linearLaw = fitLaw(Scheme::BCC, small);
+
+    const double n = 100.0 * 100.0;
+    const double measured = meshConvergenceUs(100, /*seeds=*/4);
+    const double predicted = sqrtLaw.responseUs(n);
+    // Observed extrapolation error is ~20%; 35% leaves seed-noise
+    // headroom while still excluding any competing exponent.
+    EXPECT_NEAR(measured, predicted, 0.35 * predicted)
+        << "measured=" << measured << "us predicted=" << predicted
+        << "us";
+    const double sqrtMiss =
+        std::abs(std::log(measured / predicted));
+    const double linearMiss =
+        std::abs(std::log(measured / linearLaw.responseUs(n)));
+    EXPECT_GT(linearMiss, 3.0 * sqrtMiss)
+        << "sqrt(N) should explain the 100x100 point decisively "
+           "better than linear: sqrt predicts "
+        << predicted << "us, linear predicts "
+        << linearLaw.responseUs(n) << "us, measured " << measured
+        << "us";
+}
+
 TEST(AnalyticVsSim, CentralizedControllerFollowsLinearLaw)
 {
     const auto samples = centralSamples();

@@ -13,6 +13,7 @@
 #include <string>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -22,7 +23,10 @@ namespace {
 int
 runTool(const std::string &args, std::string *output = nullptr)
 {
-    const std::string outPath = testing::TempDir() + "replay_tool_out.txt";
+    // PID-unique capture path: ctest runs this suite's tests as
+    // concurrent processes, and a shared file would interleave them.
+    const std::string outPath = testing::TempDir() + "replay_tool_out." +
+                                std::to_string(getpid()) + ".txt";
     const std::string cmd = std::string(BLITZ_REPLAY_TOOL) + " " + args +
                             " > " + outPath + " 2>&1";
     const int status = std::system(cmd.c_str());

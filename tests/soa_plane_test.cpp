@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Property tests for the struct-of-arrays hot-state mirror
+ * (coin::StatePlane): the packed columns written through by the units
+ * and tiles must never diverge from the legacy object state, at any
+ * audit-cadence checkpoint, through exchanges, packet loss, crashes,
+ * restarts, and quarantines. The fused census must match a manual
+ * walk of the same objects, and the SoC-level frequency column must
+ * track every managed tile's UVFR target.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coin/state_plane.hpp"
+#include "lossy_cluster.hpp"
+#include "sim/rng.hpp"
+#include "soc/pm_impl.hpp"
+#include "soc/scenarios.hpp"
+#include "soc/soc.hpp"
+
+namespace {
+
+using namespace blitz;
+using blitz::testing::LossyCluster;
+using blitz::testing::lossyConfig;
+
+coin::TilePhase
+expectedPhase(const blitzcoin::BlitzCoinUnit &u)
+{
+    if (u.quarantined())
+        return coin::TilePhase::Quarantined;
+    if (u.crashed())
+        return coin::TilePhase::Crashed;
+    if (u.running())
+        return coin::TilePhase::Running;
+    return coin::TilePhase::Idle;
+}
+
+/** Every hot column equals the legacy object state, tile by tile. */
+void
+expectMirrored(const coin::StatePlane &plane, LossyCluster &c,
+               const char *when)
+{
+    for (std::size_t i = 0; i < c.c.size(); ++i) {
+        const auto &u = c.unit(i);
+        EXPECT_EQ(plane.has(i), u.has()) << when << " tile " << i;
+        EXPECT_EQ(plane.max(i), u.max()) << when << " tile " << i;
+        EXPECT_EQ(plane.backoff(i), u.backoffInterval())
+            << when << " tile " << i;
+        EXPECT_EQ(plane.phase(i), expectedPhase(u))
+            << when << " tile " << i;
+    }
+}
+
+TEST(SoaPlane, MirrorsLegacyStateThroughLossyExchanges)
+{
+    // 10% packet loss maximizes the interesting paths: timeouts,
+    // zero-delta resolutions, recovery replays — each adapts the
+    // backoff timer through a different code path, and each must
+    // write its row through.
+    LossyCluster c(4, 0.10);
+    coin::StatePlane plane(c.c.size());
+    for (std::size_t i = 0; i < c.c.size(); ++i)
+        c.unit(i).attachPlane(&plane);
+    sim::Rng rng(99);
+    for (std::size_t i = 0; i < c.c.size(); ++i)
+        c.unit(i).setMax(rng.range(0, 40));
+    c.unit(5).setHas(120);
+    c.startAll();
+    // Audit-cadence checkpoints: the mirror must hold at every one,
+    // not just at quiescence.
+    for (int step = 1; step <= 64; ++step) {
+        c.eq().runUntil(static_cast<sim::Tick>(step) * 1024);
+        expectMirrored(plane, c, "checkpoint");
+        if (step % 16 == 0) // churn targets mid-flight
+            c.unit(rng.below(16)).setMax(rng.range(0, 40));
+    }
+}
+
+TEST(SoaPlane, MirrorsCrashRestartAndQuarantine)
+{
+    LossyCluster c(4, 0.0);
+    coin::StatePlane plane(c.c.size());
+    for (std::size_t i = 0; i < c.c.size(); ++i)
+        c.unit(i).attachPlane(&plane);
+    for (std::size_t i = 0; i < c.c.size(); ++i) {
+        c.unit(i).setMax(16);
+        c.unit(i).setHas(8);
+    }
+    c.startAll();
+    c.eq().runUntil(4096);
+    expectMirrored(plane, c, "steady");
+
+    // Crash wipes the registers; the row must follow immediately.
+    c.unit(3).crash();
+    EXPECT_EQ(plane.phase(3), coin::TilePhase::Crashed);
+    EXPECT_EQ(plane.has(3), 0);
+    expectMirrored(plane, c, "post-crash");
+
+    c.eq().runUntil(8192);
+    c.unit(3).restart();
+    c.unit(3).setMax(16);
+    c.unit(3).start();
+    EXPECT_EQ(plane.phase(3), coin::TilePhase::Running);
+    expectMirrored(plane, c, "post-restart");
+
+    // Quarantine fences the counter in place and is sticky: it must
+    // dominate a later crash in the phase column.
+    c.unit(7).quarantine();
+    EXPECT_EQ(plane.phase(7), coin::TilePhase::Quarantined);
+    c.unit(7).crash();
+    EXPECT_EQ(plane.phase(7), coin::TilePhase::Quarantined);
+    c.eq().runUntil(16384);
+    expectMirrored(plane, c, "post-quarantine");
+}
+
+TEST(SoaPlane, CensusMatchesManualWalk)
+{
+    LossyCluster c(4, 0.05);
+    coin::StatePlane plane(c.c.size());
+    for (std::size_t i = 0; i < c.c.size(); ++i)
+        c.unit(i).attachPlane(&plane);
+    for (std::size_t i = 0; i < c.c.size(); ++i) {
+        c.unit(i).setMax(16);
+        c.unit(i).setHas(8);
+    }
+    c.startAll();
+    c.eq().runUntil(4096);
+    c.unit(1).crash();
+    c.unit(6).quarantine();
+    c.eq().runUntil(8192);
+
+    auto census = plane.census();
+    std::size_t crashed = 0, quarantined = 0;
+    coin::Coins counted = 0;
+    for (std::size_t i = 0; i < c.c.size(); ++i) {
+        const auto &u = c.unit(i);
+        if (u.quarantined())
+            ++quarantined;
+        else if (u.crashed())
+            ++crashed;
+        else
+            counted += u.has();
+    }
+    EXPECT_EQ(census.crashed, crashed);
+    EXPECT_EQ(census.quarantined, quarantined);
+    EXPECT_EQ(census.counted, counted);
+    EXPECT_EQ(plane.aliveCoins(), counted);
+}
+
+TEST(SoaPlane, SocFrequencyColumnTracksTileTargets)
+{
+    // Full-SoC integration: after a real workload run, every managed
+    // row must equal the legacy unit state and the frequency column
+    // must equal the tile's UVFR target programmed through the LUT.
+    soc::PmConfig pm;
+    pm.kind = soc::PmKind::BlitzCoin;
+    pm.budgetMw = 60.0;
+    soc::Soc s(soc::make3x3AvSoc(), pm, 31);
+    auto dag = soc::avDependent(s.config(), 2);
+    auto st = s.run(dag);
+    ASSERT_TRUE(st.completed);
+
+    auto &bc = dynamic_cast<soc::BlitzCoinPm &>(s.pm());
+    const coin::StatePlane &plane = bc.plane();
+    for (noc::NodeId id : s.config().managedAccelerators()) {
+        const auto &u = bc.unit(id);
+        EXPECT_EQ(plane.has(id), u.has()) << "tile " << id;
+        EXPECT_EQ(plane.max(id), u.max()) << "tile " << id;
+        EXPECT_EQ(plane.backoff(id), u.backoffInterval())
+            << "tile " << id;
+        EXPECT_EQ(plane.phase(id), expectedPhase(u)) << "tile " << id;
+        EXPECT_DOUBLE_EQ(plane.freqMhz(id),
+                         s.tile(id).uvfr().targetMhz())
+            << "tile " << id;
+    }
+    // Unmanaged rows stay neutral: zero coins, Idle phase, so plane
+    // reductions over the full mesh need no managed-set filter.
+    std::vector<bool> managed(s.config().size(), false);
+    for (noc::NodeId id : s.config().managedAccelerators())
+        managed[id] = true;
+    for (noc::NodeId id = 0; id < s.config().size(); ++id) {
+        if (managed[id])
+            continue;
+        EXPECT_EQ(plane.has(id), 0) << "unmanaged tile " << id;
+        EXPECT_EQ(plane.phase(id), coin::TilePhase::Idle)
+            << "unmanaged tile " << id;
+    }
+}
+
+} // namespace
