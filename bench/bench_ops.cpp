@@ -40,9 +40,12 @@
 #include "coin/engine.hpp"
 #include "coin/exchange.hpp"
 #include "noc/network.hpp"
+#include "power/rail.hpp"
+#include "power/thermal.hpp"
 #include "record/recorder.hpp"
 #include "sim/rng.hpp"
 #include "sim/shard.hpp"
+#include "soc/throttler.hpp"
 
 using namespace blitz;
 
@@ -384,6 +387,75 @@ perfNocSharded(const char *name, int d, std::uint32_t shards,
 }
 
 /**
+ * Steady-state physics-plane step cost: RC integration with a chain
+ * of couplings, rail-current reconstruction with the hysteresis
+ * latch, and arbiter engage/release churn over a 36-tile population —
+ * the per-sample work the plane adds inside the event kernel. The
+ * square-wave drive cycles both the thermal trip band and the rail
+ * latch so the mutation paths stay on the measured path.
+ */
+Result
+perfPhysicsStep(const char *name, std::uint64_t targetSteps)
+{
+    constexpr std::size_t kTiles = 36;
+    power::ThermalConfig tc;
+    tc.node.cJPerC = 1e-6;
+    power::ThermalModel thermal(kTiles, tc);
+    for (std::uint32_t i = 0; i + 1 < kTiles; ++i)
+        thermal.addCoupling(i, i + 1, 1e-3);
+    power::RailSet rails(kTiles);
+    power::RailConfig rc;
+    rc.limitMa = 900.0;
+    rails.addRail(rc);
+    for (std::size_t t = 0; t < kTiles; ++t)
+        rails.assignTile(0, t);
+    soc::ThrottleArbiter arb(kTiles);
+
+    double powerMw[kTiles];
+    std::uint64_t stepNo = 0;
+    auto one = [&] {
+        const bool hot = (stepNo / 256) % 2 == 0;
+        for (std::size_t t = 0; t < kTiles; ++t)
+            powerMw[t] = hot ? 40.0 : 5.0;
+        thermal.step(500.0, powerMw);
+        rails.update(powerMw);
+        for (std::size_t t = 0; t < kTiles; ++t) {
+            if (thermal.temperatureC(t) >= 48.0)
+                arb.set(t, soc::ThrottleSource::Thermal, 400.0);
+            else if (thermal.temperatureC(t) <= 47.5)
+                arb.clear(t, soc::ThrottleSource::Thermal);
+        }
+        if (rails.edge(0) == power::RailEdge::Engaged) {
+            for (std::size_t t = 0; t < kTiles; ++t)
+                arb.set(t, soc::ThrottleSource::Rail, 300.0);
+        } else if (rails.edge(0) == power::RailEdge::Released) {
+            for (std::size_t t = 0; t < kTiles; ++t)
+                arb.clear(t, soc::ThrottleSource::Rail);
+        }
+        ++stepNo;
+    };
+    for (int i = 0; i < 4096; ++i)
+        one();
+
+    Result best{name};
+    for (int rep = 0; rep < 3; ++rep) {
+        const std::uint64_t steps0 = stepNo;
+        const auto t0 = std::chrono::steady_clock::now();
+        while (stepNo - steps0 < targetSteps)
+            one();
+        const double secs = secondsSince(t0);
+        const std::uint64_t steps = stepNo - steps0;
+        if (best.seconds == 0.0 ||
+            secs / static_cast<double>(steps) <
+                best.seconds / static_cast<double>(best.events)) {
+            best.events = steps;
+            best.seconds = secs;
+        }
+    }
+    return best;
+}
+
+/**
  * Recorded throughput for @p name from a previous BENCH_ops.json:
  * events_per_sec for kernel configs, packets_per_sec for NoC configs.
  * Returns 0 when the file or the config is missing (nothing to gate
@@ -452,6 +524,10 @@ perfMain(const char *jsonPath, const char *checkPath)
                       512, 16, 2048),
         perfEventKernel("event_kernel_1000x1000", 1000, 4'000'000,
                         512, 257, 1024),
+        // Physics plane (ISSUE 9): per-step cost of the thermal
+        // integrator + rail latch + throttle arbiter at SoC scale.
+        // "Events" are plane steps; gated on events_per_sec.
+        perfPhysicsStep("physics_steady_36", 2'000'000),
     };
 
     double shardS1 = 0.0, shardS4 = 0.0;

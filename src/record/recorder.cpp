@@ -44,6 +44,8 @@ recordKindName(RecordKind k)
         return "byzantine";
     case RecordKind::Guardian:
         return "guardian";
+    case RecordKind::Throttle:
+        return "throttle";
     }
     return "?";
 }

@@ -31,6 +31,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -271,6 +272,29 @@ class FlightRecorder
         r.p1 = strikes;
         r.p2 = mask;
         r.p3 = evidence;
+        append(r);
+    }
+
+    void
+    throttle(sim::Tick t, std::uint8_t event, std::uint8_t source,
+             std::int64_t tile, double capMhz, double effectiveCapMhz,
+             std::int64_t mask)
+    {
+        // Infinite caps (released / uncapped) journal as 0 milli-MHz.
+        const auto milli = [](double f) {
+            return f == std::numeric_limits<double>::infinity()
+                       ? std::int64_t{0}
+                       : static_cast<std::int64_t>(f * 1000.0 + 0.5);
+        };
+        Record r;
+        r.tick = t;
+        r.kind = RecordKind::Throttle;
+        r.flag = event;
+        r.aux = source;
+        r.p0 = tile;
+        r.p1 = milli(capMhz);
+        r.p2 = milli(effectiveCapMhz);
+        r.p3 = mask;
         append(r);
     }
 

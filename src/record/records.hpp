@@ -64,6 +64,8 @@ enum class RecordKind : std::uint8_t
     Byzantine = 15,
     /** Integrity guardian detection or escalation decision. */
     Guardian = 16,
+    /** Physics-plane throttle decision (thermal/rail/board TDP). */
+    Throttle = 17,
 };
 
 const char *recordKindName(RecordKind k);
@@ -87,6 +89,13 @@ enum : std::uint8_t
     kSitePartition = 2, ///< severed mesh link
 };
 
+/** Throttle event codes carried in Record::flag. */
+enum : std::uint8_t
+{
+    kThrottleEngage = 0,  ///< a limit source asserted a cap
+    kThrottleRelease = 1, ///< a limit source cleared its cap
+};
+
 /**
  * One journaled state transition. 48 bytes, no padding: the first
  * 16 bytes are the (tick, lane, kind) envelope, the remaining 32 the
@@ -108,6 +117,11 @@ enum : std::uint8_t
  *   Guardian       p0=tile p1=strikes p2=detector mask p3=evidence
  *                  flag=event (0 detect, 1 warn, 2 throttle,
  *                  3 quarantine)
+ *   Throttle       p0=tile p1=source cap milli-MHz (0 on release)
+ *                  p2=effective cap milli-MHz (0 = uncapped)
+ *                  p3=active source mask flag=event (0 engage,
+ *                  1 release) aux=source (0 thermal, 1 rail,
+ *                  2 board TDP)
  */
 struct Record
 {

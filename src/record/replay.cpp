@@ -78,6 +78,7 @@ recordTiles(const Record &r, std::int64_t out[2])
       case RecordKind::NocDeliver:
       case RecordKind::Byzantine:
       case RecordKind::Guardian:
+      case RecordKind::Throttle:
         out[0] = r.p0;
         break;
       case RecordKind::SnapshotMark:
@@ -504,6 +505,16 @@ describeRecord(const Record &r, std::uint64_t index)
              static_cast<long long>(r.p0),
              static_cast<long long>(r.p1),
              static_cast<long long>(r.p2),
+             static_cast<long long>(r.p3));
+        break;
+      case RecordKind::Throttle:
+        rest(" event %u source %u tile %lld cap %.3f MHz "
+             "effective %.3f MHz mask %lld",
+             static_cast<unsigned>(r.flag),
+             static_cast<unsigned>(r.aux),
+             static_cast<long long>(r.p0),
+             static_cast<double>(r.p1) / 1000.0,
+             static_cast<double>(r.p2) / 1000.0,
              static_cast<long long>(r.p3));
         break;
     }

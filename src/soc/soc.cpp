@@ -90,6 +90,37 @@ Soc::installByzantinePlan(fault::ByzantinePlan &plan)
 }
 
 void
+Soc::attachPhysics(PhysicsPlane &plane)
+{
+    BLITZ_ASSERT(physics_ == nullptr,
+                 "a physics plane is already attached");
+    physics_ = &plane;
+    plane.bind(config_, tilesByNode_);
+    if (recorder_)
+        plane.setRecorder(recorder_);
+    if (metrics_)
+        registerPhysicsMetrics(*metrics_);
+}
+
+void
+Soc::registerPhysicsMetrics(trace::Registry &reg)
+{
+    reg.sampled("physics.max_temp_c",
+                [this] { return physics_->thermal().maxC(); });
+    reg.sampled("physics.mean_temp_c",
+                [this] { return physics_->thermal().meanC(); });
+    reg.sampled("physics.throttled_tiles", [this] {
+        return static_cast<double>(physics_->arbiter().throttledCount());
+    });
+    reg.sampled("physics.rail_max_load", [this] {
+        return physics_->rails().maxLoadFraction();
+    });
+    reg.sampled("physics.throttle_engages", [this] {
+        return static_cast<double>(physics_->arbiter().engages());
+    });
+}
+
+void
 Soc::attachMetrics(trace::Registry *reg, sim::Tick interval)
 {
     metrics_ = reg;
@@ -116,6 +147,8 @@ Soc::attachMetrics(trace::Registry *reg, sim::Tick interval)
     reg->sampled("sim.events_executed", [this] {
         return static_cast<double>(eq_.totalExecuted());
     });
+    if (physics_)
+        registerPhysicsMetrics(*reg);
 }
 
 void
@@ -144,6 +177,8 @@ Soc::attachRecorder(record::FlightRecorder *rec)
         fault_->setRecorder(rec);
     if (byz_)
         byz_->setRecorder(rec);
+    if (physics_)
+        physics_->setRecorder(rec);
 }
 
 Soc::~Soc() = default;
@@ -213,14 +248,23 @@ Soc::dispatchReady()
 void
 Soc::drainCompletions()
 {
+    // Latches are written at tile loci, so a single scan can hold
+    // completions from different ticks in any node order; process them
+    // in (tick, node) order — the activity trace requires monotonic
+    // edges, and the deterministic sort keeps the drain shard-count
+    // invariant.
+    drainBuf_.clear();
     for (noc::NodeId node = 0; node < pendingDoneTask_.size(); ++node) {
         if (pendingDoneTask_[node] == 0)
             continue;
-        const auto id = static_cast<workload::TaskId>(
-            pendingDoneTask_[node] - 1);
+        drainBuf_.push_back({pendingDoneTick_[node],
+                             static_cast<std::uint64_t>(node),
+                             pendingDoneTask_[node] - 1});
         pendingDoneTask_[node] = 0;
-        onTaskDone(id, pendingDoneTick_[node]);
     }
+    std::sort(drainBuf_.begin(), drainBuf_.end());
+    for (const auto &d : drainBuf_)
+        onTaskDone(static_cast<workload::TaskId>(d[2]), d[0]);
 }
 
 void
@@ -315,6 +359,27 @@ Soc::run(const workload::Dag &dag, const SocRunOptions &opts)
                 eq_.scheduleIn(every, *s, sim::Priority::Stats);
         };
         eq_.schedule(0, *msampler, sim::Priority::Stats);
+    }
+
+    // Physics stepping rides the sampler cadence and retire flag. Each
+    // firing integrates the *preceding* interval, so the chain starts
+    // one interval in (temperatures at t=0 are the initial condition).
+    // Priority::Stats places it in the serial lane of a sharded run —
+    // quiesced, fixed order — so throttle decisions and the tile caps
+    // they actuate are bit-identical at every shard count.
+    auto psampler = std::make_shared<std::function<void()>>();
+    if (physics_) {
+        const sim::Tick every = opts.sampleInterval;
+        const double dtNs = static_cast<double>(every) * sim::nsPerTick;
+        std::weak_ptr<std::function<void()>> weakP = psampler;
+        *psampler = [this, weakP, sampling, every, dtNs] {
+            if (!*sampling)
+                return;
+            physics_->step(dtNs, eq_.now());
+            if (auto s = weakP.lock())
+                eq_.scheduleIn(every, *s, sim::Priority::Stats);
+        };
+        eq_.scheduleIn(every, *psampler, sim::Priority::Stats);
     }
 
     // Sharded: the serial-lane completion scan. Completion latches are

@@ -13,6 +13,7 @@
 #ifndef BLITZ_SOC_SOC_HPP
 #define BLITZ_SOC_SOC_HPP
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "power/power_trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/shard.hpp"
+#include "throttler.hpp"
 #include "tile.hpp"
 #include "workload/dag.hpp"
 #include "workload/trace.hpp"
@@ -130,6 +132,19 @@ class Soc
     void installByzantinePlan(fault::ByzantinePlan &plan);
 
     /**
+     * Attach the physics plane: the RC thermal network, shared
+     * regulator rails, and throttler arbiter step on the run's power
+     * sampling cadence (the serial lane in a sharded run, so throttle
+     * decisions stay bit-identical at every shard count) and clamp
+     * tile frequencies through the setThrottleCapMhz funnel. Call
+     * before run(); the plane must outlive this Soc, and at most one
+     * plane may be attached. A Soc without a plane pays one null
+     * check per run; a plane with enforce=false observes without
+     * actuating, digest-identical to a detached run.
+     */
+    void attachPhysics(PhysicsPlane &plane);
+
+    /**
      * Register the instance's observables on @p reg (the PM's gauges —
      * for BC that includes per-unit coin balances — plus reconstructed
      * accelerator power, NoC packet counters, and event-kernel
@@ -166,6 +181,7 @@ class Soc
     void dispatchReady();
     void onTaskDone(workload::TaskId id, sim::Tick completedAt);
     void drainCompletions();
+    void registerPhysicsMetrics(trace::Registry &reg);
 
     SocConfig config_;
     sim::EventQueue eq_;
@@ -175,6 +191,7 @@ class Soc
     std::unique_ptr<PowerManager> pm_;
     fault::FaultPlane *fault_ = nullptr; ///< not owned; may be null
     fault::ByzantinePlan *byz_ = nullptr; ///< not owned; may be null
+    PhysicsPlane *physics_ = nullptr;    ///< not owned; may be null
     trace::Registry *metrics_ = nullptr; ///< not owned; may be null
     sim::Tick metricsEvery_ = 0;
     trace::Tracer *tracer_ = nullptr;    ///< not owned; may be null
@@ -199,6 +216,8 @@ class Soc
      */
     std::vector<std::uint32_t> pendingDoneTask_;
     std::vector<sim::Tick> pendingDoneTick_;
+    /** Scratch for drainCompletions: (tick, node, task id) triples. */
+    std::vector<std::array<std::uint64_t, 3>> drainBuf_;
 
     // Declared last: destruction must unbind the anchor and join the
     // worker threads before any component the group routes events for

@@ -42,6 +42,9 @@ AcceleratorTile::AcceleratorTile(sim::EventQueue &eq, noc::NodeId id,
           return uvfrCfg;
       }())
 {
+    // A cap asserted before the first PM actuation must clamp the
+    // regulator's own initial target, not a stale zero.
+    pmTargetMhz_ = uvfr_.targetMhz();
 }
 
 double
@@ -66,11 +69,37 @@ AcceleratorTile::setFreqTargetMhz(double freqMhz)
     // this very tick, before any control-loop step runs.
     accrueProgress();
     const double target = std::min(freqMhz, curve_->fMax());
-    uvfr_.setTargetMhz(target);
+    pmTargetMhz_ = target;
+    // The physics-plane cap clamps after the PM's decision; the
+    // journal keeps the uncapped request (the PM's actual output).
+    uvfr_.setTargetMhz(std::min(target, capMhz_));
     if (plane_)
         plane_->writeFreq(id_, uvfr_.targetMhz());
     if (recorder_)
         recorder_->pmActuation(eq_.now(), id_, target);
+    accrualFreqMhz_ = this->freqMhz();
+    scheduleCompletion();
+    kickControlLoop();
+}
+
+void
+AcceleratorTile::setThrottleCapMhz(double capMhz)
+{
+    accrueProgress();
+    capMhz_ = capMhz;
+    uvfr_.setTargetMhz(std::min(pmTargetMhz_, capMhz_));
+    if (plane_)
+        plane_->writeFreq(id_, uvfr_.targetMhz());
+    accrualFreqMhz_ = this->freqMhz();
+    scheduleCompletion();
+    kickControlLoop();
+}
+
+void
+AcceleratorTile::injectSupplyDroopV(double droopV)
+{
+    accrueProgress();
+    uvfr_.injectDroopV(droopV);
     accrualFreqMhz_ = this->freqMhz();
     scheduleCompletion();
     kickControlLoop();

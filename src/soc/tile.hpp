@@ -15,6 +15,7 @@
 #define BLITZ_SOC_TILE_HPP
 
 #include <functional>
+#include <limits>
 #include <string>
 
 #include "coin/state_plane.hpp"
@@ -54,6 +55,28 @@ class AcceleratorTile
 
     /** Set the UVFR frequency target (MHz); from the PM layer. */
     void setFreqTargetMhz(double freqMhz);
+
+    /**
+     * Set the physics-plane frequency cap (MHz); kUncappedMhz
+     * (infinity) clears it. The UVFR is always programmed with
+     * min(PM target, cap) — the throttler clamps *after* the coin
+     * protocol's decision, and the PM's uncapped request is retained
+     * so a release restores it exactly. With the cap at its default
+     * (infinity) this path is bit-identical to a cap-free tile.
+     */
+    void setThrottleCapMhz(double capMhz);
+
+    /** Present physics-plane cap (MHz); infinity when uncapped. */
+    double throttleCapMhz() const { return capMhz_; }
+
+    /** Last frequency the PM layer requested (MHz, pre-cap). */
+    double pmTargetMhz() const { return pmTargetMhz_; }
+
+    /**
+     * Inject a supply droop into this tile's UVFR (brownout transient
+     * from a sagging shared rail) and let the control loop recover.
+     */
+    void injectSupplyDroopV(double droopV);
 
     /**
      * Attach the flight recorder (nullptr detaches). Every frequency
@@ -128,6 +151,9 @@ class AcceleratorTile
     power::Uvfr uvfr_;
     record::FlightRecorder *recorder_ = nullptr;
     coin::StatePlane *plane_ = nullptr; ///< SoA mirror; may be null
+
+    double pmTargetMhz_ = 0.0;
+    double capMhz_ = std::numeric_limits<double>::infinity();
 
     bool busy_ = false;
     double remainingCycles_ = 0.0;

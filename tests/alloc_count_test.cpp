@@ -23,9 +23,12 @@
 #include <gtest/gtest.h>
 
 #include "noc/network.hpp"
+#include "power/rail.hpp"
+#include "power/thermal.hpp"
 #include "record/recorder.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/shard.hpp"
+#include "soc/throttler.hpp"
 
 namespace {
 
@@ -258,6 +261,67 @@ TEST(AllocCount, ShardedNocSteadyStateIsAllocationFree)
     for (std::uint64_t s : sunk)
         total += s;
     EXPECT_GT(total, 0u);
+}
+
+TEST(AllocCount, PhysicsHotPathSteadyStateIsAllocationFree)
+{
+    // The physics plane runs inside the event kernel at the sampler
+    // cadence, so its whole per-step path — RC integration with
+    // couplings, rail current reconstruction with the hysteresis
+    // latch, and arbiter engage/release churn — must be heap-free
+    // after construction. The square-wave power drive cycles both the
+    // thermal trip band and the rail latch so the audit covers the
+    // mutation paths, not just the quiescent reads.
+    constexpr std::size_t kTiles = 36;
+    power::ThermalConfig tc;
+    tc.node.cJPerC = 1e-6; // tau = 300 us: trips cycle inside the run
+    power::ThermalModel thermal(kTiles, tc);
+    for (std::uint32_t i = 0; i + 1 < kTiles; ++i)
+        thermal.addCoupling(i, i + 1, 1e-3);
+    power::RailSet rails(kTiles);
+    power::RailConfig rc;
+    rc.limitMa = 900.0; // between the low- and high-phase draw
+    rails.addRail(rc);
+    for (std::uint32_t t = 0; t < kTiles; ++t)
+        rails.assignTile(0, t);
+    soc::ThrottleArbiter arb(kTiles);
+
+    double powerMw[kTiles];
+    auto drive = [&](std::uint64_t steps, std::uint64_t phase0) {
+        for (std::uint64_t s = 0; s < steps; ++s) {
+            // 128 us half-period: long enough to heat through the
+            // 48 C trip and cool back under 47.5 C each cycle.
+            const bool hot = ((phase0 + s) / 256) % 2 == 0;
+            for (std::size_t t = 0; t < kTiles; ++t)
+                powerMw[t] = hot ? 40.0 : 5.0;
+            thermal.step(500.0, powerMw);
+            rails.update(powerMw);
+            for (std::size_t t = 0; t < kTiles; ++t) {
+                if (thermal.temperatureC(t) >= 48.0)
+                    arb.set(t, soc::ThrottleSource::Thermal, 400.0);
+                else if (thermal.temperatureC(t) <= 47.5)
+                    arb.clear(t, soc::ThrottleSource::Thermal);
+            }
+            if (rails.edge(0) == power::RailEdge::Engaged) {
+                for (std::size_t t = 0; t < kTiles; ++t)
+                    arb.set(t, soc::ThrottleSource::Rail, 300.0);
+            } else if (rails.edge(0) == power::RailEdge::Released) {
+                for (std::size_t t = 0; t < kTiles; ++t)
+                    arb.clear(t, soc::ThrottleSource::Rail);
+            }
+        }
+    };
+    drive(4096, 0);
+
+    const std::uint64_t before = gAllocCount.load();
+    const std::uint64_t engagesBefore = arb.engages();
+    drive(65536, 4096);
+    EXPECT_EQ(gAllocCount.load() - before, 0u)
+        << "physics hot path allocated in steady state";
+    // The audit must have exercised real limiter churn, not idle math.
+    EXPECT_GT(arb.engages() - engagesBefore, 0u);
+    EXPECT_GT(rails.engageCount(0), 0u);
+    EXPECT_GT(arb.releases(), 0u);
 }
 
 TEST(AllocCount, RingRecorderSteadyStateIsAllocationFree)

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Differential test: the RC thermal model against its closed-form
+ * solutions (the iblock discipline — validate every physics model
+ * against an analytic reference before trusting it at scale; same
+ * pattern as analytic_vs_sim_test.cpp).
+ *
+ * Single tile, constant power: the governing ODE
+ *   dT/dt = (P + (T_amb - T)/R) / C
+ * has the step response
+ *   T(t) = T_amb + P·R·(1 − e^(−t/RC)).
+ *
+ * Two coupled tiles (equal R, C, conductance g, one powered): writing
+ * u_i = T_i − T_amb and decomposing into sum σ = u0 + u1 and
+ * difference δ = u0 − u1, the coupling cancels from σ and doubles in
+ * δ, giving two independent first-order systems:
+ *   σ(t) = P·R·(1 − e^(−t/RC))
+ *   δ(t) = P·R/(1 + 2gR)·(1 − e^(−t(1+2gR)/RC))
+ * so T0 = T_amb + (σ+δ)/2 and T1 = T_amb + (σ−δ)/2.
+ *
+ * Every comparison is asserted within 2% of the analytic prediction
+ * (relative to the temperature *rise*, the strict normalization — at
+ * the sampler cadence dt/τ ≈ 3e-4, the explicit-Euler error is far
+ * inside the band).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "power/thermal.hpp"
+#include "soc/scenarios.hpp"
+#include "soc/soc.hpp"
+#include "soc/throttler.hpp"
+
+namespace {
+
+using namespace blitz;
+using power::ThermalConfig;
+using power::ThermalModel;
+using power::ThermalNodeParams;
+
+/** The SoC power-sampler cadence the model integrates on (ns). */
+constexpr double kDtNs = 500.0;
+
+/** Closed-form single-tile step response (°C). */
+double
+stepResponseC(double tNs, double powerMw, const ThermalConfig &cfg)
+{
+    const double tau = cfg.node.rCPerW * cfg.node.cJPerC; // seconds
+    const double riseC = powerMw * 1e-3 * cfg.node.rCPerW;
+    return cfg.ambientC + riseC * (1.0 - std::exp(-tNs * 1e-9 / tau));
+}
+
+/** Integrate @p model under constant power for @p durationNs. */
+void
+integrate(ThermalModel &model, const std::vector<double> &powerMw,
+          double durationNs)
+{
+    const auto steps = static_cast<std::uint64_t>(durationNs / kDtNs);
+    for (std::uint64_t i = 0; i < steps; ++i)
+        model.step(kDtNs, powerMw.data());
+}
+
+TEST(ThermalAnalytic, StepResponseMatchesClosedFormWithin2Percent)
+{
+    const ThermalConfig cfg{}; // R = 300 °C/W, C = 5e-6 J/°C, τ = 1.5 ms
+    const double powerMw = 60.0; // ΔT∞ = 18 °C
+    const double tauNs = cfg.node.rCPerW * cfg.node.cJPerC * 1e9;
+    const double riseC = powerMw * 1e-3 * cfg.node.rCPerW;
+
+    ThermalModel model(1, cfg);
+    const std::vector<double> p{powerMw};
+
+    // Walk the transient and compare at every half-τ checkpoint out
+    // to 5τ — the knee of the exponential, where discretization error
+    // would show first.
+    double elapsedNs = 0.0;
+    for (int checkpoint = 1; checkpoint <= 10; ++checkpoint) {
+        const double targetNs = 0.5 * tauNs * checkpoint;
+        integrate(model, p, targetNs - elapsedNs);
+        elapsedNs = kDtNs * static_cast<double>(model.steps());
+        const double expected = stepResponseC(elapsedNs, powerMw, cfg);
+        EXPECT_NEAR(model.temperatureC(0), expected, 0.02 * riseC)
+            << "t = " << elapsedNs * 1e-6 << " ms";
+    }
+}
+
+TEST(ThermalAnalytic, SteadyStateEqualsAmbientPlusPR)
+{
+    ThermalConfig cfg{};
+    ThermalModel model(2, cfg);
+    // Tile 1 gets a stiffer path (half the resistance, double the
+    // capacity) via the per-tile override.
+    ThermalNodeParams stiff;
+    stiff.rCPerW = 150.0;
+    stiff.cJPerC = 1e-5;
+    model.setParams(1, stiff);
+
+    const std::vector<double> p{60.0, 60.0};
+    // 15τ of the slowest node: both transients are fully settled.
+    integrate(model, p, 15.0 * cfg.node.rCPerW * cfg.node.cJPerC * 1e9);
+
+    const double rise0 = 0.060 * cfg.node.rCPerW; // 18 °C
+    const double rise1 = 0.060 * stiff.rCPerW;    // 9 °C
+    EXPECT_NEAR(model.temperatureC(0), cfg.ambientC + rise0,
+                0.02 * rise0);
+    EXPECT_NEAR(model.temperatureC(1), cfg.ambientC + rise1,
+                0.02 * rise1);
+    EXPECT_NEAR(model.maxC(), model.temperatureC(0), 1e-9);
+    EXPECT_NEAR(model.meanC(),
+                (model.temperatureC(0) + model.temperatureC(1)) / 2.0,
+                1e-9);
+}
+
+TEST(ThermalAnalytic, CoolingDecaysExponentially)
+{
+    const ThermalConfig cfg{};
+    const double tau = cfg.node.rCPerW * cfg.node.cJPerC;
+    ThermalModel model(1, cfg);
+    model.reset(95.0);
+    const std::vector<double> p{0.0};
+
+    const double dropC = 95.0 - cfg.ambientC;
+    integrate(model, p, 2.0 * tau * 1e9);
+    const double elapsedS = kDtNs * 1e-9 *
+                            static_cast<double>(model.steps());
+    const double expected =
+        cfg.ambientC + dropC * std::exp(-elapsedS / tau);
+    EXPECT_NEAR(model.temperatureC(0), expected, 0.02 * dropC);
+}
+
+TEST(ThermalAnalytic, TwoTileCouplingMatchesSumDifferenceDecomposition)
+{
+    const ThermalConfig cfg{};
+    const double R = cfg.node.rCPerW;
+    const double C = cfg.node.cJPerC;
+    // gR = 1: coupling as strong as the ambient path, so the
+    // difference mode runs 3x faster than the sum mode — the regimes
+    // are well separated and a sign error in the coupling term would
+    // blow either mode far past 2%.
+    const double g = 1.0 / R;
+    const double powerMw = 60.0;
+    const double pW = powerMw * 1e-3;
+
+    ThermalModel model(2, cfg);
+    model.addCoupling(0, 1, g);
+    const std::vector<double> p{powerMw, 0.0};
+
+    const double tauNs = R * C * 1e9;
+    double elapsedNs = 0.0;
+    for (int checkpoint = 1; checkpoint <= 10; ++checkpoint) {
+        const double targetNs = 0.5 * tauNs * checkpoint;
+        integrate(model, p, targetNs - elapsedNs);
+        elapsedNs = kDtNs * static_cast<double>(model.steps());
+        const double tS = elapsedNs * 1e-9;
+
+        const double sigma = pW * R * (1.0 - std::exp(-tS / (R * C)));
+        const double delta = pW * R / (1.0 + 2.0 * g * R) *
+                             (1.0 - std::exp(-tS * (1.0 + 2.0 * g * R) /
+                                             (R * C)));
+        const double expected0 = cfg.ambientC + (sigma + delta) / 2.0;
+        const double expected1 = cfg.ambientC + (sigma - delta) / 2.0;
+        const double rise = pW * R;
+        EXPECT_NEAR(model.temperatureC(0), expected0, 0.02 * rise)
+            << "t = " << tS * 1e3 << " ms";
+        EXPECT_NEAR(model.temperatureC(1), expected1, 0.02 * rise)
+            << "t = " << tS * 1e3 << " ms";
+    }
+    // The powered tile must stay the hotter one throughout.
+    EXPECT_GT(model.temperatureC(0), model.temperatureC(1));
+}
+
+TEST(ThermalAnalytic, EnergyConservationUnderCoupling)
+{
+    // The coupling only moves heat between junctions: with equal
+    // capacities, the *sum* of the rises must match the uncoupled
+    // single-system closed form exactly (σ decouples from g).
+    const ThermalConfig cfg{};
+    const double g = 2.0 / cfg.node.rCPerW;
+    ThermalModel coupled(2, cfg);
+    coupled.addCoupling(0, 1, g);
+    const std::vector<double> p{60.0, 0.0};
+    integrate(coupled, p, 3.0 * cfg.node.rCPerW * cfg.node.cJPerC * 1e9);
+
+    const double elapsedNs = kDtNs * static_cast<double>(coupled.steps());
+    const double sigma =
+        stepResponseC(elapsedNs, 60.0, cfg) - cfg.ambientC;
+    const double sumRise = (coupled.temperatureC(0) - cfg.ambientC) +
+                           (coupled.temperatureC(1) - cfg.ambientC);
+    EXPECT_NEAR(sumRise, sigma, 0.02 * sigma);
+}
+
+TEST(ThermalAnalytic, SocIntegrationRunsOnSamplerCadence)
+{
+    // End-to-end: an attached (but non-enforcing) physics plane steps
+    // once per power-sampling interval and sees the workload's heat.
+    soc::PmConfig pm;
+    pm.kind = soc::PmKind::BlitzCoin;
+    pm.budgetMw = soc::budgets::av30Percent;
+    soc::Soc s(soc::make3x3AvSoc(), pm, /*seed=*/7);
+
+    soc::PhysicsConfig phys;
+    phys.enforce = false;
+    soc::PhysicsPlane plane(phys);
+    s.attachPhysics(plane);
+
+    const auto st = s.run(soc::avParallel(s.config()));
+    EXPECT_TRUE(st.completed);
+    EXPECT_GT(plane.steps(), 0u);
+    // One step per sampleInterval (400 ticks), starting one interval
+    // in: the count tracks the run length (the final partial interval
+    // and the stop tick's event ordering allow a step of slack).
+    const auto expectedSteps = s.eventQueue().now() / 400;
+    EXPECT_GE(plane.steps() + 2, expectedSteps);
+    EXPECT_LE(plane.steps(), expectedSteps + 1);
+    // The workload dissipates tens of mW; junctions must have heated.
+    EXPECT_GT(plane.thermal().maxC(), phys.thermal.ambientC);
+    EXPECT_GE(plane.peakTempC(), plane.thermal().maxC());
+    // Non-enforcing plane: the arbiter never engaged.
+    EXPECT_EQ(plane.arbiter().engages(), 0u);
+    EXPECT_EQ(plane.arbiter().throttledCount(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Property/invariant tests of the throttler arbiter and the physics
+ * plane's interaction with the coin protocol.
+ *
+ * Arbiter contract (checked against a brute-force reference model
+ * under randomized limit-source sequences): the effective cap is
+ * always the minimum of all active sources; releases are order-safe
+ * (LIFO, FIFO, or any interleaving restores the surviving minimum);
+ * once every source clears, no stale cap remains; and the
+ * changed-flag the arbiter returns is exactly the effective-cap delta
+ * the reference model predicts.
+ *
+ * Protocol interaction: BlitzCoin must conserve coins exactly through
+ * throttle/release cycles — the external limiter clamps frequencies
+ * *after* the coin allocation, so the cluster total still equals the
+ * seeded pool at the end of every run (the same ClusterAudit-style
+ * assertion the byzantine suite pins).
+ *
+ * Every suite name starts with "Throttler" so the tsan preset's name
+ * filter picks the whole file up.
+ */
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "record/recorder.hpp"
+#include "soc/pm_impl.hpp"
+#include "soc/scenarios.hpp"
+#include "soc/soc.hpp"
+#include "soc/throttler.hpp"
+
+namespace {
+
+using namespace blitz;
+using soc::kThrottleSourceCount;
+using soc::kUncappedMhz;
+using soc::PhysicsConfig;
+using soc::PhysicsPlane;
+using soc::PmConfig;
+using soc::PmKind;
+using soc::Soc;
+using soc::ThrottleArbiter;
+using soc::ThrottleSource;
+
+// ------------------------------------------------------------- arbiter
+
+/** Brute-force reference: the per-slot caps, recomputed from scratch. */
+struct RefModel
+{
+    std::vector<std::array<double, kThrottleSourceCount>> cap;
+
+    explicit RefModel(std::size_t tiles)
+    {
+        std::array<double, kThrottleSourceCount> clear;
+        clear.fill(kUncappedMhz);
+        cap.assign(tiles, clear);
+    }
+
+    double
+    effective(std::size_t tile) const
+    {
+        double e = kUncappedMhz;
+        for (double c : cap[tile])
+            e = std::min(e, c);
+        return e;
+    }
+};
+
+TEST(ThrottlerArbiter, MinOfActiveCapsAlwaysWins)
+{
+    ThrottleArbiter arb(4);
+    EXPECT_FALSE(arb.throttled(0));
+    EXPECT_EQ(arb.effectiveCapMhz(0), kUncappedMhz);
+
+    EXPECT_TRUE(arb.set(0, ThrottleSource::Thermal, 800.0));
+    EXPECT_EQ(arb.effectiveCapMhz(0), 800.0);
+    EXPECT_TRUE(arb.set(0, ThrottleSource::Rail, 500.0));
+    EXPECT_EQ(arb.effectiveCapMhz(0), 500.0);
+    // A higher cap from a third source does not move the minimum.
+    EXPECT_FALSE(arb.set(0, ThrottleSource::BoardTdp, 650.0));
+    EXPECT_EQ(arb.effectiveCapMhz(0), 500.0);
+    EXPECT_EQ(arb.activeMask(0), 0b111u);
+
+    // Releasing the binding source exposes the next-lowest.
+    EXPECT_TRUE(arb.clear(0, ThrottleSource::Rail));
+    EXPECT_EQ(arb.effectiveCapMhz(0), 650.0);
+    // Releasing a non-binding source changes nothing.
+    EXPECT_FALSE(arb.clear(0, ThrottleSource::Thermal));
+    EXPECT_EQ(arb.effectiveCapMhz(0), 650.0);
+    EXPECT_TRUE(arb.clear(0, ThrottleSource::BoardTdp));
+    EXPECT_EQ(arb.effectiveCapMhz(0), kUncappedMhz);
+    EXPECT_FALSE(arb.throttled(0));
+    EXPECT_EQ(arb.activeMask(0), 0u);
+
+    // Other tiles were never touched.
+    for (std::size_t t = 1; t < arb.tiles(); ++t)
+        EXPECT_FALSE(arb.throttled(t));
+}
+
+TEST(ThrottlerArbiter, ReleaseOrderIsIrrelevant)
+{
+    // Engage three sources, then release in every one of the six
+    // possible orders: after each partial release the effective cap
+    // must equal the minimum of the survivors (LIFO-safety is the
+    // special case k = engage order reversed).
+    const std::array<ThrottleSource, 3> sources{
+        ThrottleSource::Thermal, ThrottleSource::Rail,
+        ThrottleSource::BoardTdp};
+    const std::array<double, 3> caps{700.0, 450.0, 900.0};
+
+    std::array<std::size_t, 3> order{0, 1, 2};
+    do {
+        ThrottleArbiter arb(1);
+        for (std::size_t i = 0; i < 3; ++i)
+            arb.set(0, sources[i], caps[i]);
+        EXPECT_EQ(arb.effectiveCapMhz(0), 450.0);
+
+        std::array<bool, 3> released{false, false, false};
+        for (std::size_t k : order) {
+            arb.clear(0, sources[k]);
+            released[k] = true;
+            double survivor = kUncappedMhz;
+            for (std::size_t i = 0; i < 3; ++i) {
+                if (!released[i])
+                    survivor = std::min(survivor, caps[i]);
+            }
+            EXPECT_EQ(arb.effectiveCapMhz(0), survivor);
+        }
+        EXPECT_FALSE(arb.throttled(0)) << "stale cap after all cleared";
+    } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(ThrottlerArbiter, RandomizedSequencesMatchBruteForceModel)
+{
+    constexpr std::size_t kTiles = 8;
+    constexpr int kOps = 20'000;
+    ThrottleArbiter arb(kTiles);
+    RefModel ref(kTiles);
+    std::mt19937_64 rng(0xb117c01u);
+    std::uniform_int_distribution<std::size_t> tileDist(0, kTiles - 1);
+    std::uniform_int_distribution<int> srcDist(0, 2);
+    std::uniform_int_distribution<int> opDist(0, 2);
+    // A small discrete cap alphabet maximizes min-collisions, the
+    // interesting arbitration case.
+    const std::array<double, 4> capAlphabet{200.0, 400.0, 400.0, 800.0};
+    std::uniform_int_distribution<std::size_t> capDist(
+        0, capAlphabet.size() - 1);
+
+    for (int op = 0; op < kOps; ++op) {
+        const std::size_t tile = tileDist(rng);
+        const auto src = static_cast<ThrottleSource>(srcDist(rng));
+        const double before = ref.effective(tile);
+        bool changed;
+        if (opDist(rng) == 0) {
+            changed = arb.clear(tile, src);
+            ref.cap[tile][static_cast<std::size_t>(src)] = kUncappedMhz;
+        } else {
+            const double cap = capAlphabet[capDist(rng)];
+            changed = arb.set(tile, src, cap);
+            ref.cap[tile][static_cast<std::size_t>(src)] = cap;
+        }
+        const double expected = ref.effective(tile);
+        ASSERT_EQ(arb.effectiveCapMhz(tile), expected) << "op " << op;
+        ASSERT_EQ(changed, expected != before) << "op " << op;
+        ASSERT_EQ(arb.throttled(tile), expected != kUncappedMhz);
+    }
+    // Global postconditions against the reference.
+    std::size_t refThrottled = 0;
+    for (std::size_t t = 0; t < kTiles; ++t) {
+        unsigned mask = 0;
+        for (std::size_t s = 0; s < kThrottleSourceCount; ++s) {
+            if (ref.cap[t][s] != kUncappedMhz)
+                mask |= 1u << s;
+        }
+        EXPECT_EQ(arb.activeMask(t), mask);
+        refThrottled += ref.effective(t) != kUncappedMhz ? 1 : 0;
+    }
+    EXPECT_EQ(arb.throttledCount(), refThrottled);
+
+    // Drain everything: no stale caps may survive a full clear, and
+    // lifetime releases must balance lifetime engages.
+    for (std::size_t t = 0; t < kTiles; ++t) {
+        for (std::size_t s = 0; s < kThrottleSourceCount; ++s)
+            arb.clear(t, static_cast<ThrottleSource>(s));
+        EXPECT_EQ(arb.effectiveCapMhz(t), kUncappedMhz);
+        EXPECT_EQ(arb.activeMask(t), 0u);
+    }
+    EXPECT_EQ(arb.throttledCount(), 0u);
+    EXPECT_EQ(arb.engages(), arb.releases());
+}
+
+// ------------------------------------------------- soc-level invariants
+
+PmConfig
+bcConfig(double budget)
+{
+    PmConfig pm;
+    pm.kind = PmKind::BlitzCoin;
+    pm.budgetMw = budget;
+    return pm;
+}
+
+/**
+ * Physics tuned to cycle during a sub-millisecond run: a fast thermal
+ * path (tau = 300 us) and a trip band just above the budgeted
+ * steady-state temperature, so tiles heat into the trip, cool under
+ * the cap, release, and repeat.
+ */
+PhysicsConfig
+cyclingThermalConfig()
+{
+    PhysicsConfig phys;
+    phys.thermal.node.cJPerC = 1e-6; // tau = 300 us
+    phys.trip.tripC = 48.0;
+    phys.trip.releaseC = 47.5;
+    phys.trip.capFraction = 0.4;
+    return phys;
+}
+
+TEST(ThrottlerSoc, CoinsConservedThroughThrottleReleaseCycles)
+{
+    Soc s(soc::make3x3AvSoc(), bcConfig(soc::budgets::av30Percent),
+          /*seed=*/29);
+    PhysicsPlane plane(cyclingThermalConfig());
+    s.attachPhysics(plane);
+
+    const auto st = s.run(soc::avParallel(s.config()));
+    EXPECT_TRUE(st.completed);
+    // The scenario must actually exercise throttle/release cycles.
+    EXPECT_GT(plane.arbiter().engages(), 0u);
+    EXPECT_GT(plane.arbiter().releases(), 0u);
+
+    // Exact conservation: the external throttler clamped frequencies,
+    // never coins — the distributed counts still sum to the pool.
+    auto &bc = dynamic_cast<soc::BlitzCoinPm &>(s.pm());
+    EXPECT_EQ(bc.clusterCoins(), bc.scale().poolCoins);
+}
+
+TEST(ThrottlerSoc, ThrottledRunIsSlowerButStillCompletes)
+{
+    auto runUs = [](bool physics) {
+        Soc s(soc::make3x3AvSoc(), bcConfig(soc::budgets::av30Percent),
+              /*seed=*/29);
+        PhysicsPlane plane(cyclingThermalConfig());
+        if (physics)
+            s.attachPhysics(plane);
+        const auto st = s.run(soc::avParallel(s.config()));
+        EXPECT_TRUE(st.completed);
+        return st.execTimeUs();
+    };
+    const double unthrottled = runUs(false);
+    const double throttled = runUs(true);
+    EXPECT_GE(throttled, unthrottled);
+}
+
+TEST(ThrottlerSoc, RailBrownoutEngagesAndConservesCoins)
+{
+    // One shared rail over every accelerator, its limit below the
+    // budget's current draw, with a droop injected at the latch: the
+    // brownout clamps the members and sags their supplies, and the
+    // coin economy still balances exactly.
+    PhysicsConfig phys;
+    power::RailConfig rail;
+    rail.vNominal = 0.85;
+    rail.limitMa = 90.0; // 120 mW budget / 0.85 V = ~141 mA demand
+    rail.releaseFraction = 0.6;
+    soc::RailSpec spec;
+    spec.rail = rail;
+    spec.capFraction = 0.4;
+    spec.droopV = 0.05;
+    phys.rails.push_back(spec);
+
+    Soc s(soc::make3x3AvSoc(), bcConfig(soc::budgets::av30Percent),
+          /*seed=*/31);
+    PhysicsPlane plane(phys);
+    s.attachPhysics(plane);
+
+    const auto st = s.run(soc::avParallel(s.config()));
+    EXPECT_TRUE(st.completed);
+    EXPECT_GT(plane.rails().engageCount(0), 0u);
+    EXPECT_GT(plane.rails().peakMa(0), rail.limitMa);
+    EXPECT_GT(plane.arbiter().engages(), 0u);
+
+    auto &bc = dynamic_cast<soc::BlitzCoinPm &>(s.pm());
+    EXPECT_EQ(bc.clusterCoins(), bc.scale().poolCoins);
+}
+
+TEST(ThrottlerSoc, BoardTdpClampsEveryTileAndConservesCoins)
+{
+    PhysicsConfig phys;
+    phys.board.limitMw = 90.0; // under the 120 mW budget
+    phys.board.releaseFraction = 0.5;
+    phys.board.capFraction = 0.5;
+
+    Soc s(soc::make3x3AvSoc(), bcConfig(soc::budgets::av30Percent),
+          /*seed=*/37);
+    PhysicsPlane plane(phys);
+    s.attachPhysics(plane);
+
+    const auto st = s.run(soc::avParallel(s.config()));
+    EXPECT_TRUE(st.completed);
+    EXPECT_GT(plane.arbiter().engages(), 0u);
+    // The board source fans out to every accelerator at once.
+    EXPECT_EQ(plane.arbiter().engages() % 6, 0u);
+
+    auto &bc = dynamic_cast<soc::BlitzCoinPm &>(s.pm());
+    EXPECT_EQ(bc.clusterCoins(), bc.scale().poolCoins);
+}
+
+TEST(ThrottlerSoc, ThrottleJournalMatchesArbiterCounters)
+{
+    Soc s(soc::make3x3AvSoc(), bcConfig(soc::budgets::av30Percent),
+          /*seed=*/29);
+    PhysicsPlane plane(cyclingThermalConfig());
+    s.attachPhysics(plane);
+    record::FlightRecorder rec;
+    s.attachRecorder(&rec);
+
+    s.run(soc::avParallel(s.config()));
+    ASSERT_GT(plane.arbiter().engages(), 0u);
+
+    // Scan the journal: per (tile, source) the stream must alternate
+    // engage/release starting with an engage, engage records carry a
+    // positive cap with effective <= cap, release records a zero cap.
+    std::uint64_t engages = 0;
+    std::uint64_t releases = 0;
+    std::array<std::array<bool, kThrottleSourceCount>, 9> active{};
+    for (std::size_t i = 0; i < rec.size(); ++i) {
+        const record::Record &r = rec.at(i);
+        if (r.kind != record::RecordKind::Throttle)
+            continue;
+        const auto tile = static_cast<std::size_t>(r.p0);
+        const auto src = static_cast<std::size_t>(r.aux);
+        ASSERT_LT(tile, active.size());
+        ASSERT_LT(src, kThrottleSourceCount);
+        if (r.flag == record::kThrottleEngage) {
+            ++engages;
+            EXPECT_FALSE(active[tile][src]) << "double engage at " << i;
+            active[tile][src] = true;
+            EXPECT_GT(r.p1, 0) << "engage with no cap at " << i;
+            EXPECT_LE(r.p2, r.p1) << "effective above cap at " << i;
+            EXPECT_NE(r.p3, 0) << "engage with empty mask at " << i;
+        } else {
+            ASSERT_EQ(r.flag, record::kThrottleRelease);
+            ++releases;
+            EXPECT_TRUE(active[tile][src]) << "release w/o engage at "
+                                           << i;
+            active[tile][src] = false;
+            EXPECT_EQ(r.p1, 0) << "release with a cap at " << i;
+        }
+    }
+    EXPECT_EQ(engages, plane.arbiter().engages());
+    EXPECT_EQ(releases, plane.arbiter().releases());
+}
+
+} // namespace
