@@ -63,6 +63,8 @@ struct Row
     /// --trace: (pid, tracer) per replication, absorbed after the fold.
     std::vector<std::pair<std::uint32_t, std::shared_ptr<trace::Tracer>>>
         tracers;
+    /// --health: per-replication outcome counters, folded in order.
+    trace::HealthReport health;
 
     void
     merge(Row &&o)
@@ -78,6 +80,7 @@ struct Row
             metrics.merge(o.metrics);
         for (auto &t : o.tracers)
             tracers.push_back(std::move(t));
+        health.absorb(o.health);
     }
 };
 
@@ -193,12 +196,15 @@ runTrial(const Scenario &sc, std::uint64_t seed,
         r.metrics = reg.takeSeries();
     if (obs.trace)
         r.tracers.emplace_back(pid, std::move(tracer));
+    if (obs.health)
+        cluster.fillHealth(r.health);
     return r;
 }
 
 Row
 runScenario(const Scenario &sc, int trials, std::uint64_t rootSeed,
-            const bench::ObsOptions &obs, std::uint32_t pidBase)
+            const bench::ObsOptions &obs, std::uint32_t pidBase,
+            sweep::PoolStats *stats)
 {
     // Pre-size from the replication count: the sample buffer gains at
     // most one entry per trial, so the fold never regrows it.
@@ -206,6 +212,8 @@ runScenario(const Scenario &sc, int trials, std::uint64_t rootSeed,
     acc0.reconvergeTicks.reserve(static_cast<std::size_t>(trials));
     if (obs.trace)
         acc0.tracers.reserve(static_cast<std::size_t>(trials));
+    sweep::SweepOptions opts;
+    opts.stats = stats;
     return sweep::runSweepFold<Row>(
         static_cast<std::size_t>(trials), rootSeed,
         [&sc, &obs, pidBase](std::size_t i, std::uint64_t seed) {
@@ -213,7 +221,7 @@ runScenario(const Scenario &sc, int trials, std::uint64_t rootSeed,
                             pidBase + static_cast<std::uint32_t>(i));
         },
         [](Row &acc, Row &r, std::size_t) { acc.merge(std::move(r)); },
-        std::move(acc0));
+        std::move(acc0), opts);
 }
 
 } // namespace
@@ -248,23 +256,37 @@ main(int argc, char **argv)
     // schema carries per-tile columns (4x4 vs 6x6 differ) and summing
     // across fault configs would make the columns meaningless.
     trace::Tracer master;
+    trace::HealthReport healthAll;
+    sweep::PoolStats poolAll;
     // Crash-safe flush: if a conservation assert (or anything else)
     // kills the bench mid-sweep, the timeline absorbed so far still
     // lands on disk as valid JSON.
     trace::FlushGuard::Registration crashFlush;
-    if (obs.trace) {
+    trace::FlushGuard::Registration healthFlush;
+    if (obs.any())
         trace::FlushGuard::installSignalHandlers();
+    if (obs.trace)
         crashFlush =
             trace::FlushGuard::guardTracer(master, obs.tracePath);
+    if (obs.health) {
+        healthAll.setRun("bench_chaos");
+        healthFlush = trace::FlushGuard::guardHealth(healthAll,
+                                                     obs.healthPath);
     }
     std::uint64_t scenarioIdx = 0;
     for (const Scenario &sc : scenarios) {
         const auto pidBase =
             static_cast<std::uint32_t>(scenarioIdx) *
             static_cast<std::uint32_t>(trials);
+        sweep::PoolStats pool;
         Row row = runScenario(sc, trials,
                               sweep::streamSeed(rootSeed, scenarioIdx),
-                              obs, pidBase);
+                              obs, pidBase,
+                              obs.health ? &pool : nullptr);
+        if (obs.health) {
+            healthAll.absorb(row.health);
+            poolAll.merge(pool);
+        }
         if (obs.metrics && !row.metrics.empty()) {
             char tag[64];
             std::snprintf(tag, sizeof tag, "s%02u-%s-%dx%d",
@@ -293,6 +315,11 @@ main(int argc, char **argv)
     if (obs.trace) {
         crashFlush.release();
         bench::writeTraceJson(master, obs.tracePath);
+    }
+    if (obs.health) {
+        healthFlush.release();
+        bench::fillSweepHealth(healthAll, poolAll);
+        bench::writeHealthJson(healthAll, obs.healthPath);
     }
     std::printf("\nEvery trial quiesced with the seeded coin total "
                 "exactly restored (asserted).\n");

@@ -11,15 +11,24 @@
  * and counts the negative-coin transients the paper's sign bit exists
  * to absorb. It also verifies coin conservation under the heaviest
  * congestion.
+ *
+ * `--metrics[=path]` / `--trace[=path]` / `--health[=path]` opt into
+ * the observability plane (see bench_obs.hpp); without the flags the
+ * printed numbers are byte-identical to a flag-free run.
  */
 
 #include <memory>
 #include <vector>
 
+#include "bench_obs.hpp"
 #include "bench_soc_common.hpp"
 #include "blitzcoin/unit.hpp"
 #include "coin/neighborhood.hpp"
 #include "sim/rng.hpp"
+#include "trace/flush_guard.hpp"
+#include "trace/metrics.hpp"
+#include "trace/prof.hpp"
+#include "trace/tracer.hpp"
 
 using namespace blitz;
 
@@ -30,6 +39,11 @@ struct Result
     double settleUs = 0.0;
     std::uint64_t negatives = 0;
     bool conserved = false;
+
+    /// --metrics / --trace / --health: per-run observability output.
+    trace::MetricsSeries metrics;
+    std::shared_ptr<trace::Tracer> tracer;
+    trace::HealthReport health;
 };
 
 /**
@@ -37,8 +51,15 @@ struct Result
  * traffic at the given injection rate (packets per node per cycle).
  */
 Result
-runWithBackground(double injectionRate, std::uint64_t seed)
+runWithBackground(double injectionRate, std::uint64_t seed,
+                  const bench::ObsOptions &obs)
 {
+    // Registry/tracer outlive the queue: samplers and span-close
+    // callbacks read unit state until the last event dies.
+    trace::Registry reg;
+    std::shared_ptr<trace::Tracer> tracer;
+    if (obs.trace)
+        tracer = std::make_shared<trace::Tracer>();
     sim::EventQueue eq;
     noc::Topology topo(3, 3, false);
     noc::Network net(eq, topo);
@@ -58,6 +79,28 @@ runWithBackground(double injectionRate, std::uint64_t seed)
             if (has < 0)
                 ++negatives;
         };
+        if (obs.trace)
+            units.back()->setTrace(tracer.get());
+    }
+
+    // --metrics: sampled gauges on a fixed cadence (cluster coin
+    // total, mean proportional error, negative transients so far).
+    if (obs.metrics) {
+        reg.sampled("coins.total", [&units] {
+            coin::Coins total = 0;
+            for (auto &u : units)
+                total += u->has();
+            return static_cast<double>(total);
+        });
+        reg.sampled("negatives", [&negatives] {
+            return static_cast<double>(negatives);
+        });
+        auto sampler = std::make_shared<std::function<void()>>();
+        *sampler = [&eq, &reg, sampler] {
+            reg.sample(eq.now());
+            eq.scheduleIn(512, *sampler);
+        };
+        eq.scheduleIn(512, *sampler);
     }
 
     // Background register traffic on the service plane.
@@ -142,33 +185,101 @@ runWithBackground(double injectionRate, std::uint64_t seed)
     for (auto &u : units)
         total += u->has();
     out.conserved = total == 72;
+    if (obs.metrics)
+        out.metrics = reg.takeSeries();
+    if (obs.trace)
+        out.tracer = std::move(tracer);
+    if (obs.health) {
+        out.health.bumpDet("units",
+                           static_cast<double>(units.size()));
+        out.health.bumpDet("coin.total", static_cast<double>(total));
+        out.health.bumpDet("coin.negative_transients",
+                           static_cast<double>(negatives));
+        out.health.bumpDet("coin.conserved",
+                           out.conserved ? 1.0 : 0.0);
+        std::uint64_t initiated = 0;
+        std::uint64_t moved = 0;
+        std::uint64_t timedOut = 0;
+        for (auto &u : units) {
+            initiated += u->exchangesInitiated();
+            moved += u->exchangesMoved();
+            timedOut += u->exchangesTimedOut();
+        }
+        out.health.bumpDet("exchanges.initiated",
+                           static_cast<double>(initiated));
+        out.health.bumpDet("exchanges.moved",
+                           static_cast<double>(moved));
+        out.health.bumpDet("exchanges.timed_out",
+                           static_cast<double>(timedOut));
+        out.health.bumpDet("noc.sent",
+                           static_cast<double>(net.packetsSent()));
+        out.health.bumpDet("noc.delivered",
+                           static_cast<double>(net.packetsDelivered()));
+        out.health.bumpDet("noc.dropped",
+                           static_cast<double>(net.packetsDropped()));
+        trace::fillQueueHealth(out.health, eq);
+    }
     return out;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::ObsOptions obs = bench::parseObsFlags(argc, argv);
     bench::banner("NoC contention (extension)",
                   "coin exchange vs background service-plane traffic");
 
+    trace::Tracer master;
+    trace::MetricsSeries metricsAll;
+    trace::HealthReport healthAll;
+    trace::FlushGuard::Registration crashFlush;
+    trace::FlushGuard::Registration healthFlush;
+    if (obs.any())
+        trace::FlushGuard::installSignalHandlers();
+    if (obs.trace)
+        crashFlush =
+            trace::FlushGuard::guardTracer(master, obs.tracePath);
+    if (obs.health) {
+        healthAll.setRun("bench_noc_contention");
+        healthFlush = trace::FlushGuard::guardHealth(healthAll,
+                                                     obs.healthPath);
+    }
+
     std::printf("\n%12s | %12s | %12s | %s\n", "inject rate",
                 "settle (us)", "neg. events", "conserved");
+    std::uint32_t pid = 0;
     for (double rate : {0.0, 0.5, 1.0, 1.5, 2.0}) {
         sim::Summary settle;
         std::uint64_t negatives = 0;
         bool conserved = true;
         for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-            Result r = runWithBackground(rate, seed);
+            Result r = runWithBackground(rate, seed, obs);
             settle.add(r.settleUs);
             negatives += r.negatives;
             conserved = conserved && r.conserved;
+            if (!r.metrics.empty())
+                metricsAll.merge(r.metrics);
+            if (r.tracer)
+                master.absorb(*r.tracer, pid);
+            healthAll.absorb(r.health);
+            ++pid;
         }
         std::printf("%12.2f | %12.3f | %12llu | %s\n", rate,
                     settle.mean(),
                     static_cast<unsigned long long>(negatives),
                     conserved ? "yes" : "NO");
+    }
+    if (obs.metrics && !metricsAll.empty())
+        bench::writeMetricsCsv(metricsAll, obs.metricsPath);
+    if (obs.trace) {
+        crashFlush.release();
+        bench::writeTraceJson(master, obs.tracePath);
+    }
+    if (obs.health) {
+        healthFlush.release();
+        bench::writeHealthJson(healthAll, obs.healthPath);
     }
     std::printf("\nShape check: settle time degrades gracefully with "
                 "congestion; negative transients (absorbed by the "

@@ -7,9 +7,11 @@
  * sweep replications in replication order, so the file is
  * bit-identical at any thread count) and the event timeline lands in a
  * Chrome/Perfetto trace.json with one process lane per replication.
- * Without the flags nothing is attached and the runs stay on the
- * null-hook fast path — the flags must never change any printed
- * number.
+ * `--health[=path]` additionally writes the run's HealthReport — the
+ * deterministic outcome counters plus sweep-pool utilization — as one
+ * JSON document blitz-top renders. Without the flags nothing is
+ * attached and the runs stay on the null-hook fast path — the flags
+ * must never change any printed number.
  */
 
 #ifndef BLITZ_BENCH_OBS_HPP
@@ -20,23 +22,27 @@
 #include <fstream>
 #include <string>
 
+#include "sweep/sweep.hpp"
+#include "trace/health.hpp"
 #include "trace/metrics.hpp"
 #include "trace/tracer.hpp"
 
 namespace blitz::bench {
 
-/** Parsed --metrics/--trace options. */
+/** Parsed --metrics/--trace/--health options. */
 struct ObsOptions
 {
     bool metrics = false;
     bool trace = false;
+    bool health = false;
     std::string metricsPath = "metrics.csv";
     std::string tracePath = "trace.json";
+    std::string healthPath = "health.json";
 
-    bool any() const { return metrics || trace; }
+    bool any() const { return metrics || trace || health; }
 };
 
-/** Scan argv for --metrics[=path] / --trace[=path]. */
+/** Scan argv for --metrics[=path] / --trace[=path] / --health[=path]. */
 inline ObsOptions
 parseObsFlags(int argc, char **argv)
 {
@@ -50,6 +56,10 @@ parseObsFlags(int argc, char **argv)
             o.trace = true;
             if (argv[i][7] == '=')
                 o.tracePath = argv[i] + 8;
+        } else if (std::strncmp(argv[i], "--health", 8) == 0) {
+            o.health = true;
+            if (argv[i][8] == '=')
+                o.healthPath = argv[i] + 9;
         }
     }
     return o;
@@ -92,6 +102,40 @@ writeTraceJson(const trace::Tracer &tracer, const std::string &path)
                 tracer.eventCount(),
                 tracer.droppedEvents() ? ", overflow dropped some"
                                        : "");
+}
+
+inline void
+writeHealthJson(const trace::HealthReport &report,
+                const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    report.writeJson(os);
+    std::printf("wrote %s (%zu deterministic, %zu wallclock keys)\n",
+                path.c_str(), report.deterministic().size(),
+                report.wallclock().size());
+}
+
+/**
+ * Sweep-pool utilization into @p report's *wallclock* section. All of
+ * it — including the thread count — stays out of the deterministic
+ * section on purpose: the deterministic section must be identical at
+ * any --threads, and the pool shape is part of the wall-clock story.
+ */
+inline void
+fillSweepHealth(trace::HealthReport &report,
+                const sweep::PoolStats &stats)
+{
+    report.bumpWall("sweep.threads",
+                    static_cast<double>(stats.threads));
+    report.bumpWall("sweep.replications",
+                    static_cast<double>(stats.replications));
+    report.bumpWall("sweep.wall_s", stats.wallSeconds);
+    report.bumpWall("sweep.busy_s", stats.busySeconds());
+    report.setWall("sweep.utilization", stats.utilization());
 }
 
 } // namespace blitz::bench

@@ -27,6 +27,11 @@
  * ever-faster baseline, so it was widened from 5% when the mega-mesh
  * hot-path work cut the unrecorded packet cost roughly in half — the
  * absolute overhead shrank in the same change.
+ *
+ * A second paired gate covers the introspection plane: the
+ * noc_shard_16x16_s4 config is re-measured with a SuperstepProfiler
+ * attached (per-phase timing + mailbox matrix on every superstep) and
+ * must stay within 3% of its detached twin from the same invocation.
  */
 
 #include <benchmark/benchmark.h>
@@ -46,6 +51,7 @@
 #include "sim/rng.hpp"
 #include "sim/shard.hpp"
 #include "soc/throttler.hpp"
+#include "trace/prof.hpp"
 
 using namespace blitz;
 
@@ -340,16 +346,22 @@ perfNocSteady(const char *name, int d, std::uint64_t targetPackets,
  * @p shards column bands run bulk-synchronously. Senders are pinned
  * to their node's shard; deliveries execute at the destination's
  * locus, so the per-node sink counters have one writing shard each.
+ * With @p profiled the superstep profiler rides along, charging every
+ * execute/drain/barrier phase and the mailbox matrix — the attached
+ * side of the profiler_overhead gate.
  */
 Result
 perfNocSharded(const char *name, int d, std::uint32_t shards,
-               std::uint64_t targetPackets)
+               std::uint64_t targetPackets, bool profiled = false)
 {
     sim::EventQueue eq;
     sim::ShardGroup group(
         eq, shards,
         sim::columnBands(static_cast<std::uint32_t>(d),
                          static_cast<std::uint32_t>(d), shards));
+    trace::SuperstepProfiler prof;
+    if (profiled)
+        prof.attach(group);
     noc::Network net(eq, noc::Topology(d, d, false));
     net.enableSharding(group);
     const auto n = static_cast<std::uint32_t>(d * d);
@@ -513,6 +525,12 @@ perfMain(const char *jsonPath, const char *checkPath)
         // inspection, never gated.
         perfNocSharded("noc_shard_16x16_s1", 16, 1, 200'000),
         perfNocSharded("noc_shard_16x16_s4", 16, 4, 200'000),
+        // Same workload with the superstep profiler attached; recorded
+        // for inspection and compared against its detached twin by the
+        // paired profiler_overhead gate below, never gated on its own
+        // wall-clock (worker threads contend with the host).
+        perfNocSharded("noc_shard_16x16_s4_prof", 16, 4, 200'000,
+                       true),
         // Mega-mesh hot path (ISSUE 8): per-packet hop cost at 10^4
         // and 10^5 nodes, and raw kernel throughput at 10^6 timers.
         // Slower cadences / thinned senders keep the wall-clock
@@ -530,12 +548,14 @@ perfMain(const char *jsonPath, const char *checkPath)
         perfPhysicsStep("physics_steady_36", 2'000'000),
     };
 
-    double shardS1 = 0.0, shardS4 = 0.0;
+    double shardS1 = 0.0, shardS4 = 0.0, shardS4Prof = 0.0;
     for (const Result &r : results) {
         if (std::strcmp(r.name, "noc_shard_16x16_s1") == 0)
             shardS1 = r.packetsPerSec();
         if (std::strcmp(r.name, "noc_shard_16x16_s4") == 0)
             shardS4 = r.packetsPerSec();
+        if (std::strcmp(r.name, "noc_shard_16x16_s4_prof") == 0)
+            shardS4Prof = r.packetsPerSec();
     }
     if (shardS1 > 0.0) {
         std::printf("shard-scaling     noc_shard_16x16 s4/s1 = %.2fx "
@@ -568,6 +588,21 @@ perfMain(const char *jsonPath, const char *checkPath)
                         bad ? "  REGRESSION (>10% overhead)" : "");
             if (bad)
                 noteRegression("recording_overhead");
+        }
+        // Paired profiler gate: the superstep profiler charges clocks
+        // and bumps counters on every superstep, and the introspection
+        // plane's budget is 3% on the sharded hot path. Attached and
+        // detached twins come from the same invocation, so the bound
+        // holds on any machine without a recorded baseline.
+        if (shardS4 > 0.0) {
+            const double ratio = shardS4Prof / shardS4;
+            const bool bad = ratio < 0.97;
+            std::printf("perf-check %-18s %12.3e vs %12.3e  %+.1f%%%s\n",
+                        "profiler_overhead", shardS4Prof, shardS4,
+                        (ratio - 1.0) * 100.0,
+                        bad ? "  REGRESSION (>3% overhead)" : "");
+            if (bad)
+                noteRegression("profiler_overhead");
         }
         for (const Result &r : results) {
             // Multi-threaded shard entries (s2/s4/...) measure

@@ -20,16 +20,27 @@
  * a tuning artifact. Output is bit-identical for any
  * BLITZ_SWEEP_THREADS setting (ordered fold over streamSeed-derived
  * trials).
+ *
+ * `--metrics[=path]` / `--trace[=path]` / `--health[=path]` opt into
+ * the observability plane (see bench_obs.hpp); without the flags the
+ * printed numbers are byte-identical to a flag-free run.
  */
 
 #include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "bench_obs.hpp"
 #include "soc/pm_impl.hpp"
 #include "soc/scenarios.hpp"
 #include "soc/soc.hpp"
 #include "soc/throttler.hpp"
 #include "sweep/sweep.hpp"
+#include "trace/flush_guard.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 
 using namespace blitz;
 
@@ -45,6 +56,14 @@ struct Row
     int failures = 0;        ///< trials missing completion
     int leaks = 0;           ///< coin-conservation violations
 
+    /// --metrics: per-replication snapshot series, folded in order.
+    trace::MetricsSeries metrics;
+    /// --trace: (pid, tracer) per replication, absorbed after the fold.
+    std::vector<std::pair<std::uint32_t, std::shared_ptr<trace::Tracer>>>
+        tracers;
+    /// --health: per-replication outcome counters, folded in order.
+    trace::HealthReport health;
+
     void
     merge(Row &&o)
     {
@@ -54,11 +73,17 @@ struct Row
         railPeakMa.merge(o.railPeakMa);
         failures += o.failures;
         leaks += o.leaks;
+        if (!o.metrics.empty())
+            metrics.merge(o.metrics);
+        for (auto &t : o.tracers)
+            tracers.push_back(std::move(t));
+        health.absorb(o.health);
     }
 };
 
 Row
-runTrial(const soc::PhysicsConfig &phys, std::uint64_t seed)
+runTrial(const soc::PhysicsConfig &phys, std::uint64_t seed,
+         const bench::ObsOptions &obs, std::uint32_t pid)
 {
     soc::PmConfig pm;
     pm.kind = soc::PmKind::BlitzCoin;
@@ -66,6 +91,16 @@ runTrial(const soc::PhysicsConfig &phys, std::uint64_t seed)
     soc::Soc s(soc::make3x3AvSoc(), pm, seed);
     soc::PhysicsPlane plane(phys);
     s.attachPhysics(plane);
+    // Registry/tracer must outlive the Soc (samplers read its state
+    // until the event queue dies).
+    trace::Registry reg;
+    std::shared_ptr<trace::Tracer> tracer;
+    if (obs.metrics)
+        s.attachMetrics(&reg);
+    if (obs.trace) {
+        tracer = std::make_shared<trace::Tracer>();
+        s.attachTrace(tracer.get());
+    }
 
     const auto st = s.run(soc::avParallel(s.config()));
 
@@ -81,22 +116,34 @@ runTrial(const soc::PhysicsConfig &phys, std::uint64_t seed)
     auto &bc = dynamic_cast<soc::BlitzCoinPm &>(s.pm());
     if (bc.clusterCoins() != bc.scale().poolCoins)
         ++r.leaks;
+    if (obs.metrics)
+        r.metrics = reg.takeSeries();
+    if (obs.trace)
+        r.tracers.emplace_back(pid, std::move(tracer));
+    if (obs.health)
+        s.fillHealth(r.health);
     return r;
 }
 
 Row
 runScenario(const soc::PhysicsConfig &phys, int trials,
-            std::uint64_t rootSeed)
+            std::uint64_t rootSeed, const bench::ObsOptions &obs,
+            std::uint32_t pidBase, sweep::PoolStats *stats)
 {
     Row acc0;
     acc0.execUs.reserve(static_cast<std::size_t>(trials));
+    if (obs.trace)
+        acc0.tracers.reserve(static_cast<std::size_t>(trials));
+    sweep::SweepOptions opts;
+    opts.stats = stats;
     return sweep::runSweepFold<Row>(
         static_cast<std::size_t>(trials), rootSeed,
-        [&phys](std::size_t, std::uint64_t seed) {
-            return runTrial(phys, seed);
+        [&phys, &obs, pidBase](std::size_t i, std::uint64_t seed) {
+            return runTrial(phys, seed, obs,
+                            pidBase + static_cast<std::uint32_t>(i));
         },
         [](Row &acc, Row &r, std::size_t) { acc.merge(std::move(r)); },
-        std::move(acc0));
+        std::move(acc0), opts);
 }
 
 soc::PhysicsConfig
@@ -127,7 +174,7 @@ brownout(double limitMa, bool enforce)
 }
 
 void
-printRow(const char *kind, double param, bool enforce, Row row)
+printRow(const char *kind, double param, bool enforce, Row &row)
 {
     const bool any = row.execUs.count() > 0;
     std::printf("%-9s %8.1f %8s | %9.1f %6d | %8.2f %8.1f %9.1f %6d\n",
@@ -140,8 +187,9 @@ printRow(const char *kind, double param, bool enforce, Row row)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::ObsOptions obs = bench::parseObsFlags(argc, argv);
     bench::banner("Physics sweep",
                   "thermal-emergency and brownout response, throttler "
                   "enforced vs observed");
@@ -152,23 +200,70 @@ main()
     constexpr int trials = 6;
     constexpr std::uint64_t rootSeed = 2054;
 
-    std::uint64_t scenarioIdx = 0;
-    for (double tripC : {48.0, 50.0, 52.0}) {
-        for (bool enforce : {false, true}) {
-            printRow("thermal", tripC, enforce,
-                     runScenario(thermalEmergency(tripC, enforce),
-                                 trials,
-                                 sweep::streamSeed(rootSeed,
-                                                   scenarioIdx++)));
-        }
+    // One trace / health file for the whole run; metrics CSVs are
+    // per scenario (the snapshot schema is shared here, but keeping
+    // the bench_chaos convention makes the files self-describing).
+    trace::Tracer master;
+    trace::HealthReport healthAll;
+    sweep::PoolStats poolAll;
+    trace::FlushGuard::Registration crashFlush;
+    trace::FlushGuard::Registration healthFlush;
+    if (obs.any())
+        trace::FlushGuard::installSignalHandlers();
+    if (obs.trace)
+        crashFlush =
+            trace::FlushGuard::guardTracer(master, obs.tracePath);
+    if (obs.health) {
+        healthAll.setRun("bench_thermal");
+        healthFlush = trace::FlushGuard::guardHealth(healthAll,
+                                                     obs.healthPath);
     }
-    for (double limitMa : {120.0, 100.0, 80.0}) {
-        for (bool enforce : {false, true}) {
-            printRow("brownout", limitMa, enforce,
-                     runScenario(brownout(limitMa, enforce), trials,
-                                 sweep::streamSeed(rootSeed,
-                                                   scenarioIdx++)));
+
+    std::uint64_t scenarioIdx = 0;
+    auto finishRow = [&](const char *kind, Row &row) {
+        if (obs.metrics && !row.metrics.empty()) {
+            char tag[48];
+            std::snprintf(tag, sizeof tag, "s%02u-%s",
+                          static_cast<unsigned>(scenarioIdx), kind);
+            bench::writeMetricsCsv(row.metrics,
+                                   bench::tagPath(obs.metricsPath, tag));
         }
+        for (const auto &[pid, t] : row.tracers)
+            if (t)
+                master.absorb(*t, pid);
+        healthAll.absorb(row.health);
+    };
+    auto runOne = [&](const char *kind, double param, bool enforce,
+                      const soc::PhysicsConfig &phys) {
+        const auto pidBase = static_cast<std::uint32_t>(scenarioIdx) *
+                             static_cast<std::uint32_t>(trials);
+        sweep::PoolStats pool;
+        Row row = runScenario(phys, trials,
+                              sweep::streamSeed(rootSeed, scenarioIdx),
+                              obs, pidBase,
+                              obs.health ? &pool : nullptr);
+        if (obs.health)
+            poolAll.merge(pool);
+        printRow(kind, param, enforce, row);
+        finishRow(kind, row);
+        ++scenarioIdx;
+    };
+    for (double tripC : {48.0, 50.0, 52.0})
+        for (bool enforce : {false, true})
+            runOne("thermal", tripC, enforce,
+                   thermalEmergency(tripC, enforce));
+    for (double limitMa : {120.0, 100.0, 80.0})
+        for (bool enforce : {false, true})
+            runOne("brownout", limitMa, enforce,
+                   brownout(limitMa, enforce));
+    if (obs.trace) {
+        crashFlush.release();
+        bench::writeTraceJson(master, obs.tracePath);
+    }
+    if (obs.health) {
+        healthFlush.release();
+        bench::fillSweepHealth(healthAll, poolAll);
+        bench::writeHealthJson(healthAll, obs.healthPath);
     }
     std::printf("\nObserve rows integrate the same physics without "
                 "actuating, so their peak C column is the uncontrolled "

@@ -9,7 +9,9 @@
 #include "record/recorder.hpp"
 #include "sim/digest.hpp"
 #include "sim/logging.hpp"
+#include "trace/health.hpp"
 #include "trace/metrics.hpp"
+#include "trace/prof.hpp"
 #include "trace/tracer.hpp"
 
 namespace blitz::fault {
@@ -403,6 +405,103 @@ ChaosCluster::runUntilConverged(double tol, sim::Tick checkEvery,
             return eq_.now();
     }
     return std::nullopt;
+}
+
+void
+ChaosCluster::fillHealth(trace::HealthReport &report) const
+{
+    // Everything here is deterministic in (config, seed): outcome
+    // counters, not timings. blitz-top diff treats any drift in these
+    // keys as a finding.
+    const blitzcoin::AuditReport snap = audit_.audit();
+    report.bumpDet("coin.total", static_cast<double>(snap.counted));
+    report.bumpDet("coin.expected",
+                   static_cast<double>(snap.expected));
+    report.bumpDet("coin.gap", static_cast<double>(snap.gap));
+    report.bumpDet("audit.gaps_closed",
+                   static_cast<double>(audit_.gapsClosed()));
+    report.bumpDet("audit.minted",
+                   static_cast<double>(audit_.coinsMinted()));
+    report.bumpDet("audit.burned",
+                   static_cast<double>(audit_.coinsBurned()));
+
+    std::uint64_t initiated = 0;
+    std::uint64_t moved = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t shunned = 0;
+    std::uint64_t throttledDrops = 0;
+    std::uint64_t crashed = 0;
+    std::uint64_t quarantined = 0;
+    for (const auto &u : units_) {
+        initiated += u->exchangesInitiated();
+        moved += u->exchangesMoved();
+        timedOut += u->exchangesTimedOut();
+        recoveries += u->recoveriesSent();
+        shunned += u->shunnedDrops();
+        throttledDrops += u->throttledDrops();
+        crashed += u->crashed() ? 1 : 0;
+        quarantined += u->quarantined() ? 1 : 0;
+    }
+    report.bumpDet("units", static_cast<double>(units_.size()));
+    report.bumpDet("units.crashed", static_cast<double>(crashed));
+    report.bumpDet("units.quarantined",
+                   static_cast<double>(quarantined));
+    report.bumpDet("exchanges.initiated",
+                   static_cast<double>(initiated));
+    report.bumpDet("exchanges.moved", static_cast<double>(moved));
+    report.bumpDet("exchanges.timed_out",
+                   static_cast<double>(timedOut));
+    report.bumpDet("exchanges.recoveries",
+                   static_cast<double>(recoveries));
+    report.bumpDet("exchanges.shunned_drops",
+                   static_cast<double>(shunned));
+    report.bumpDet("exchanges.throttled_drops",
+                   static_cast<double>(throttledDrops));
+
+    if (guardian_) {
+        report.bumpDet("guardian.sweeps",
+                       static_cast<double>(guardian_->sweepsRun()));
+        report.bumpDet("guardian.detections",
+                       static_cast<double>(guardian_->detections()));
+        report.bumpDet("guardian.warnings",
+                       static_cast<double>(guardian_->warnings()));
+        report.bumpDet("guardian.throttles",
+                       static_cast<double>(guardian_->throttles()));
+        report.bumpDet("guardian.quarantines",
+                       static_cast<double>(guardian_->quarantines()));
+    }
+
+    const FaultStats fs = plane_.stats();
+    report.bumpDet("fault.drops", static_cast<double>(fs.drops));
+    report.bumpDet("fault.delays", static_cast<double>(fs.delays));
+    report.bumpDet("fault.duplicates",
+                   static_cast<double>(fs.duplicates));
+    report.bumpDet("fault.corruptions",
+                   static_cast<double>(fs.corruptions));
+    report.bumpDet("fault.outage_drops",
+                   static_cast<double>(fs.outageDrops));
+    report.bumpDet("fault.partition_drops",
+                   static_cast<double>(fs.partitionDrops));
+
+    report.bumpDet("noc.sent", static_cast<double>(net_.packetsSent()));
+    report.bumpDet("noc.delivered",
+                   static_cast<double>(net_.packetsDelivered()));
+    report.bumpDet("noc.dropped",
+                   static_cast<double>(net_.packetsDropped()));
+    report.bumpDet("noc.hops", static_cast<double>(net_.totalHops()));
+
+    trace::fillQueueHealth(report, eq_);
+    if (group_) {
+        report.bumpDet("shard.count",
+                       static_cast<double>(group_->shards()));
+        report.bumpDet("shard.epochs",
+                       static_cast<double>(group_->epochs()));
+        report.bumpDet("shard.cross_events",
+                       static_cast<double>(group_->crossEvents()));
+    }
+    if (cfg_.arena)
+        trace::fillArenaHealth(report, *cfg_.arena);
 }
 
 blitzcoin::AuditReport

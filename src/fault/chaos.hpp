@@ -27,6 +27,7 @@
 #include "sim/shard.hpp"
 
 namespace blitz::trace {
+class HealthReport;
 class Registry;
 class Tracer;
 }
@@ -190,6 +191,16 @@ class ChaosCluster
     void attachRecorder(record::FlightRecorder *rec,
                         record::ProvenanceLedger *prov = nullptr,
                         sim::Tick snapshotEvery = 0);
+
+    /**
+     * Sum the cluster's deterministic outcome counters into
+     * @p report's deterministic section: coin conservation (total vs
+     * expected), audit remints/burns, per-ladder guardian counts,
+     * fault-plane and NoC totals, unit exchange/recovery sums,
+     * crashed/quarantined populations, and the event-kernel and shard
+     * gauges. bump/max-folds, so one report can aggregate many trials.
+     */
+    void fillHealth(trace::HealthReport &report) const;
 
     /** One audit watchdog sweep (mint/burn any gap). */
     blitzcoin::AuditReport reconcile() { return audit_.reconcile(); }

@@ -13,6 +13,9 @@ Arena::allocate(std::size_t bytes, std::size_t align)
             const std::size_t aligned = (off_ + align - 1) & ~(align - 1);
             if (aligned + bytes <= c.size) {
                 off_ = aligned + bytes;
+                used_ += bytes;
+                if (used_ > usedHighWater_)
+                    usedHighWater_ = used_;
                 return c.mem.get() + aligned;
             }
             // Chunk exhausted (or too small for this request): move on.

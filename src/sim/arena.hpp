@@ -61,6 +61,7 @@ class Arena
     {
         cur_ = 0;
         off_ = 0;
+        used_ = 0;
         ++epoch_;
     }
 
@@ -86,6 +87,18 @@ class Arena
         return reserved_;
     }
 
+    /** Payload bytes served since the last reset(). */
+    std::size_t bytesUsed() const { return used_; }
+
+    /**
+     * Largest bytesUsed() any epoch reached — the arena-pressure gauge
+     * the introspection plane reports. Survives reset() on purpose:
+     * sweep replications reset between trials, and the interesting
+     * number is the worst trial. Deterministic (a pure function of the
+     * allocation sequence, alignment padding excluded).
+     */
+    std::size_t bytesHighWater() const { return usedHighWater_; }
+
   private:
     struct Chunk
     {
@@ -98,6 +111,8 @@ class Arena
     std::size_t cur_ = 0;      ///< index of the chunk being bumped
     std::size_t off_ = 0;      ///< bump offset within chunks_[cur_]
     std::size_t reserved_ = 0; ///< sum of chunk sizes
+    std::size_t used_ = 0;     ///< payload bytes served this epoch
+    std::size_t usedHighWater_ = 0; ///< max used_ across epochs
     std::uint64_t epoch_ = 0;
 };
 

@@ -288,6 +288,14 @@ EventQueue::refillBatch(Tick limit)
             now_ = t;
             batchTick_ = t;
             batchIdx_ = k;
+            // Introspection high-water marks, maintained here (once
+            // per drained tick) instead of on the schedule path so the
+            // hot enqueue stays untouched. entryCount_ still includes
+            // this whole batch at this point.
+            if (entryCount_ > depthHighWater_)
+                depthHighWater_ = entryCount_;
+            if (batch_.size() - k > batchHighWater_)
+                batchHighWater_ = batch_.size() - k;
             return true;
         }
         if (far_.empty())

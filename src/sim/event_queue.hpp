@@ -382,6 +382,37 @@ class EventQueue
     }
 
     /**
+     * Pending-entry high-water mark, sampled at batch refill (tick
+     * granularity — a within-tick burst that drains before the next
+     * refill is invisible, which is exactly the resolution the
+     * introspection plane needs). Deterministic: a pure function of
+     * the schedule, never of wall-clock. Max over leaves on a sharded
+     * anchor.
+     */
+    std::size_t
+    depthHighWater() const
+    {
+        if (!bind_.group)
+            return depthHighWater_;
+        std::size_t hw = 0;
+        for (std::uint32_t s = 0; s <= bind_.shardCount; ++s)
+            hw = std::max(hw, bind_.leaves[s]->depthHighWater_);
+        return hw;
+    }
+
+    /** Largest same-tick batch ever drained (max over leaves). */
+    std::size_t
+    batchHighWater() const
+    {
+        if (!bind_.group)
+            return batchHighWater_;
+        std::size_t hw = 0;
+        for (std::uint32_t s = 0; s <= bind_.shardCount; ++s)
+            hw = std::max(hw, bind_.leaves[s]->batchHighWater_);
+        return hw;
+    }
+
+    /**
      * Turn this queue into the anchor of a shard group (or detach it
      * again when @p b.group is null). The anchor must be empty: its
      * own heap never holds events while bound — every scheduling call
@@ -825,6 +856,8 @@ class EventQueue
     std::size_t cancelledTokens_ = 0;
     std::uint64_t scheduledTotal_ = 0;
     std::uint64_t executedTotal_ = 0;
+    std::size_t depthHighWater_ = 0; ///< entryCount_ max, per refill
+    std::size_t batchHighWater_ = 0; ///< largest same-tick batch
     std::uint64_t arenaEpoch_ = 0; ///< arena epoch at first chunk
     ShardBinding bind_{};          ///< anchor routing (group == null
                                    ///< on plain queues and leaves)

@@ -1,12 +1,63 @@
 #include "shard.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
 #include "logging.hpp"
 
 namespace blitz::sim {
+
+namespace {
+
+/** Monotonic wall-clock in ns — profiler accounting only. */
+inline std::uint64_t
+probeNow()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+void
+ShardProbe::init(std::uint32_t shardCount, std::uint32_t sampleStride,
+                 std::uint32_t maxSampleRows)
+{
+    shards.assign(shardCount, Shard{});
+    drain = Phase{};
+    serial = Phase{};
+    mailbox.assign(static_cast<std::size_t>(shardCount) * shardCount,
+                   0);
+    supersteps = fastPath = barriers = 0;
+    stride = sampleStride;
+    sinceSample = 0;
+    rows = 0;
+    maxRows = stride ? std::max<std::uint32_t>(maxSampleRows, 2) : 0;
+    sampleTick.assign(maxRows, 0);
+    samples.assign(static_cast<std::size_t>(maxRows) * shardCount,
+                   Sample{});
+}
+
+double
+ShardProbe::imbalance() const
+{
+    std::uint64_t lo = ~std::uint64_t{0};
+    std::uint64_t hi = 0;
+    for (const Shard &s : shards) {
+        lo = std::min(lo, s.execute.ns);
+        hi = std::max(hi, s.execute.ns);
+    }
+    if (shards.empty() || hi == 0)
+        return 1.0;
+    // An idle shard would make the ratio infinite; clamp the floor to
+    // one nanosecond so the number stays finite and screams anyway.
+    return static_cast<double>(hi) /
+           static_cast<double>(std::max<std::uint64_t>(lo, 1));
+}
 
 std::uint32_t
 defaultShards()
@@ -79,6 +130,7 @@ ShardGroup::ShardGroup(EventQueue &anchor, std::uint32_t shards,
     shardActive_.assign(shards_, 0);
     workerSeq_.assign(shards_, 0);
     phaseExecuted_.assign(shards_, 0);
+    phaseNs_.assign(shards_, 0);
 
     ShardBinding b;
     b.group = this;
@@ -146,6 +198,78 @@ ShardGroup::runUntilHook(ShardGroup *g, Tick limit)
     return g->runUntilImpl(limit);
 }
 
+void
+ShardGroup::attachProbe(ShardProbe *probe)
+{
+    if (probe && probe->shards.size() != shards_)
+        probe->init(shards_, probe->stride,
+                    probe->maxRows ? probe->maxRows : 1024);
+    // Publish under the barrier mutex: workers only read probe_ after
+    // an acquire of mu_ that the next phase hand-off forces, so no
+    // worker can observe a torn or stale pointer mid-phase.
+    std::lock_guard<std::mutex> lk(mu_);
+    probe_ = probe;
+    std::fill(phaseNs_.begin(), phaseNs_.end(), 0);
+}
+
+/** Fold one barrier superstep's per-shard timings into the probe. */
+void
+ShardGroup::probeBarrier(std::uint64_t spanNs)
+{
+    ShardProbe &p = *probe_;
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+        if (!shardActive_[s] && phaseNs_[s] == 0)
+            continue;
+        const std::uint64_t exec = phaseNs_[s];
+        ShardProbe::Shard &slot = p.shards[s];
+        slot.execute.ns += exec;
+        ++slot.execute.count;
+        slot.barrier.ns += spanNs > exec ? spanNs - exec : 0;
+        ++slot.barrier.count;
+        slot.executed += phaseExecuted_[s];
+        phaseNs_[s] = 0;
+        phaseExecuted_[s] = 0;
+    }
+    ++p.barriers;
+}
+
+void
+ShardGroup::probeSample(Tick t)
+{
+    ShardProbe &p = *probe_;
+    p.sinceSample = 0;
+    if (p.rows == p.maxRows) {
+        // Buffer full: keep every other row (cumulative rows make the
+        // thinning lossless for trends) and halve the cadence. All in
+        // place — the steady loop never allocates.
+        for (std::uint32_t r = 1; r * 2 < p.rows; ++r) {
+            p.sampleTick[r] = p.sampleTick[r * 2];
+            for (std::uint32_t s = 0; s < shards_; ++s)
+                p.samples[static_cast<std::size_t>(r) * shards_ + s] =
+                    p.samples[static_cast<std::size_t>(r) * 2 *
+                                  shards_ +
+                              s];
+        }
+        p.rows = (p.rows + 1) / 2;
+        p.stride *= 2;
+    }
+    const std::uint32_t row = p.rows++;
+    p.sampleTick[row] = t;
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+        ShardProbe::Sample &smp =
+            p.samples[static_cast<std::size_t>(row) * shards_ + s];
+        const ShardProbe::Shard &slot = p.shards[s];
+        smp.execNs = slot.execute.ns;
+        smp.barrierNs = slot.barrier.ns;
+        smp.executed = slot.executed;
+        std::uint64_t inbox = 0;
+        for (std::uint32_t src = 0; src < shards_; ++src)
+            inbox += p.mailbox[static_cast<std::size_t>(src) * shards_ +
+                               s];
+        smp.inbox = inbox;
+    }
+}
+
 std::uint64_t
 ShardGroup::runShardPhase(std::uint32_t shard, Tick t)
 {
@@ -167,6 +291,7 @@ ShardGroup::runShardPhase(std::uint32_t shard, Tick t)
 void
 ShardGroup::drainMail()
 {
+    const std::uint64_t t0 = probe_ ? probeNow() : 0;
     // Fixed (src, dst) drain order — though the order is cosmetic:
     // every entry carries its full partition-independent sort key, so
     // the leaf heap produces the same execution order no matter how
@@ -180,8 +305,16 @@ ShardGroup::drainMail()
                 leafPtrs_[dst]->scheduleRaw(e.when, e.ord, e.locus,
                                             e.invoke, e.buf, e.bytes);
             crossEvents_ += box.size();
+            if (probe_)
+                probe_->mailbox[static_cast<std::size_t>(src) *
+                                    shards_ +
+                                dst] += box.size();
             box.clear(); // keeps capacity: steady state allocates nothing
         }
+    }
+    if (probe_) {
+        probe_->drain.ns += probeNow() - t0;
+        ++probe_->drain.count;
     }
 }
 
@@ -204,10 +337,17 @@ ShardGroup::workerMain(std::uint32_t shard)
             return;
         seenSeq = workerSeq_[shard];
         const Tick t = epochTick_;
+        const ShardProbe *probe = probe_; // read under mu_
         lk.unlock();
+        const std::uint64_t t0 = probe ? probeNow() : 0;
         const std::uint64_t n = runShardPhase(shard, t);
+        // Clamp to >= 1 ns so probeBarrier can tell "ran and measured
+        // zero" from "did not run" without another flag array.
+        const std::uint64_t ns =
+            probe ? std::max<std::uint64_t>(probeNow() - t0, 1) : 0;
         lk.lock();
         phaseExecuted_[shard] = n;
+        phaseNs_[shard] = ns;
         if (--pendingWorkers_ == 0)
             doneCv_.notify_one();
     }
@@ -247,11 +387,24 @@ ShardGroup::runUntilImpl(Tick limit)
             ++epochs_;
             const Tick stop = std::min(ts, limit);
             epochTick_ = stop;
+            std::uint64_t t0 = probe_ ? probeNow() : 0;
             tls = &ctx;
             leaf->setContext(&ctx);
-            executed += leaf->runUntil(stop);
+            const std::uint64_t n = leaf->runUntil(stop);
+            executed += n;
             leaf->setContext(nullptr);
             tls = saved;
+            if (probe_) {
+                ShardProbe::Shard &slot = probe_->shards[0];
+                slot.execute.ns += probeNow() - t0;
+                ++slot.execute.count;
+                slot.executed += n;
+                ++probe_->supersteps;
+                ++probe_->fastPath;
+                if (probe_->stride &&
+                    ++probe_->sinceSample >= probe_->stride)
+                    probeSample(stop);
+            }
             if (ts > limit)
                 break;
             // Serial events at ts may schedule leaf events back at
@@ -263,11 +416,16 @@ ShardGroup::runUntilImpl(Tick limit)
             sctx.shard = shards_;
             sctx.locus = nodeCount_;
             sctx.serial = true;
+            t0 = probe_ ? probeNow() : 0;
             tls = &sctx;
             serial->setContext(&sctx);
             executed += serial->runUntil(ts);
             serial->setContext(nullptr);
             tls = saved;
+            if (probe_) {
+                probe_->serial.ns += probeNow() - t0;
+                ++probe_->serial.count;
+            }
         }
         leaf->advanceTo(limit);
         serial->advanceTo(limit);
@@ -300,7 +458,16 @@ ShardGroup::runUntilImpl(Tick limit)
             // Fast path: one shard has work at this tick — run it
             // inline, no barrier, no worker wakeups. Sparse-traffic
             // phases (most of a chaos run) live here.
-            executed += runShardPhase(first, t);
+            const std::uint64_t t0 = probe_ ? probeNow() : 0;
+            const std::uint64_t n = runShardPhase(first, t);
+            executed += n;
+            if (probe_) {
+                ShardProbe::Shard &slot = probe_->shards[first];
+                slot.execute.ns += probeNow() - t0;
+                ++slot.execute.count;
+                slot.executed += n;
+                ++probe_->fastPath;
+            }
             drainMail();
         } else if (active > 1) {
             shardActive_[first] = 0; // driven inline below
@@ -313,7 +480,12 @@ ShardGroup::runUntilImpl(Tick limit)
                         workerSeq_[s] = phaseSeq_;
             }
             workCv_.notify_all();
-            executed += runShardPhase(first, t);
+            const std::uint64_t t0 = probe_ ? probeNow() : 0;
+            const std::uint64_t firstN = runShardPhase(first, t);
+            const std::uint64_t firstNs =
+                probe_ ? std::max<std::uint64_t>(probeNow() - t0, 1)
+                       : 0;
+            executed += firstN;
             {
                 std::unique_lock<std::mutex> lk(mu_);
                 doneCv_.wait(lk,
@@ -321,6 +493,14 @@ ShardGroup::runUntilImpl(Tick limit)
                 for (std::uint32_t s = 0; s < shards_; ++s)
                     if (shardActive_[s])
                         executed += phaseExecuted_[s];
+                if (probe_) {
+                    // The barrier span is dispatch-to-drain as the
+                    // main thread saw it; per-shard barrier wait is
+                    // span minus own execute time.
+                    phaseNs_[first] = firstNs;
+                    phaseExecuted_[first] = firstN;
+                    probeBarrier(probeNow() - t0);
+                }
             }
             drainMail();
         }
@@ -335,11 +515,22 @@ ShardGroup::runUntilImpl(Tick limit)
             ctx.serial = true;
             ShardContext *&tls = tlsShardContext();
             ShardContext *saved = tls;
+            const std::uint64_t t0 = probe_ ? probeNow() : 0;
             tls = &ctx;
             serial->setContext(&ctx);
             executed += serial->runUntil(t);
             serial->setContext(nullptr);
             tls = saved;
+            if (probe_) {
+                probe_->serial.ns += probeNow() - t0;
+                ++probe_->serial.count;
+            }
+        }
+        if (probe_) {
+            ++probe_->supersteps;
+            if (probe_->stride &&
+                ++probe_->sinceSample >= probe_->stride)
+                probeSample(t);
         }
         // A serial event may have scheduled *at* tick t again (audit
         // repair via LocusScope): the loop re-derives t and repeats

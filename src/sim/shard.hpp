@@ -56,6 +56,79 @@ std::vector<std::uint32_t> columnBands(std::uint32_t width,
                                        std::uint32_t shards);
 
 /**
+ * Raw accounting slots for the superstep profiler (the data half; the
+ * exporter lives in trace/prof.hpp so sim keeps its no-upward-deps
+ * layering). Attach to a ShardGroup *before* running; the group then
+ * pays one pointer check per phase when detached and a handful of
+ * steady-clock reads per superstep when attached — never an
+ * allocation (everything here is sized by init()).
+ *
+ * Determinism contract: every wall-clock field (the Phase::ns slots)
+ * is write-only from the simulator's point of view — nothing ever
+ * reads it back into a scheduling decision — so an attached probe is
+ * digest-identical to a detached run. The event/mailbox counters and
+ * the sample *cadence* (counted in supersteps) are pure functions of
+ * the schedule and therefore deterministic.
+ */
+struct ShardProbe
+{
+    /** One accumulated timing slot. */
+    struct Phase
+    {
+        std::uint64_t ns = 0;    ///< wall-clock total (nondeterministic)
+        std::uint64_t count = 0; ///< times the phase ran (deterministic)
+    };
+
+    /** Per-shard accumulators. */
+    struct Shard
+    {
+        Phase execute; ///< parallel-phase event execution
+        Phase barrier; ///< idle at the superstep barrier (span - exec)
+        std::uint64_t executed = 0; ///< events run in parallel phases
+    };
+
+    /** One sampled row: cumulative per-shard counters at a tick. */
+    struct Sample
+    {
+        std::uint64_t execNs = 0;
+        std::uint64_t barrierNs = 0;
+        std::uint64_t executed = 0;
+        std::uint64_t inbox = 0; ///< cross events delivered to shard
+    };
+
+    std::vector<Shard> shards;
+    Phase drain;  ///< mailbox drain (main thread, between phases)
+    Phase serial; ///< serial observer lane
+    /** Cross events by (src, dst): [src * shards + dst]. */
+    std::vector<std::uint64_t> mailbox;
+    std::uint64_t supersteps = 0;
+    std::uint64_t fastPath = 0; ///< single-active-shard supersteps
+    std::uint64_t barriers = 0; ///< multi-active (barrier) supersteps
+
+    // Time-series sampling into preallocated rows. When the buffer
+    // fills, every other row is dropped in place and the stride
+    // doubles — cumulative rows make that lossless for trends, and
+    // the steady loop stays allocation-free.
+    std::uint32_t stride = 0;      ///< supersteps per sample; 0 = off
+    std::uint32_t sinceSample = 0;
+    std::uint32_t rows = 0;
+    std::uint32_t maxRows = 0;
+    std::vector<Tick> sampleTick;
+    std::vector<Sample> samples; ///< maxRows x shards, row-major
+
+    /**
+     * Size every slot for @p shardCount shards and reset all counts.
+     * @param sampleStride supersteps between sample rows (0 disables).
+     * @param maxSampleRows sample-buffer capacity (rounded up to 2).
+     */
+    void init(std::uint32_t shardCount, std::uint32_t sampleStride = 0,
+              std::uint32_t maxSampleRows = 1024);
+
+    /** Largest / smallest per-shard execute time ratio (>= 1). */
+    double imbalance() const;
+};
+
+/**
  * Owner of the sharded execution state: the leaf queues and their
  * arenas, the per-locus ordering counters, the mailboxes, and the
  * worker threads. Construction binds the anchor queue (which must be
@@ -106,6 +179,25 @@ class ShardGroup
     /** Events that crossed a shard boundary through a mailbox. */
     std::uint64_t crossEvents() const { return crossEvents_; }
 
+    /**
+     * Attach the superstep profiler's accounting slots (nullptr
+     * detaches). Call between runs only — never from inside a
+     * superstep. The probe is init()-ed for this group's shard count
+     * if the caller has not done so already (preserving its sampling
+     * knobs), and must outlive the attachment.
+     */
+    void attachProbe(ShardProbe *probe);
+
+    /** The attached probe, or nullptr. */
+    const ShardProbe *probe() const { return probe_; }
+
+    /** Leaf queue of shard @p s (index shards() = the serial lane). */
+    const EventQueue &
+    leaf(std::uint32_t s) const
+    {
+        return *leafPtrs_[s];
+    }
+
   private:
     /**
      * A boundary-crossing event parked until the next barrier: the
@@ -141,6 +233,8 @@ class ShardGroup
     std::uint64_t runShardPhase(std::uint32_t shard, Tick t);
     void drainMail();
     void workerMain(std::uint32_t shard);
+    void probeBarrier(std::uint64_t spanNs);
+    void probeSample(Tick t);
 
     EventQueue &anchor_;
     std::uint32_t shards_;
@@ -169,11 +263,16 @@ class ShardGroup
     /// slow to wake could otherwise re-read a superstep late.
     std::vector<std::uint64_t> workerSeq_;
     std::vector<std::uint64_t> phaseExecuted_;
+    /// Per-shard phase wall time (ns), written like phaseExecuted_:
+    /// by the owning worker under mu_, read by the main thread after
+    /// the barrier. Only maintained while a probe is attached.
+    std::vector<std::uint64_t> phaseNs_;
     std::vector<std::thread> workers_; ///< shards_ - 1 (shard 0 is
                                        ///< driven by the caller)
 
     std::uint64_t epochs_ = 0;
     std::uint64_t crossEvents_ = 0;
+    ShardProbe *probe_ = nullptr; ///< not owned; null = detached
 };
 
 } // namespace blitz::sim

@@ -4,7 +4,9 @@
 
 #include "record/recorder.hpp"
 #include "sim/logging.hpp"
+#include "trace/health.hpp"
 #include "trace/metrics.hpp"
+#include "trace/prof.hpp"
 #include "trace/tracer.hpp"
 
 namespace blitz::soc {
@@ -198,6 +200,44 @@ Soc::totalAccelPowerMw() const
     for (const auto &t : tileStore_)
         total += t->powerMw();
     return total;
+}
+
+void
+Soc::fillHealth(trace::HealthReport &report) const
+{
+    report.bumpDet("soc.tasks_completed",
+                   static_cast<double>(tasksCompleted_));
+    report.bumpDet("noc.sent",
+                   static_cast<double>(net_->packetsSent()));
+    report.bumpDet("noc.delivered",
+                   static_cast<double>(net_->packetsDelivered()));
+    report.bumpDet("noc.dropped",
+                   static_cast<double>(net_->packetsDropped()));
+    report.bumpDet("noc.hops", static_cast<double>(net_->totalHops()));
+    if (fault_) {
+        const fault::FaultStats fs = fault_->stats();
+        report.bumpDet("fault.drops", static_cast<double>(fs.drops));
+        report.bumpDet("fault.delays", static_cast<double>(fs.delays));
+        report.bumpDet("fault.duplicates",
+                       static_cast<double>(fs.duplicates));
+        report.bumpDet("fault.corruptions",
+                       static_cast<double>(fs.corruptions));
+        report.bumpDet("fault.outage_drops",
+                       static_cast<double>(fs.outageDrops));
+        report.bumpDet("fault.partition_drops",
+                       static_cast<double>(fs.partitionDrops));
+    }
+    if (physics_)
+        physics_->fillHealth(report);
+    trace::fillQueueHealth(report, eq_);
+    if (group_) {
+        report.bumpDet("shard.count",
+                       static_cast<double>(group_->shards()));
+        report.bumpDet("shard.epochs",
+                       static_cast<double>(group_->epochs()));
+        report.bumpDet("shard.cross_events",
+                       static_cast<double>(group_->crossEvents()));
+    }
 }
 
 void

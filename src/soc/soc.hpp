@@ -32,6 +32,7 @@
 #include "workload/trace.hpp"
 
 namespace blitz::trace {
+class HealthReport;
 class Registry;
 class Tracer;
 }
@@ -176,6 +177,14 @@ class Soc
 
     /** Sum of instantaneous accelerator power (mW). */
     double totalAccelPowerMw() const;
+
+    /**
+     * Sum the instance's deterministic outcome counters into
+     * @p report: NoC totals, event-kernel gauges, shard gauges, fault
+     * totals when a plane is installed, and throttle residency when a
+     * physics plane is attached. Call after run().
+     */
+    void fillHealth(trace::HealthReport &report) const;
 
   private:
     void dispatchReady();

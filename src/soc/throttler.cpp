@@ -7,6 +7,7 @@
 #include "record/recorder.hpp"
 #include "sim/logging.hpp"
 #include "tile.hpp"
+#include "trace/health.hpp"
 
 namespace blitz::soc {
 
@@ -230,6 +231,10 @@ PhysicsPlane::step(double dtNs, sim::Tick now)
     rails_->update(powerMw_.data());
 
     if (!cfg_.enforce) {
+        // No caps can be asserted, but keep the residency bookkeeping
+        // uniform so an observer-mode report reads all-zero instead of
+        // missing.
+        throttleResidency_ += arbiter_->throttledCount();
         ++stepCount_;
         return;
     }
@@ -280,7 +285,32 @@ PhysicsPlane::step(double dtNs, sim::Tick now)
         }
     }
 
+    // 7. Residency: tile-steps spent under any cap and steps spent
+    //    with the board latch engaged. Deterministic (pure function of
+    //    the schedule), so HealthReport diffs catch a run whose
+    //    throttle behavior drifted even when the final counters agree.
+    throttleResidency_ += arbiter_->throttledCount();
+    if (boardOver_)
+        ++boardLatchResidency_;
     ++stepCount_;
+}
+
+void
+PhysicsPlane::fillHealth(trace::HealthReport &report) const
+{
+    report.bumpDet("physics.steps", static_cast<double>(stepCount_));
+    report.bumpDet("physics.throttle.residency",
+                   static_cast<double>(throttleResidency_));
+    report.bumpDet("physics.board.residency",
+                   static_cast<double>(boardLatchResidency_));
+    report.bumpDet("physics.throttle.engages",
+                   static_cast<double>(arbiter_->engages()));
+    report.bumpDet("physics.throttle.releases",
+                   static_cast<double>(arbiter_->releases()));
+    report.bumpDet("physics.throttle.updates",
+                   static_cast<double>(arbiter_->updates()));
+    report.maxDet("physics.peak_temp_c", peakTempC_);
+    report.maxDet("physics.total_power_mw", totalMw_);
 }
 
 } // namespace blitz::soc

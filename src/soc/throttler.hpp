@@ -48,6 +48,10 @@ namespace blitz::record {
 class FlightRecorder;
 }
 
+namespace blitz::trace {
+class HealthReport;
+}
+
 namespace blitz::soc {
 
 class AcceleratorTile;
@@ -268,6 +272,26 @@ class PhysicsPlane
 
     std::uint64_t steps() const { return stepCount_; }
 
+    /**
+     * Tile-steps spent under any cap (sum of throttledCount() over
+     * every step). Deterministic: a residency drift between two runs
+     * of the same scenario is a real behavioral difference.
+     */
+    std::uint64_t throttleResidency() const { return throttleResidency_; }
+
+    /** Steps spent with the board-TDP latch engaged. */
+    std::uint64_t boardLatchResidency() const
+    {
+        return boardLatchResidency_;
+    }
+
+    /**
+     * Deterministic throttle/latch outcome counters into @p report
+     * ("physics.*" keys; residency, engage/release/update totals,
+     * peak temperature and power as max-folded gauges).
+     */
+    void fillHealth(trace::HealthReport &report) const;
+
   private:
     void assertCap(std::size_t tile, ThrottleSource src, double capMhz,
                    sim::Tick now);
@@ -291,6 +315,8 @@ class PhysicsPlane
     double totalMw_ = 0.0;
     double peakTempC_ = 0.0;
     std::uint64_t stepCount_ = 0;
+    std::uint64_t throttleResidency_ = 0;
+    std::uint64_t boardLatchResidency_ = 0;
 };
 
 } // namespace blitz::soc

@@ -32,6 +32,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
@@ -75,11 +76,59 @@ streamSeed(std::uint64_t rootSeed, std::uint64_t index)
  */
 std::size_t defaultThreads();
 
+/**
+ * Wall-clock utilization of one sweep's worker pool, filled by
+ * runSweep() when SweepOptions::stats points here. Strictly an
+ * introspection output: nothing in the sweep's results depends on it,
+ * so the determinism contract is untouched (the HealthReport files it
+ * under the nondeterministic wall-clock section).
+ */
+struct PoolStats
+{
+    std::size_t threads = 0;       ///< workers the sweep actually used
+    std::uint64_t replications = 0;
+    double wallSeconds = 0.0;      ///< dispatch-to-drain span
+    std::vector<double> workerBusySeconds; ///< per worker, fn() time
+
+    double
+    busySeconds() const
+    {
+        double s = 0.0;
+        for (double b : workerBusySeconds)
+            s += b;
+        return s;
+    }
+
+    /** busy / (threads * wall); 1.0 = perfectly packed pool. */
+    double
+    utilization() const
+    {
+        const double denom =
+            static_cast<double>(threads) * wallSeconds;
+        return denom > 0.0 ? busySeconds() / denom : 0.0;
+    }
+
+    /** Fold another sweep's stats in (bench runs many scenarios). */
+    void
+    merge(const PoolStats &o)
+    {
+        threads = std::max(threads, o.threads);
+        replications += o.replications;
+        wallSeconds += o.wallSeconds;
+        if (workerBusySeconds.size() < o.workerBusySeconds.size())
+            workerBusySeconds.resize(o.workerBusySeconds.size(), 0.0);
+        for (std::size_t i = 0; i < o.workerBusySeconds.size(); ++i)
+            workerBusySeconds[i] += o.workerBusySeconds[i];
+    }
+};
+
 /** Sweep execution knobs. */
 struct SweepOptions
 {
     /** Worker threads; 0 = defaultThreads(). */
     std::size_t threads = 0;
+    /** When set, runSweep() fills pool utilization here (overwrites). */
+    PoolStats *stats = nullptr;
 };
 
 /**
@@ -109,10 +158,23 @@ runSweep(std::size_t replications, std::uint64_t rootSeed, Fn &&fn,
                                            : defaultThreads();
         threads = std::min(threads, replications);
 
+        PoolStats *stats = opts.stats;
+        if (stats) {
+            stats->threads = threads;
+            stats->replications = replications;
+            stats->wallSeconds = 0.0;
+            stats->workerBusySeconds.assign(threads, 0.0);
+        }
+
+        using Clock = std::chrono::steady_clock;
         std::atomic<std::size_t> next{0};
         std::mutex errMu;
         std::exception_ptr firstError;
-        auto drain = [&] {
+        // Worker w only ever touches workerBusySeconds[w], so the
+        // busy accounting needs no lock; the timing never influences
+        // which replication runs where (the work-stealing counter
+        // does), let alone any result.
+        auto drain = [&](std::size_t worker) {
             for (;;) {
                 std::size_t i =
                     next.fetch_add(1, std::memory_order_relaxed);
@@ -123,6 +185,8 @@ runSweep(std::size_t replications, std::uint64_t rootSeed, Fn &&fn,
                 // reuse the previous trial's chunks instead of
                 // re-touching the allocator.
                 sim::threadArena().reset();
+                const Clock::time_point t0 =
+                    stats ? Clock::now() : Clock::time_point{};
                 try {
                     slots[i].emplace(fn(i, streamSeed(rootSeed, i)));
                 } catch (...) {
@@ -130,18 +194,29 @@ runSweep(std::size_t replications, std::uint64_t rootSeed, Fn &&fn,
                     if (!firstError)
                         firstError = std::current_exception();
                 }
+                if (stats)
+                    stats->workerBusySeconds[worker] +=
+                        std::chrono::duration<double>(Clock::now() -
+                                                      t0)
+                            .count();
             }
         };
 
+        const Clock::time_point sweepStart =
+            stats ? Clock::now() : Clock::time_point{};
         if (threads == 1) {
             // Serial reference path: same work, same order, no pool.
-            drain();
+            drain(0);
         } else {
             ThreadPool pool(threads);
             for (std::size_t t = 0; t < threads; ++t)
-                pool.submit(drain);
+                pool.submit([&drain, t] { drain(t); });
             pool.wait();
         }
+        if (stats)
+            stats->wallSeconds =
+                std::chrono::duration<double>(Clock::now() - sweepStart)
+                    .count();
         if (firstError)
             std::rethrow_exception(firstError);
     }

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "health.hpp"
 #include "metrics.hpp"
 #include "tracer.hpp"
 
@@ -118,6 +119,16 @@ FlushGuard::guardMetricsCsv(const Registry &reg, std::string path)
         std::ofstream os(path);
         if (os)
             reg.writeCsv(os);
+    });
+}
+
+FlushGuard::Registration
+FlushGuard::guardHealth(const HealthReport &report, std::string path)
+{
+    return add([&report, path = std::move(path)] {
+        std::ofstream os(path);
+        if (os)
+            report.writeJson(os);
     });
 }
 

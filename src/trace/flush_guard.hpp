@@ -31,6 +31,7 @@
 
 namespace blitz::trace {
 
+class HealthReport;
 class Registry;
 class Tracer;
 
@@ -76,6 +77,10 @@ class FlushGuard
     /** Guard @p reg: on flush, write its CSV series to @p path. */
     [[nodiscard]] static Registration
     guardMetricsCsv(const Registry &reg, std::string path);
+
+    /** Guard @p report: on flush, write its JSON document to @p path. */
+    [[nodiscard]] static Registration
+    guardHealth(const HealthReport &report, std::string path);
 
     /**
      * Run every registered action once, in registration order. Safe

@@ -46,6 +46,7 @@
 #include "trace/attach.hpp"
 #include "trace/metrics.hpp"
 #include "trace/noc_trace.hpp"
+#include "trace/prof.hpp"
 #include "trace/tracer.hpp"
 
 namespace {
@@ -155,7 +156,7 @@ std::uint64_t
 chaosTrialDigest(const GoldenScenario &sc, std::uint64_t seed,
                  bool observed = false,
                  record::FlightRecorder *rec = nullptr,
-                 std::uint32_t shards = 0)
+                 std::uint32_t shards = 0, bool profiled = false)
 {
     fault::ChaosConfig cc;
     cc.width = sc.d;
@@ -200,6 +201,12 @@ chaosTrialDigest(const GoldenScenario &sc, std::uint64_t seed,
     }
     if (rec)
         cluster.attachRecorder(rec);
+    // The superstep profiler reads clocks and bumps its own counters
+    // only; attaching it must leave the digest untouched (wall-clock
+    // never feeds back into simulation).
+    trace::SuperstepProfiler prof;
+    if (profiled && cluster.shardGroup())
+        prof.attach(*cluster.shardGroup());
     coin::Coins demand = 0;
     for (std::size_t i = 0; i < n; ++i) {
         coin::Coins m = bench::typeLevel(static_cast<int>(i) % 4);
@@ -293,7 +300,7 @@ chaosDigest(std::size_t threads)
  * 1, 2 and 4 reproduce it bit-for-bit.
  */
 std::uint64_t
-shardedChaosDigest(std::uint32_t shards)
+shardedChaosDigest(std::uint32_t shards, bool profiled = false)
 {
     Digest all;
     std::uint64_t scenarioIdx = 0;
@@ -301,7 +308,7 @@ shardedChaosDigest(std::uint32_t shards)
         for (std::uint64_t rep = 0; rep < 2; ++rep)
             all.u64(chaosTrialDigest(
                 sc, sweep::streamSeed(2033, scenarioIdx * 16 + rep),
-                /*observed=*/false, /*rec=*/nullptr, shards));
+                /*observed=*/false, /*rec=*/nullptr, shards, profiled));
         ++scenarioIdx;
     }
     return all.value();
@@ -317,7 +324,7 @@ shardedChaosDigest(std::uint32_t shards)
 
 std::uint64_t
 byzantineTrialDigest(int attackers, std::uint64_t seed,
-                     std::uint32_t shards = 0)
+                     std::uint32_t shards = 0, bool profiled = false)
 {
     fault::ChaosConfig cc;
     cc.width = 6;
@@ -349,6 +356,9 @@ byzantineTrialDigest(int attackers, std::uint64_t seed,
     }
 
     fault::ChaosCluster cluster(cc);
+    trace::SuperstepProfiler prof;
+    if (profiled && cluster.shardGroup())
+        prof.attach(*cluster.shardGroup());
     const auto n = static_cast<std::size_t>(cc.width * cc.height);
     coin::Coins demand = 0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -445,7 +455,7 @@ byzantineDigest(std::size_t threads)
 
 /** Sharded byzantine pin; same caveat as shardedChaosDigest. */
 std::uint64_t
-shardedByzantineDigest(std::uint32_t shards)
+shardedByzantineDigest(std::uint32_t shards, bool profiled = false)
 {
     Digest all;
     std::uint64_t scenarioIdx = 0;
@@ -454,7 +464,7 @@ shardedByzantineDigest(std::uint32_t shards)
             all.u64(byzantineTrialDigest(
                 attackers,
                 sweep::streamSeed(2047, scenarioIdx * 16 + rep),
-                shards));
+                shards, profiled));
         ++scenarioIdx;
     }
     return all.value();
@@ -508,7 +518,7 @@ goldenPhysicsConfig()
 std::uint64_t
 thermalTrialDigest(std::uint64_t seed, std::uint32_t shards = 0,
                    PhysicsMode mode = kEnforcingPhysics,
-                   ThermalProbe *probe = nullptr)
+                   ThermalProbe *probe = nullptr, bool profiled = false)
 {
     soc::SocConfig cfg = soc::make4x4VisionSoc();
     cfg.shards = shards;
@@ -516,6 +526,10 @@ thermalTrialDigest(std::uint64_t seed, std::uint32_t shards = 0,
     pm.kind = soc::PmKind::BlitzCoin;
     pm.budgetMw = soc::budgets::vision33Percent;
     soc::Soc s(cfg, pm, seed);
+
+    trace::SuperstepProfiler prof;
+    if (profiled && s.shardGroup())
+        prof.attach(*s.shardGroup());
 
     soc::PhysicsConfig phys = goldenPhysicsConfig();
     phys.enforce = mode == kEnforcingPhysics;
@@ -591,11 +605,12 @@ thermalDigest(std::size_t threads)
 
 /** Sharded thermal pin; same caveat as shardedChaosDigest. */
 std::uint64_t
-shardedThermalDigest(std::uint32_t shards)
+shardedThermalDigest(std::uint32_t shards, bool profiled = false)
 {
     Digest all;
     for (std::uint64_t rep = 0; rep < 2; ++rep)
-        all.u64(thermalTrialDigest(sweep::streamSeed(2061, rep), shards));
+        all.u64(thermalTrialDigest(sweep::streamSeed(2061, rep), shards,
+                                   kEnforcingPhysics, nullptr, profiled));
     return all.value();
 }
 
@@ -649,6 +664,63 @@ TEST(GoldenTrace, ShardedThermalTrialsMatchRecordedDigestAtEveryShardCount)
     for (std::uint32_t shards : {1u, 2u, 4u})
         EXPECT_EQ(shardedThermalDigest(shards), kGoldenThermalSharded)
             << "shards=" << shards;
+}
+
+// The introspection plane is an observer: attaching a SuperstepProfiler
+// must reproduce the *same* pinned constants as the detached runs, at
+// every shard count. Any drift here means wall-clock measurement leaked
+// into simulation outcomes.
+
+TEST(GoldenTrace, ProfiledShardedChaosMatchesDetachedPinAtEveryShardCount)
+{
+    for (std::uint32_t shards : {1u, 2u, 4u})
+        EXPECT_EQ(shardedChaosDigest(shards, /*profiled=*/true),
+                  kGoldenChaosSharded)
+            << "shards=" << shards;
+}
+
+TEST(GoldenTrace, ProfiledShardedByzantineMatchesDetachedPinAtEveryShardCount)
+{
+    for (std::uint32_t shards : {1u, 2u, 4u})
+        EXPECT_EQ(shardedByzantineDigest(shards, /*profiled=*/true),
+                  kGoldenByzantineSharded)
+            << "shards=" << shards;
+}
+
+TEST(GoldenTrace, ProfiledShardedThermalMatchesDetachedPinAtEveryShardCount)
+{
+    for (std::uint32_t shards : {1u, 2u, 4u})
+        EXPECT_EQ(shardedThermalDigest(shards, /*profiled=*/true),
+                  kGoldenThermalSharded)
+            << "shards=" << shards;
+}
+
+TEST(GoldenTrace, ProfiledShardedSweepBitIdenticalAcrossThreadCounts)
+{
+    // Thread axis with the profiler attached: each trial is a sharded
+    // thermal run with its own profiler, dispatched through runSweep at
+    // 1, 2 and 4 sweep threads. No pin — the contract is that the three
+    // thread counts agree bit-for-bit even while every worker is timing
+    // itself.
+    auto sweepDigest = [](std::size_t threads) {
+        sweep::SweepOptions opts;
+        opts.threads = threads;
+        auto trials = sweep::runSweep(
+            /*trials=*/3, sweep::streamSeed(2068, 0),
+            [](std::size_t, std::uint64_t seed) {
+                return thermalTrialDigest(seed, /*shards=*/2,
+                                          kEnforcingPhysics, nullptr,
+                                          /*profiled=*/true);
+            },
+            opts);
+        Digest all;
+        for (std::uint64_t d : trials)
+            all.u64(d);
+        return all.value();
+    };
+    const std::uint64_t base = sweepDigest(1);
+    for (std::size_t threads : {2u, 4u})
+        EXPECT_EQ(sweepDigest(threads), base) << "threads=" << threads;
 }
 
 TEST(GoldenTrace, ThermalGoldenScenarioActuallyThrottles)

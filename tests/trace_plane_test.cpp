@@ -309,6 +309,73 @@ TEST(Tracer, AbsorbRehomesReplicationLanes)
     EXPECT_EQ(os.str().find("\"pid\":0"), std::string::npos);
 }
 
+TEST(Tracer, InternedCounterTracksDedupeAndRecordSamples)
+{
+    trace::Tracer t;
+    // The names are built at runtime — the raw counter() path would
+    // dangle; the interned path copies them into tracer-owned storage.
+    std::string name = "prof/shard";
+    auto a = t.counterTrack("prof", name + "0.exec_ms", 0);
+    auto b = t.counterTrack("prof", name + "1.exec_ms", 1);
+    auto a2 = t.counterTrack("prof", "prof/shard0.exec_ms", 0);
+    ASSERT_TRUE(a.valid());
+    EXPECT_EQ(a.id, a2.id) << "identical triple re-interned";
+    EXPECT_NE(a.id, b.id);
+    EXPECT_EQ(t.trackCount(), 2u);
+
+    t.counterSample(a, 100, 1.5);
+    t.counterSample(b, 100, 2.5);
+    t.counterSample(a, 200, 3.5);
+    EXPECT_EQ(t.eventCount(), 3u);
+
+    std::ostringstream os;
+    t.writeJson(os);
+    EXPECT_NE(os.str().find("\"prof/shard0.exec_ms\""),
+              std::string::npos);
+    EXPECT_NE(os.str().find("\"prof/shard1.exec_ms\""),
+              std::string::npos);
+    EXPECT_NE(os.str().find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(Tracer, AbsorbPreservesCounterTracksAcrossMerges)
+{
+    // The sweep fold: each replication's tracer dies after absorb(),
+    // so the merged tracer must re-intern the source's track table —
+    // a raw-pointer carry-over would dangle, and dropping the track
+    // identity would collapse every counter into one anonymous lane.
+    trace::Tracer master;
+    for (std::uint32_t rep = 0; rep < 2; ++rep) {
+        trace::Tracer worker;
+        auto exec =
+            worker.counterTrack("prof", "prof/shard0.exec_ms", 0);
+        auto inbox =
+            worker.counterTrack("prof", "prof/shard0.inbox", 0);
+        worker.counterSample(exec, 100, 1.0 + rep);
+        worker.counterSample(inbox, 100, 10.0 + rep);
+        master.absorb(worker, /*pid=*/rep);
+    } // worker (and its owned names) destroyed here
+    EXPECT_EQ(master.eventCount(), 4u);
+
+    std::ostringstream os;
+    master.writeJson(os);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"prof/shard0.exec_ms\""), std::string::npos);
+    EXPECT_NE(doc.find("\"prof/shard0.inbox\""), std::string::npos);
+    // Both replication lanes survive with their values.
+    EXPECT_NE(doc.find("\"pid\":0"), std::string::npos);
+    EXPECT_NE(doc.find("\"pid\":1"), std::string::npos);
+    EXPECT_NE(doc.find("11"), std::string::npos);
+
+    // Absorbing into a tracer that already interned the same triple
+    // must reuse the existing track, not grow a duplicate.
+    trace::Tracer twice;
+    auto own = twice.counterTrack("prof", "prof/shard0.exec_ms", 0);
+    twice.counterSample(own, 50, 0.5);
+    twice.absorb(master, /*pid=*/9);
+    EXPECT_EQ(twice.trackCount(), 2u)
+        << "absorb duplicated an identical (cat, name, tid) track";
+}
+
 // ---------------------------------------------------------- NoC probe
 
 TEST(NocTrace, AccumulatesHopsDeliveriesAndUtilization)
